@@ -1,0 +1,41 @@
+// Command xbench regenerates the reproduced evaluation: every table and
+// figure listed in DESIGN.md's experiment index.
+//
+// Usage:
+//
+//	xbench [-exp T1,F2,...] [-factor 0.25] [-seed 42] [-quick] [-repeat 3] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "comma-separated experiment ids (T1,T2,F1,... or 'all')")
+		factor = flag.Float64("factor", 0.25, "base XMark scale factor")
+		seed   = flag.Uint64("seed", 42, "generator seed")
+		quick  = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		repeat = flag.Int("repeat", 3, "repetitions per measurement (minimum reported)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := bench.Config{Factor: *factor, Seed: *seed, Quick: *quick, Repeat: *repeat}
+	ids := strings.Split(*exp, ",")
+	if err := bench.Run(os.Stdout, ids, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "xbench:", err)
+		os.Exit(1)
+	}
+}

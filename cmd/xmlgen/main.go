@@ -1,0 +1,71 @@
+// Command xmlgen emits the synthetic XML workloads: the XMark-like
+// auction document (with its DTD), plus parametric deep, wide and
+// recursive shapes used by the axis and update experiments.
+//
+// Usage:
+//
+//	xmlgen -kind auction -factor 0.5 > auction.xml
+//	xmlgen -kind auction -dtd > auction.dtd
+//	xmlgen -kind deep -depth 12 -chains 300 > deep.xml
+//	xmlgen -kind wide -n 50000 > wide.xml
+//	xmlgen -kind recursive -depth 8 -fanout 3 > parts.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/xmldom"
+	"repro/internal/xmlgen"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "auction", "auction|deep|wide|recursive")
+		factor = flag.Float64("factor", 0.1, "auction scale factor")
+		seed   = flag.Uint64("seed", 42, "generator seed")
+		depth  = flag.Int("depth", 10, "deep/recursive nesting depth")
+		chains = flag.Int("chains", 300, "deep: number of chains")
+		fanout = flag.Int("fanout", 3, "recursive: max children per part")
+		n      = flag.Int("n", 10000, "wide: number of rows")
+		dtd    = flag.Bool("dtd", false, "print the document's DTD instead")
+	)
+	flag.Parse()
+
+	if *dtd {
+		switch *kind {
+		case "auction":
+			fmt.Print(xmlgen.AuctionDTD)
+		case "recursive":
+			fmt.Print(xmlgen.RecursiveDTD)
+		default:
+			fmt.Fprintf(os.Stderr, "xmlgen: no DTD for kind %q\n", *kind)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var doc *xmldom.Document
+	switch *kind {
+	case "auction":
+		doc = xmlgen.Auction(xmlgen.Config{Factor: *factor, Seed: *seed})
+	case "deep":
+		doc = xmlgen.Deep(*depth, *chains, *seed)
+	case "wide":
+		doc = xmlgen.Wide(*n, *seed)
+	case "recursive":
+		doc = xmlgen.Recursive(*depth, *fanout, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "xmlgen: unknown kind %q\n", *kind)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := xmldom.Serialize(w, doc.Root); err != nil {
+		fmt.Fprintf(os.Stderr, "xmlgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,159 @@
+// Command xrdb stores an XML document in the embedded relational
+// database under a chosen mapping scheme and retrieves from it: run
+// XPath queries (optionally showing the generated SQL and plan), publish
+// the document or result sets back as XML, and inspect storage
+// statistics.
+//
+// Usage:
+//
+//	xrdb -in doc.xml [-scheme interval] [-dtd doc.dtd] <action>
+//
+// Actions (pick one):
+//
+//	-query '/site//item/name'   run an XPath query, print id/value rows
+//	-sql                        with -query: also print the generated SQL
+//	-explain                    with -query: also print the physical plan
+//	-publish                    reconstruct and print the whole document
+//	-results                    with -query: publish matches as XML
+//	-stats                      print table-level storage statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/publish"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input XML document")
+		openDB   = flag.String("opendb", "", "reopen a saved database snapshot instead of -in (interval/dewey)")
+		saveDB   = flag.String("savedb", "", "write a database snapshot after loading")
+		scheme   = flag.String("scheme", "interval", "mapping scheme: edge|binary|universal|interval|dewey|inline")
+		dtdFile  = flag.String("dtd", "", "DTD file (required for -scheme inline)")
+		valueIdx = flag.Bool("value-index", false, "create content-value indexes")
+		query    = flag.String("query", "", "XPath query to run")
+		showSQL  = flag.Bool("sql", false, "print the generated SQL")
+		explain  = flag.Bool("explain", false, "print the physical plan")
+		pub      = flag.Bool("publish", false, "reconstruct and print the document")
+		results  = flag.Bool("results", false, "publish query matches as XML")
+		stats    = flag.Bool("stats", false, "print storage statistics")
+	)
+	flag.Parse()
+
+	var st *core.Store
+	switch {
+	case *openDB != "":
+		f, err := os.Open(*openDB)
+		if err != nil {
+			fail("%v", err)
+		}
+		st, err = core.OpenSaved(core.SchemeKind(*scheme), f)
+		f.Close()
+		if err != nil {
+			fail("reopening %s: %v", *openDB, err)
+		}
+	case *in != "":
+		src, err := os.ReadFile(*in)
+		if err != nil {
+			fail("%v", err)
+		}
+		opts := core.Options{WithValueIndex: *valueIdx}
+		if *dtdFile != "" {
+			dtdSrc, err := os.ReadFile(*dtdFile)
+			if err != nil {
+				fail("%v", err)
+			}
+			opts.DTD = string(dtdSrc)
+		}
+		st, err = core.OpenWith(core.SchemeKind(*scheme), opts)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := st.LoadXML(src); err != nil {
+			fail("loading %s: %v", *in, err)
+		}
+	default:
+		fail("missing -in document (or -opendb snapshot)")
+	}
+	if *saveDB != "" {
+		f, err := os.Create(*saveDB)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := st.SaveDB(f); err != nil {
+			fail("saving snapshot: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("saving snapshot: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "xrdb: snapshot written to %s\n", *saveDB)
+	}
+
+	did := false
+	if *stats {
+		did = true
+		fmt.Printf("scheme=%s\n", st.Kind())
+		for _, ts := range st.DB().Stats() {
+			fmt.Printf("  %-24s %8d rows  %10d bytes  %d indexes\n", ts.Name, ts.Rows, ts.Bytes, ts.Indexes)
+		}
+		s := st.Stats()
+		fmt.Printf("  total: %d tables, %d rows, %d bytes\n", s.Tables, s.Rows, s.Bytes)
+	}
+	if *query != "" {
+		did = true
+		sql, err := st.Translate(*query)
+		if err != nil {
+			fail("translating: %v", err)
+		}
+		if *showSQL {
+			fmt.Println("-- SQL:")
+			fmt.Println(sql)
+		}
+		if *explain {
+			plan, err := st.DB().Explain(sql)
+			if err != nil {
+				fail("explain: %v", err)
+			}
+			fmt.Println("-- plan:")
+			fmt.Print(plan)
+		}
+		if *results {
+			if err := publish.ResultSet(os.Stdout, st.DB(), st.Scheme(), *query); err != nil {
+				fail("publishing results: %v", err)
+			}
+			fmt.Println()
+		} else {
+			res, err := st.Query(*query)
+			if err != nil {
+				fail("querying: %v", err)
+			}
+			for _, m := range res.Matches {
+				if m.HasValue {
+					fmt.Printf("%d\t%s\n", m.ID, m.Value)
+				} else {
+					fmt.Printf("%d\n", m.ID)
+				}
+			}
+			fmt.Printf("-- %d match(es)\n", len(res.Matches))
+		}
+	}
+	if *pub {
+		did = true
+		if err := st.WriteXML(os.Stdout); err != nil {
+			fail("publishing: %v", err)
+		}
+		fmt.Println()
+	}
+	if !did {
+		fail("nothing to do: pass -query, -publish or -stats")
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xrdb: "+format+"\n", args...)
+	os.Exit(1)
+}

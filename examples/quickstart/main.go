@@ -1,0 +1,84 @@
+// Quickstart: store a small XML document relationally, query it with
+// XPath (compiled to SQL), and publish it back as XML.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+)
+
+const bibliography = `<?xml version="1.0"?>
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="1992">
+    <title>Advanced Programming in the Unix Environment</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <publisher>Morgan Kaufmann</publisher>
+    <price>39.95</price>
+  </book>
+</bib>`
+
+func main() {
+	// Open a store backed by the interval (pre/size/level) mapping —
+	// the layout where every XPath axis is a range predicate.
+	st, err := core.Open(core.Interval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.LoadXML([]byte(bibliography)); err != nil {
+		log.Fatal(err)
+	}
+
+	// An XPath query becomes SQL over the shredded tables.
+	query := `/bib/book[price < 50]/title`
+	sql, err := st.Translate(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("XPath:", query)
+	fmt.Println("SQL:  ", sql)
+
+	res, err := st.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range res.Matches {
+		fmt.Printf("  node %d: %s\n", m.ID, m.Value)
+	}
+
+	// Value predicates, attributes, descendants — same pipeline.
+	for _, q := range []string{
+		`//book[author/last='Stevens']/title`,
+		`/bib/book[@year > 1993]/@year`,
+		`//author[2]/last`,
+	} {
+		n, err := st.Count(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s -> %d match(es)\n", q, n)
+	}
+
+	// The stored document publishes back out as XML.
+	fmt.Println("\nreconstructed document:")
+	if err := st.WriteXML(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,273 @@
+// Package core is the public face of xmlrdb: storage and retrieval of
+// XML data using a relational database, per the ICDE 2003 tutorial this
+// repository reproduces.
+//
+// A Store binds one mapping scheme (Edge, Binary, Universal, Interval,
+// Dewey, or DTD-Inline) to an embedded relational database. Documents
+// go in as XML text; XPath queries come back as (node id, value) rows
+// compiled to SQL over the chosen layout; the stored document can be
+// published back out as XML.
+//
+//	st, _ := core.Open(core.Interval)
+//	_ = st.LoadXML([]byte(`<bib><book year="1967"><title>...</title></book></bib>`))
+//	res, _ := st.Query(`/bib/book[@year='1967']/title`)
+//	for _, m := range res.Matches {
+//		fmt.Println(m.ID, m.Value)
+//	}
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/shred"
+	"repro/internal/sqldb"
+	"repro/internal/xmldom"
+	"repro/internal/xpath"
+)
+
+// SchemeKind selects a mapping scheme.
+type SchemeKind string
+
+// Available schemes.
+const (
+	// Edge stores one relation of parent-child edges (Florescu &
+	// Kossmann); descendant steps expand to unions of join chains.
+	Edge SchemeKind = "edge"
+	// Binary partitions the edge relation by label.
+	Binary SchemeKind = "binary"
+	// Universal denormalizes every root-to-leaf path into one wide
+	// relation (the strawman).
+	Universal SchemeKind = "universal"
+	// Interval stores pre/size/level region numbers (the XPath
+	// accelerator); every axis is a range predicate.
+	Interval SchemeKind = "interval"
+	// Dewey stores dotted order-preserving path labels; ancestry is a
+	// prefix test and ordered inserts are local.
+	Dewey SchemeKind = "dewey"
+	// Inline derives a real relational schema from a DTD via shared
+	// inlining (requires Options.DTD).
+	Inline SchemeKind = "inline"
+)
+
+// Options configure a Store.
+type Options struct {
+	// WithValueIndex adds content-value indexes (the F5 ablation).
+	WithValueIndex bool
+	// DTD supplies the document type for the Inline scheme (ignored by
+	// the others). Root optionally names the document element.
+	DTD  string
+	Root string
+}
+
+// Store is one XML document stored relationally under a mapping scheme.
+type Store struct {
+	kind   SchemeKind
+	scheme shred.Scheme
+	db     *sqldb.Database
+	loaded bool
+}
+
+// Open creates an empty Store with default options.
+func Open(kind SchemeKind) (*Store, error) {
+	return OpenWith(kind, Options{})
+}
+
+// OpenWith creates an empty Store.
+func OpenWith(kind SchemeKind, opts Options) (*Store, error) {
+	var s shred.Scheme
+	switch kind {
+	case Edge:
+		s = shred.NewEdge(opts.WithValueIndex)
+	case Binary:
+		s = shred.NewBinary(opts.WithValueIndex)
+	case Universal:
+		s = shred.NewUniversal()
+	case Interval:
+		s = shred.NewInterval(opts.WithValueIndex)
+	case Dewey:
+		s = shred.NewDewey(opts.WithValueIndex)
+	case Inline:
+		if opts.DTD == "" {
+			return nil, fmt.Errorf("core: the inline scheme requires Options.DTD")
+		}
+		var err error
+		s, err = shred.NewInline(opts.DTD, opts.Root)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %q", kind)
+	}
+	db := sqldb.New()
+	if err := s.Setup(db); err != nil {
+		return nil, err
+	}
+	return &Store{kind: kind, scheme: s, db: db}, nil
+}
+
+// Kind returns the store's scheme.
+func (st *Store) Kind() SchemeKind { return st.kind }
+
+// DB exposes the underlying relational database for direct SQL (the
+// escape hatch the tutorial's SQL/X discussion motivates).
+func (st *Store) DB() *sqldb.Database { return st.db }
+
+// LoadXML parses and shreds an XML document. A Store holds exactly one
+// document.
+func (st *Store) LoadXML(src []byte) error {
+	doc, err := xmldom.Parse(src)
+	if err != nil {
+		return err
+	}
+	return st.LoadDocument(doc)
+}
+
+// LoadDocument shreds an already-parsed document.
+func (st *Store) LoadDocument(doc *xmldom.Document) error {
+	if st.loaded {
+		return fmt.Errorf("core: store already holds a document")
+	}
+	if err := st.scheme.Load(st.db, doc); err != nil {
+		return err
+	}
+	st.loaded = true
+	return nil
+}
+
+// Match is one query result: the matched node's id (pre-order rank in
+// the loaded document; host-row id under Inline) and its string value
+// when the scheme stores it inline.
+type Match struct {
+	ID    int64
+	Value string
+	// HasValue distinguishes an empty value from an absent one.
+	HasValue bool
+}
+
+// Result is a query result set in document order.
+type Result struct {
+	Query   string
+	SQL     string
+	Matches []Match
+}
+
+// Translate compiles an XPath query to this store's SQL without running
+// it.
+func (st *Store) Translate(query string) (string, error) {
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	return st.scheme.Translate(p)
+}
+
+// Query compiles and executes an XPath query.
+func (st *Store) Query(query string) (*Result, error) {
+	sql, err := st.Translate(query)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := st.db.Query(sql)
+	if err != nil {
+		return nil, fmt.Errorf("core: executing translation of %q: %w", query, err)
+	}
+	res := &Result{Query: query, SQL: sql, Matches: make([]Match, 0, rows.Len())}
+	for _, r := range rows.Data {
+		m := Match{ID: r[0].Int()}
+		if len(r) > 1 && !r[1].IsNull() {
+			m.Value = r[1].Text()
+			m.HasValue = true
+		}
+		res.Matches = append(res.Matches, m)
+	}
+	return res, nil
+}
+
+// Count runs a query and returns only the cardinality.
+func (st *Store) Count(query string) (int, error) {
+	res, err := st.Query(query)
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Matches), nil
+}
+
+// Reconstruct rebuilds the stored document from its tuples.
+func (st *Store) Reconstruct() (*xmldom.Document, error) {
+	return st.scheme.Reconstruct(st.db)
+}
+
+// WriteXML publishes the stored document as XML text.
+func (st *Store) WriteXML(w io.Writer) error {
+	doc, err := st.Reconstruct()
+	if err != nil {
+		return err
+	}
+	return xmldom.Serialize(w, doc.Root)
+}
+
+// InsertXML inserts an XML fragment as the position-th child of the
+// element with the given node id.
+func (st *Store) InsertXML(parentID int64, position int, fragment []byte) error {
+	// Wrap so the fragment parses as a document.
+	doc, err := xmldom.Parse(fragment)
+	if err != nil {
+		return err
+	}
+	root := doc.RootElement()
+	if root == nil {
+		return fmt.Errorf("core: fragment has no element")
+	}
+	return st.scheme.InsertSubtree(st.db, parentID, position, root.Copy())
+}
+
+// SaveDB writes a snapshot of the store's relational database. Reopen
+// it with OpenSaved.
+func (st *Store) SaveDB(w io.Writer) error {
+	return st.db.Save(w)
+}
+
+// OpenSaved reopens a store from a snapshot written by SaveDB. Only the
+// stateless schemes can be reopened this way: Interval and Dewey keep
+// all their state in the database. (Edge, Binary, Universal and Inline
+// carry in-memory catalogs/mappings that a snapshot does not capture —
+// reload those from the XML source.)
+func OpenSaved(kind SchemeKind, r io.Reader) (*Store, error) {
+	var s shred.Scheme
+	switch kind {
+	case Interval:
+		s = shred.NewInterval(false)
+	case Dewey:
+		s = shred.NewDewey(false)
+	default:
+		return nil, fmt.Errorf("core: scheme %q cannot be reopened from a snapshot (in-memory mapping state); reload from XML", kind)
+	}
+	db, err := sqldb.LoadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{kind: kind, scheme: s, db: db, loaded: true}, nil
+}
+
+// StorageStats summarizes the relational footprint of the store.
+type StorageStats struct {
+	Scheme SchemeKind
+	Tables int
+	Rows   int
+	Bytes  int64
+}
+
+// Stats reports the store's storage footprint (experiment T1).
+func (st *Store) Stats() StorageStats {
+	return StorageStats{
+		Scheme: st.kind,
+		Tables: len(st.db.TableNames()),
+		Rows:   st.db.TotalRows(),
+		Bytes:  st.db.TotalBytes(),
+	}
+}
+
+// Scheme exposes the underlying shred.Scheme for advanced use (the
+// experiment harness).
+func (st *Store) Scheme() shred.Scheme { return st.scheme }

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmlgen"
+)
+
+const smallDoc = `<bib><book year="1994"><title>TCP</title><price>65.95</price></book><book year="2000"><title>Web</title><price>39.95</price></book></bib>`
+
+func TestOpenAllSchemes(t *testing.T) {
+	for _, kind := range []SchemeKind{Edge, Binary, Universal, Interval, Dewey} {
+		st, err := Open(kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := st.LoadXML([]byte(smallDoc)); err != nil {
+			t.Fatalf("%s load: %v", kind, err)
+		}
+		n, err := st.Count(`/bib/book[price < 50]/title`)
+		if err != nil {
+			t.Fatalf("%s query: %v", kind, err)
+		}
+		if n != 1 {
+			t.Errorf("%s: count = %d", kind, n)
+		}
+		var b strings.Builder
+		if err := st.WriteXML(&b); err != nil {
+			t.Fatalf("%s publish: %v", kind, err)
+		}
+		if b.String() != smallDoc {
+			t.Errorf("%s round trip:\n%s", kind, b.String())
+		}
+	}
+}
+
+func TestOpenInlineRequiresDTD(t *testing.T) {
+	if _, err := OpenWith(Inline, Options{}); err == nil {
+		t.Fatal("inline without DTD must fail")
+	}
+	st, err := OpenWith(Inline, Options{DTD: xmlgen.AuctionDTD, Root: "site"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmlgen.Auction(xmlgen.Config{Factor: 0.01, Seed: 2})
+	if err := st.LoadDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Query(`/site/people/person/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) == 0 || !res.Matches[0].HasValue {
+		t.Errorf("inline query matches = %+v", res.Matches)
+	}
+}
+
+func TestOpenUnknownScheme(t *testing.T) {
+	if _, err := Open("nonsense"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestDoubleLoadRejected(t *testing.T) {
+	st, _ := Open(Interval)
+	if err := st.LoadXML([]byte(smallDoc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LoadXML([]byte(smallDoc)); err == nil {
+		t.Fatal("second load accepted")
+	}
+}
+
+func TestTranslateExposesSQL(t *testing.T) {
+	st, _ := Open(Edge)
+	_ = st.LoadXML([]byte(smallDoc))
+	sql, err := st.Translate(`/bib/book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "FROM edge") {
+		t.Errorf("sql = %s", sql)
+	}
+	if _, err := st.Translate(`not a valid [ query`); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestInsertXML(t *testing.T) {
+	st, _ := Open(Dewey)
+	if err := st.LoadXML([]byte(smallDoc)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Query(`/bib`)
+	if err != nil || len(res.Matches) != 1 {
+		t.Fatalf("locate bib: %v", err)
+	}
+	if err := st.InsertXML(res.Matches[0].ID, 1, []byte(`<book year="1999"><title>Mid</title><price>10</price></book>`)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := st.Count(`/bib/book`)
+	if err != nil || n != 3 {
+		t.Fatalf("after insert: %d %v", n, err)
+	}
+	// Order preserved: the new book sits in the middle.
+	res, _ = st.Query(`/bib/book[2]/title`)
+	if len(res.Matches) != 1 || res.Matches[0].Value != "Mid" {
+		t.Errorf("middle book = %+v", res.Matches)
+	}
+}
+
+func TestStats(t *testing.T) {
+	st, _ := Open(Interval)
+	_ = st.LoadXML([]byte(smallDoc))
+	s := st.Stats()
+	if s.Scheme != Interval || s.Rows == 0 || s.Bytes == 0 || s.Tables != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSaveAndReopen(t *testing.T) {
+	for _, kind := range []SchemeKind{Interval, Dewey} {
+		st, _ := Open(kind)
+		if err := st.LoadXML([]byte(smallDoc)); err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if err := st.SaveDB(&buf); err != nil {
+			t.Fatalf("%s save: %v", kind, err)
+		}
+		re, err := OpenSaved(kind, strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("%s reopen: %v", kind, err)
+		}
+		n, err := re.Count(`/bib/book[price < 50]/title`)
+		if err != nil || n != 1 {
+			t.Errorf("%s reopened query: %d %v", kind, n, err)
+		}
+		var out strings.Builder
+		if err := re.WriteXML(&out); err != nil {
+			t.Fatal(err)
+		}
+		if out.String() != smallDoc {
+			t.Errorf("%s reopened round trip mismatch", kind)
+		}
+		// A second document may not be loaded into a reopened store.
+		if err := re.LoadXML([]byte(smallDoc)); err == nil {
+			t.Errorf("%s: double load after reopen accepted", kind)
+		}
+	}
+	// Catalog-carrying schemes refuse snapshot reopen.
+	if _, err := OpenSaved(Edge, strings.NewReader("")); err == nil {
+		t.Error("edge snapshot reopen accepted")
+	}
+}
+
+func TestResultsInDocumentOrder(t *testing.T) {
+	for _, kind := range []SchemeKind{Edge, Binary, Interval, Dewey, Universal} {
+		st, err := Open(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.LoadXML([]byte(smallDoc)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := st.Query(`//title`)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(res.Matches) != 2 {
+			t.Fatalf("%s: %d matches", kind, len(res.Matches))
+		}
+		if res.Matches[0].ID >= res.Matches[1].ID {
+			t.Errorf("%s: results not in document order: %v", kind, res.Matches)
+		}
+		if res.Matches[0].Value != "TCP" || res.Matches[1].Value != "Web" {
+			t.Errorf("%s: values = %v", kind, res.Matches)
+		}
+	}
+}
+
+func TestValueIndexOptionStillCorrect(t *testing.T) {
+	st, err := OpenWith(Interval, Options{WithValueIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LoadXML([]byte(smallDoc)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := st.Count(`/bib/book/title[. = 'Web']`)
+	if err != nil || n != 1 {
+		t.Fatalf("indexed value query: %d %v", n, err)
+	}
+}

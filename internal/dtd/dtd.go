@@ -1,0 +1,505 @@
+// Package dtd parses Document Type Definitions and implements the
+// content-model simplification and element-graph analysis from
+// Shanmugasundaram et al. (VLDB 1999), which drive the DTD-inlining
+// relational mapping in internal/shred.
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// Content is a node of an element content model.
+type Content interface{ content() }
+
+// Name references a child element.
+type Name struct{ Elem string }
+
+// PCData is #PCDATA.
+type PCData struct{}
+
+// Seq is a sequence group (a, b, c).
+type Seq struct{ Items []Content }
+
+// Choice is a choice group (a | b | c).
+type Choice struct{ Items []Content }
+
+// Repeat applies a quantifier: '?', '*' or '+'.
+type Repeat struct {
+	Item Content
+	Op   byte
+}
+
+// Empty is EMPTY.
+type Empty struct{}
+
+// Any is ANY.
+type Any struct{}
+
+func (*Name) content()   {}
+func (*PCData) content() {}
+func (*Seq) content()    {}
+func (*Choice) content() {}
+func (*Repeat) content() {}
+func (*Empty) content()  {}
+func (*Any) content()    {}
+
+// AttType classifies attribute declarations (reduced to what the
+// relational mapping needs).
+type AttType int
+
+// Attribute types.
+const (
+	AttCDATA AttType = iota
+	AttID
+	AttIDRef
+	AttIDRefs
+	AttEnum
+	AttNMToken
+)
+
+// AttDef is one attribute definition from an ATTLIST.
+type AttDef struct {
+	Name     string
+	Type     AttType
+	Enum     []string // for AttEnum
+	Required bool
+	Default  string
+	HasDflt  bool
+}
+
+// ElementDecl is one <!ELEMENT> declaration.
+type ElementDecl struct {
+	Name  string
+	Model Content
+	Attrs []AttDef // merged from ATTLISTs
+}
+
+// DTD is a parsed document type definition.
+type DTD struct {
+	// Root is the document element name; for internal subsets it is the
+	// DOCTYPE name, otherwise the first declared element.
+	Root     string
+	Elements map[string]*ElementDecl
+	// Order preserves declaration order for deterministic output.
+	Order []string
+}
+
+// Element returns the declaration for name, or nil.
+func (d *DTD) Element(name string) *ElementDecl { return d.Elements[name] }
+
+type dtdParser struct {
+	src []byte
+	pos int
+}
+
+func (p *dtdParser) errf(format string, args ...any) error {
+	return fmt.Errorf("dtd: %s at offset %d", fmt.Sprintf(format, args...), p.pos)
+}
+
+// Parse parses DTD text (an internal subset or a standalone .dtd file).
+// root names the document element; pass "" to default to the first
+// declared element.
+func Parse(src string, root string) (*DTD, error) {
+	p := &dtdParser{src: []byte(src)}
+	d := &DTD{Root: root, Elements: map[string]*ElementDecl{}}
+	for {
+		p.skipSpaceAndComments()
+		if p.pos >= len(p.src) {
+			break
+		}
+		switch {
+		case p.hasPrefix("<!ELEMENT"):
+			if err := p.parseElement(d); err != nil {
+				return nil, err
+			}
+		case p.hasPrefix("<!ATTLIST"):
+			if err := p.parseAttlist(d); err != nil {
+				return nil, err
+			}
+		case p.hasPrefix("<!ENTITY"), p.hasPrefix("<!NOTATION"):
+			if err := p.skipDecl(); err != nil {
+				return nil, err
+			}
+		case p.hasPrefix("<?"):
+			if err := p.skipUntil("?>"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unexpected content %q", p.preview())
+		}
+	}
+	if d.Root == "" && len(d.Order) > 0 {
+		d.Root = d.Order[0]
+	}
+	if len(d.Elements) == 0 {
+		return nil, fmt.Errorf("dtd: no element declarations")
+	}
+	return d, nil
+}
+
+func (p *dtdParser) preview() string {
+	end := p.pos + 20
+	if end > len(p.src) {
+		end = len(p.src)
+	}
+	return string(p.src[p.pos:end])
+}
+
+func (p *dtdParser) hasPrefix(s string) bool {
+	return p.pos+len(s) <= len(p.src) && string(p.src[p.pos:p.pos+len(s)]) == s
+}
+
+func (p *dtdParser) skipSpaceAndComments() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		if p.hasPrefix("<!--") {
+			if err := p.skipUntil("-->"); err != nil {
+				p.pos = len(p.src)
+			}
+			continue
+		}
+		// Parameter entity references are not expanded; skip them.
+		if c == '%' {
+			for p.pos < len(p.src) && p.src[p.pos] != ';' {
+				p.pos++
+			}
+			if p.pos < len(p.src) {
+				p.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (p *dtdParser) skipUntil(delim string) error {
+	idx := strings.Index(string(p.src[p.pos:]), delim)
+	if idx < 0 {
+		p.pos = len(p.src)
+		return p.errf("missing %q", delim)
+	}
+	p.pos += idx + len(delim)
+	return nil
+}
+
+func (p *dtdParser) skipDecl() error {
+	// Skip to the matching '>' respecting quotes.
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '>' {
+			p.pos++
+			return nil
+		}
+		if c == '"' || c == '\'' {
+			q := c
+			p.pos++
+			for p.pos < len(p.src) && p.src[p.pos] != q {
+				p.pos++
+			}
+		}
+		p.pos++
+	}
+	return p.errf("unterminated declaration")
+}
+
+func (p *dtdParser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return
+		}
+		p.pos++
+	}
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r >= 0x80
+}
+
+func isNameChar(r rune) bool {
+	return isNameStart(r) || r == '-' || r == '.' || (r >= '0' && r <= '9')
+}
+
+func (p *dtdParser) parseName() (string, error) {
+	start := p.pos
+	r, size := utf8.DecodeRune(p.src[p.pos:])
+	if !isNameStart(r) {
+		return "", p.errf("expected name, found %q", p.preview())
+	}
+	p.pos += size
+	for p.pos < len(p.src) {
+		r, size = utf8.DecodeRune(p.src[p.pos:])
+		if !isNameChar(r) {
+			break
+		}
+		p.pos += size
+	}
+	return string(p.src[start:p.pos]), nil
+}
+
+func (p *dtdParser) parseElement(d *DTD) error {
+	p.pos += len("<!ELEMENT")
+	p.skipWS()
+	name, err := p.parseName()
+	if err != nil {
+		return err
+	}
+	p.skipWS()
+	var model Content
+	switch {
+	case p.hasPrefix("EMPTY"):
+		p.pos += len("EMPTY")
+		model = &Empty{}
+	case p.hasPrefix("ANY"):
+		p.pos += len("ANY")
+		model = &Any{}
+	case p.hasPrefix("("):
+		model, err = p.parseGroup()
+		if err != nil {
+			return err
+		}
+	default:
+		return p.errf("expected content model for element %s", name)
+	}
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != '>' {
+		return p.errf("expected '>' after element %s", name)
+	}
+	p.pos++
+	decl := d.Elements[name]
+	if decl == nil {
+		decl = &ElementDecl{Name: name}
+		d.Elements[name] = decl
+		d.Order = append(d.Order, name)
+	}
+	decl.Model = model
+	return nil
+}
+
+// parseGroup parses a parenthesized content particle with optional
+// trailing quantifier.
+func (p *dtdParser) parseGroup() (Content, error) {
+	if !p.hasPrefix("(") {
+		return nil, p.errf("expected '('")
+	}
+	p.pos++
+	var items []Content
+	sep := byte(0) // ',' or '|'
+	for {
+		p.skipWS()
+		var item Content
+		var err error
+		switch {
+		case p.hasPrefix("("):
+			item, err = p.parseGroup()
+		case p.hasPrefix("#PCDATA"):
+			p.pos += len("#PCDATA")
+			item = &PCData{}
+		default:
+			var nm string
+			nm, err = p.parseName()
+			if err == nil {
+				item = &Name{Elem: nm}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		item = p.parseQuantifier(item)
+		items = append(items, item)
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated content group")
+		}
+		c := p.src[p.pos]
+		if c == ')' {
+			p.pos++
+			break
+		}
+		if c != ',' && c != '|' {
+			return nil, p.errf("expected ',' '|' or ')' in content group")
+		}
+		if sep == 0 {
+			sep = c
+		} else if sep != c {
+			return nil, p.errf("mixed ',' and '|' in one group")
+		}
+		p.pos++
+	}
+	var group Content
+	switch {
+	case len(items) == 1:
+		group = items[0]
+	case sep == '|':
+		group = &Choice{Items: items}
+	default:
+		group = &Seq{Items: items}
+	}
+	return p.parseQuantifier(group), nil
+}
+
+func (p *dtdParser) parseQuantifier(c Content) Content {
+	if p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '?', '*', '+':
+			op := p.src[p.pos]
+			p.pos++
+			return &Repeat{Item: c, Op: op}
+		}
+	}
+	return c
+}
+
+func (p *dtdParser) parseAttlist(d *DTD) error {
+	p.pos += len("<!ATTLIST")
+	p.skipWS()
+	elem, err := p.parseName()
+	if err != nil {
+		return err
+	}
+	decl := d.Elements[elem]
+	if decl == nil {
+		decl = &ElementDecl{Name: elem}
+		d.Elements[elem] = decl
+		d.Order = append(d.Order, elem)
+	}
+	for {
+		p.skipWS()
+		if p.pos < len(p.src) && p.src[p.pos] == '>' {
+			p.pos++
+			return nil
+		}
+		att := AttDef{}
+		att.Name, err = p.parseName()
+		if err != nil {
+			return err
+		}
+		p.skipWS()
+		// Attribute type.
+		switch {
+		case p.hasPrefix("CDATA"):
+			p.pos += len("CDATA")
+			att.Type = AttCDATA
+		case p.hasPrefix("IDREFS"):
+			p.pos += len("IDREFS")
+			att.Type = AttIDRefs
+		case p.hasPrefix("IDREF"):
+			p.pos += len("IDREF")
+			att.Type = AttIDRef
+		case p.hasPrefix("ID"):
+			p.pos += len("ID")
+			att.Type = AttID
+		case p.hasPrefix("NMTOKENS"):
+			p.pos += len("NMTOKENS")
+			att.Type = AttNMToken
+		case p.hasPrefix("NMTOKEN"):
+			p.pos += len("NMTOKEN")
+			att.Type = AttNMToken
+		case p.hasPrefix("ENTITIES"), p.hasPrefix("ENTITY"):
+			if p.hasPrefix("ENTITIES") {
+				p.pos += len("ENTITIES")
+			} else {
+				p.pos += len("ENTITY")
+			}
+			att.Type = AttCDATA
+		case p.hasPrefix("NOTATION"):
+			p.pos += len("NOTATION")
+			p.skipWS()
+			if _, err := p.parseParenList(); err != nil {
+				return err
+			}
+			att.Type = AttEnum
+		case p.hasPrefix("("):
+			att.Enum, err = p.parseParenList()
+			if err != nil {
+				return err
+			}
+			att.Type = AttEnum
+		default:
+			return p.errf("unknown attribute type for %s on %s", att.Name, elem)
+		}
+		p.skipWS()
+		// Default.
+		switch {
+		case p.hasPrefix("#REQUIRED"):
+			p.pos += len("#REQUIRED")
+			att.Required = true
+		case p.hasPrefix("#IMPLIED"):
+			p.pos += len("#IMPLIED")
+		case p.hasPrefix("#FIXED"):
+			p.pos += len("#FIXED")
+			p.skipWS()
+			att.Default, err = p.parseQuoted()
+			if err != nil {
+				return err
+			}
+			att.HasDflt = true
+		default:
+			att.Default, err = p.parseQuoted()
+			if err != nil {
+				return err
+			}
+			att.HasDflt = true
+		}
+		decl.Attrs = append(decl.Attrs, att)
+	}
+}
+
+func (p *dtdParser) parseParenList() ([]string, error) {
+	if !p.hasPrefix("(") {
+		return nil, p.errf("expected '('")
+	}
+	p.pos++
+	var out []string
+	for {
+		p.skipWS()
+		start := p.pos
+		for p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if c == '|' || c == ')' || c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+				break
+			}
+			p.pos++
+		}
+		out = append(out, string(p.src[start:p.pos]))
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated enumeration")
+		}
+		if p.src[p.pos] == ')' {
+			p.pos++
+			return out, nil
+		}
+		if p.src[p.pos] != '|' {
+			return nil, p.errf("expected '|' or ')' in enumeration")
+		}
+		p.pos++
+	}
+}
+
+func (p *dtdParser) parseQuoted() (string, error) {
+	if p.pos >= len(p.src) {
+		return "", p.errf("expected quoted literal")
+	}
+	q := p.src[p.pos]
+	if q != '"' && q != '\'' {
+		return "", p.errf("expected quoted literal")
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", p.errf("unterminated literal")
+	}
+	out := string(p.src[start:p.pos])
+	p.pos++
+	return out, nil
+}

@@ -1,0 +1,254 @@
+package dtd
+
+import (
+	"sort"
+	"testing"
+)
+
+const bookDTD = `
+<!ELEMENT book (title, author)>
+<!ELEMENT article (title, author*)>
+<!ATTLIST book price CDATA #IMPLIED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (firstname, lastname)>
+<!ELEMENT firstname (#PCDATA)>
+<!ELEMENT lastname (#PCDATA)>
+<!ATTLIST author age CDATA #REQUIRED>
+`
+
+func TestParseDeclarations(t *testing.T) {
+	d, err := Parse(bookDTD, "book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "book" {
+		t.Errorf("root = %q", d.Root)
+	}
+	if len(d.Elements) != 6 {
+		t.Fatalf("elements = %d", len(d.Elements))
+	}
+	book := d.Element("book")
+	if len(book.Attrs) != 1 || book.Attrs[0].Name != "price" || book.Attrs[0].Required {
+		t.Errorf("book attrs = %+v", book.Attrs)
+	}
+	author := d.Element("author")
+	if len(author.Attrs) != 1 || !author.Attrs[0].Required {
+		t.Errorf("author attrs = %+v", author.Attrs)
+	}
+	seq, ok := book.Model.(*Seq)
+	if !ok || len(seq.Items) != 2 {
+		t.Fatalf("book model = %#v", book.Model)
+	}
+}
+
+func TestParseAttributeTypes(t *testing.T) {
+	d, err := Parse(`
+<!ELEMENT e EMPTY>
+<!ATTLIST e
+  id ID #REQUIRED
+  ref IDREF #IMPLIED
+  refs IDREFS #IMPLIED
+  kind (a | b | c) "a"
+  token NMTOKEN #IMPLIED
+  fixed CDATA #FIXED "f">
+`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := d.Element("e").Attrs
+	if len(attrs) != 6 {
+		t.Fatalf("attrs = %d", len(attrs))
+	}
+	byName := map[string]AttDef{}
+	for _, a := range attrs {
+		byName[a.Name] = a
+	}
+	if byName["id"].Type != AttID || !byName["id"].Required {
+		t.Errorf("id = %+v", byName["id"])
+	}
+	if byName["ref"].Type != AttIDRef || byName["refs"].Type != AttIDRefs {
+		t.Error("idref types wrong")
+	}
+	k := byName["kind"]
+	if k.Type != AttEnum || len(k.Enum) != 3 || k.Default != "a" || !k.HasDflt {
+		t.Errorf("kind = %+v", k)
+	}
+	if byName["fixed"].Default != "f" {
+		t.Errorf("fixed = %+v", byName["fixed"])
+	}
+}
+
+func TestParseSkipsEntitiesAndComments(t *testing.T) {
+	d, err := Parse(`
+<!-- a comment with <!ELEMENT fake (x)> inside -->
+<!ENTITY % param "ignored">
+<!ELEMENT real (#PCDATA)>
+`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Elements) != 1 || d.Element("real") == nil {
+		t.Fatalf("elements = %v", d.Order)
+	}
+}
+
+func simplifyOne(t *testing.T, decl string) *SimpleModel {
+	t.Helper()
+	d, err := Parse(decl, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Simplify(d.Elements[d.Order[0]].Model)
+}
+
+func cardOf(m *SimpleModel, name string) Card {
+	for _, c := range m.Children {
+		if c.Name == name {
+			return c.Card
+		}
+	}
+	return 0
+}
+
+// TestSimplifyRules exercises each of the paper's simplification rules.
+func TestSimplifyRules(t *testing.T) {
+	// (e1, e2)* -> e1*, e2*
+	m := simplifyOne(t, `<!ELEMENT x ((a, b)*)>`)
+	if cardOf(m, "a") != CardMany || cardOf(m, "b") != CardMany {
+		t.Errorf("(a,b)*: %+v", m.Children)
+	}
+	// (e1, e2)? -> e1?, e2?
+	m = simplifyOne(t, `<!ELEMENT x ((a, b)?)>`)
+	if cardOf(m, "a") != CardOpt || cardOf(m, "b") != CardOpt {
+		t.Errorf("(a,b)?: %+v", m.Children)
+	}
+	// (e1 | e2) -> e1?, e2?
+	m = simplifyOne(t, `<!ELEMENT x (a | b)>`)
+	if cardOf(m, "a") != CardOpt || cardOf(m, "b") != CardOpt {
+		t.Errorf("(a|b): %+v", m.Children)
+	}
+	// e+ -> e*
+	m = simplifyOne(t, `<!ELEMENT x (a+)>`)
+	if cardOf(m, "a") != CardMany {
+		t.Errorf("a+: %+v", m.Children)
+	}
+	// e** -> e*, e?? -> e?
+	m = simplifyOne(t, `<!ELEMENT x ((a*)*)>`)
+	if cardOf(m, "a") != CardMany {
+		t.Errorf("a**: %+v", m.Children)
+	}
+	m = simplifyOne(t, `<!ELEMENT x ((a?)?)>`)
+	if cardOf(m, "a") != CardOpt {
+		t.Errorf("a??: %+v", m.Children)
+	}
+	// ..., a, ..., a, ... -> a*
+	m = simplifyOne(t, `<!ELEMENT x (a, b, a)>`)
+	if cardOf(m, "a") != CardMany || cardOf(m, "b") != CardOne {
+		t.Errorf("dedup: %+v", m.Children)
+	}
+	// Plain sequence keeps exact cards.
+	m = simplifyOne(t, `<!ELEMENT x (a, b?, c*)>`)
+	if cardOf(m, "a") != CardOne || cardOf(m, "b") != CardOpt || cardOf(m, "c") != CardMany {
+		t.Errorf("plain: %+v", m.Children)
+	}
+	// Mixed content.
+	m = simplifyOne(t, `<!ELEMENT x (#PCDATA | a)*>`)
+	if !m.HasText || cardOf(m, "a") != CardMany {
+		t.Errorf("mixed: %+v hasText=%v", m.Children, m.HasText)
+	}
+	// EMPTY and ANY.
+	m = simplifyOne(t, `<!ELEMENT x EMPTY>`)
+	if m.HasText || len(m.Children) != 0 {
+		t.Errorf("EMPTY: %+v", m)
+	}
+	m = simplifyOne(t, `<!ELEMENT x ANY>`)
+	if !m.Any {
+		t.Errorf("ANY: %+v", m)
+	}
+}
+
+func TestGraphSharingAnalysis(t *testing.T) {
+	d, err := Parse(`
+<!ELEMENT root (single, multi*, shared1, other)>
+<!ELEMENT single (#PCDATA)>
+<!ELEMENT multi (shared1)>
+<!ELEMENT shared1 (#PCDATA)>
+<!ELEMENT other (single2?)>
+<!ELEMENT single2 (#PCDATA)>
+`, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildGraph(d)
+	shared := g.SharedElements()
+	var got []string
+	for name, ok := range shared {
+		if ok {
+			got = append(got, name)
+		}
+	}
+	sort.Strings(got)
+	// root (root), multi (set-valued), shared1 (multi-parent + setvalued
+	// path? shared1 is child of root and multi -> two parents).
+	want := []string{"multi", "root", "shared1"}
+	if len(got) != len(want) {
+		t.Fatalf("shared = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shared = %v, want %v", got, want)
+		}
+	}
+	if g.Recursive["root"] || g.Recursive["multi"] {
+		t.Error("no recursion expected")
+	}
+}
+
+func TestGraphRecursionDetection(t *testing.T) {
+	d, err := Parse(`
+<!ELEMENT assembly (part)>
+<!ELEMENT part (partname, part*)>
+<!ELEMENT partname (#PCDATA)>
+`, "assembly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildGraph(d)
+	if !g.Recursive["part"] {
+		t.Error("part must be recursive")
+	}
+	if g.Recursive["assembly"] || g.Recursive["partname"] {
+		t.Error("assembly/partname wrongly recursive")
+	}
+	if !g.SharedElements()["part"] {
+		t.Error("recursive element must be shared")
+	}
+	// Mutual recursion.
+	d2, err := Parse(`
+<!ELEMENT a (b?)>
+<!ELEMENT b (a?)>
+`, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := BuildGraph(d2)
+	if !g2.Recursive["a"] || !g2.Recursive["b"] {
+		t.Error("mutual recursion not detected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`<!ELEMENT x`,
+		`<!ELEMENT x (a`,
+		`<!ELEMENT x (a, b | c)>`,
+		`<!ATTLIST x a BADTYPE #IMPLIED>`,
+		`<!ELEMENT x NONSENSE>`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src, ""); err == nil {
+			t.Errorf("parse %q: expected error", src)
+		}
+	}
+}

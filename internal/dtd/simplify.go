@@ -1,0 +1,239 @@
+package dtd
+
+import "sort"
+
+// Card is the simplified cardinality of a child in a parent's content:
+// exactly one, at most one, or any number. '+' collapses to '*' per the
+// "be less specific" rule.
+type Card byte
+
+// Cardinalities.
+const (
+	CardOne  Card = '1'
+	CardOpt  Card = '?'
+	CardMany Card = '*'
+)
+
+// ChildRef is one (child element, cardinality) pair of a simplified
+// content model.
+type ChildRef struct {
+	Name string
+	Card Card
+}
+
+// SimpleModel is the flattened content model of one element after the
+// Shanmugasundaram simplification rules:
+//
+//	(e1, e2)* -> e1*, e2*      (e1, e2)? -> e1?, e2?
+//	(e1 | e2) -> e1?, e2?      e** -> e*   e*? -> e*   e?? -> e?
+//	e+ -> e*                   ..., a*, ..., a*, ... -> a*, ...
+type SimpleModel struct {
+	Children []ChildRef
+	// HasText is true when the model contains #PCDATA or is ANY.
+	HasText bool
+	// Any is true for declared-ANY elements (all children possible).
+	Any bool
+}
+
+// Simplify flattens an element's content model. Because the rules ignore
+// order and generalize quantifiers, the result is a set of per-child
+// cardinalities: the strongest that holds for every occurrence position.
+func Simplify(m Content) *SimpleModel {
+	out := &SimpleModel{}
+	cards := map[string]Card{}
+	var order []string
+	// combine merges a child occurrence under quantifier q into the map.
+	// Repeated mention of the same child forces '*' (the dedup rule).
+	combine := func(name string, q Card) {
+		if prev, ok := cards[name]; ok {
+			_ = prev
+			cards[name] = CardMany
+			return
+		}
+		cards[name] = q
+		order = append(order, name)
+	}
+	var walk func(c Content, q Card)
+	walk = func(c Content, q Card) {
+		switch c := c.(type) {
+		case nil:
+		case *Empty:
+		case *Any:
+			out.Any = true
+			out.HasText = true
+		case *PCData:
+			out.HasText = true
+		case *Name:
+			combine(c.Elem, q)
+		case *Seq:
+			for _, it := range c.Items {
+				walk(it, q)
+			}
+		case *Choice:
+			// Choice members become optional (or stay many).
+			cq := CardOpt
+			if q == CardMany {
+				cq = CardMany
+			}
+			for _, it := range c.Items {
+				walk(it, cq)
+			}
+		case *Repeat:
+			switch c.Op {
+			case '?':
+				cq := CardOpt
+				if q == CardMany {
+					cq = CardMany
+				}
+				walk(c.Item, cq)
+			case '*', '+':
+				walk(c.Item, CardMany)
+			}
+		}
+	}
+	walk(m, CardOne)
+	for _, name := range order {
+		out.Children = append(out.Children, ChildRef{Name: name, Card: cards[name]})
+	}
+	return out
+}
+
+// Graph is the element graph of a DTD: nodes are element names, edges
+// are simplified parent->child references.
+type Graph struct {
+	DTD    *DTD
+	Models map[string]*SimpleModel
+	// Parents maps a child element to its distinct parent elements.
+	Parents map[string][]string
+	// SetValued marks elements reached by at least one '*' edge.
+	SetValued map[string]bool
+	// Recursive marks elements on a cycle.
+	Recursive map[string]bool
+}
+
+// BuildGraph simplifies every content model and analyzes sharing and
+// recursion. ANY elements contribute edges to every declared element.
+func BuildGraph(d *DTD) *Graph {
+	g := &Graph{
+		DTD:       d,
+		Models:    map[string]*SimpleModel{},
+		Parents:   map[string][]string{},
+		SetValued: map[string]bool{},
+		Recursive: map[string]bool{},
+	}
+	for _, name := range d.Order {
+		decl := d.Elements[name]
+		m := Simplify(decl.Model)
+		if m.Any {
+			// ANY: every declared element is an optional repeated child.
+			m.Children = nil
+			for _, c := range d.Order {
+				m.Children = append(m.Children, ChildRef{Name: c, Card: CardMany})
+			}
+		}
+		g.Models[name] = m
+	}
+	for _, parent := range d.Order {
+		seen := map[string]bool{}
+		for _, ch := range g.Models[parent].Children {
+			if _, declared := d.Elements[ch.Name]; !declared {
+				continue
+			}
+			if ch.Card == CardMany {
+				g.SetValued[ch.Name] = true
+			}
+			if !seen[ch.Name] {
+				g.Parents[ch.Name] = append(g.Parents[ch.Name], parent)
+				seen[ch.Name] = true
+			}
+		}
+	}
+	for p := range g.Parents {
+		sort.Strings(g.Parents[p])
+	}
+	g.findCycles()
+	return g
+}
+
+// findCycles marks every element that participates in a cycle of the
+// element graph (mutual or self recursion), using Tarjan's SCC.
+func (g *Graph) findCycles() {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	counter := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		selfLoop := false
+		for _, ch := range g.Models[v].Children {
+			w := ch.Name
+			if _, declared := g.DTD.Elements[w]; !declared {
+				continue
+			}
+			if w == v {
+				selfLoop = true
+			}
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 || selfLoop {
+				for _, w := range scc {
+					g.Recursive[w] = true
+				}
+			}
+		}
+	}
+	for _, v := range g.DTD.Order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+}
+
+// SharedElements returns the elements that must get their own relation
+// under shared inlining: the root, set-valued elements, elements with
+// multiple distinct parents, recursive elements, and unreachable
+// elements (treated as potential roots).
+func (g *Graph) SharedElements() map[string]bool {
+	shared := map[string]bool{}
+	if g.DTD.Root != "" {
+		shared[g.DTD.Root] = true
+	}
+	for _, name := range g.DTD.Order {
+		switch {
+		case g.SetValued[name]:
+			shared[name] = true
+		case len(g.Parents[name]) >= 2:
+			shared[name] = true
+		case g.Recursive[name]:
+			shared[name] = true
+		case len(g.Parents[name]) == 0:
+			shared[name] = true
+		}
+	}
+	return shared
+}

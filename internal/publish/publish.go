@@ -1,0 +1,90 @@
+// Package publish turns relational query results back into XML — the
+// retrieval half of the paper's pipeline. It renders whole stored
+// documents (via a scheme's Reconstruct) and wraps query result sets as
+// XML fragments, the shape SQL/X-style publishing produces.
+package publish
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/shred"
+	"repro/internal/sqldb"
+	"repro/internal/xmldom"
+	"repro/internal/xpath"
+)
+
+// Document publishes the full stored document as XML text.
+func Document(w io.Writer, db *sqldb.Database, s shred.Scheme) error {
+	doc, err := s.Reconstruct(db)
+	if err != nil {
+		return err
+	}
+	return xmldom.Serialize(w, doc.Root)
+}
+
+// ResultSet wraps a translated query's (id, val) rows in a <results>
+// envelope:
+//
+//	<results query="..."><match id="..."> value </match>...</results>
+func ResultSet(w io.Writer, db *sqldb.Database, s shred.Scheme, query string) error {
+	rows, err := shred.Query(db, s, query)
+	if err != nil {
+		return err
+	}
+	env := &xmldom.Node{Kind: xmldom.ElementNode, Name: "results"}
+	qa := &xmldom.Node{Kind: xmldom.AttributeNode, Name: "query", Value: query, Parent: env}
+	env.Attrs = append(env.Attrs, qa)
+	for _, r := range rows.Data {
+		m := &xmldom.Node{Kind: xmldom.ElementNode, Name: "match", Parent: env}
+		ida := &xmldom.Node{Kind: xmldom.AttributeNode, Name: "id", Value: r[0].Text(), Parent: m}
+		m.Attrs = append(m.Attrs, ida)
+		if len(r) > 1 && !r[1].IsNull() {
+			m.Children = append(m.Children, &xmldom.Node{Kind: xmldom.TextNode, Value: r[1].Text(), Parent: m})
+		}
+		env.Children = append(env.Children, m)
+	}
+	return xmldom.Serialize(w, env)
+}
+
+// Subtrees publishes the full subtree of every node a query matches, by
+// reconstructing the document once and serializing the matched nodes.
+// This is the "reconstruct the answers, not just their ids" mode the
+// tutorial's publishing discussion calls out as the expensive case.
+func Subtrees(w io.Writer, db *sqldb.Database, s shred.Scheme, query string) error {
+	doc, err := s.Reconstruct(db)
+	if err != nil {
+		return err
+	}
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return err
+	}
+	nodes := xpath.Eval(doc, p)
+	for i, n := range nodes {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := xmldom.Serialize(w, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fragment renders one reconstructed subtree by node id (Edge, Binary,
+// Interval and Dewey ids are pre-order ranks; Inline is unsupported).
+func Fragment(w io.Writer, db *sqldb.Database, s shred.Scheme, id int64) error {
+	doc, err := s.Reconstruct(db)
+	if err != nil {
+		return err
+	}
+	for _, n := range doc.Nodes() {
+		if int64(n.Pre) == id {
+			return xmldom.Serialize(w, n)
+		}
+	}
+	return fmt.Errorf("publish: no node with id %d", id)
+}

@@ -1,0 +1,313 @@
+package shred
+
+import (
+	"sort"
+
+	"repro/internal/sqldb"
+	"repro/internal/translate"
+	"repro/internal/xmldom"
+	"repro/internal/xpath"
+)
+
+// Edge is the Florescu-Kossmann edge mapping: one relation holding
+// every parent-child edge of the document graph.
+//
+//	edge(source, ordinal, name, kind, target, value)
+//
+// Child steps are self-joins; descendant steps expand into bounded
+// unions of join chains (the scheme has no structural index), which is
+// the cost experiment F2 measures against the interval encoding.
+type Edge struct {
+	// maxDepth is remembered from the loaded document and bounds the
+	// descendant expansion.
+	maxDepth int
+	// valueIndex requests an additional (name, value) index at Setup,
+	// the F5 ablation toggle.
+	valueIndex bool
+	// catalog records observed label paths; UseCatalog switches the
+	// descendant translation to catalog-driven expansion (ablation A1).
+	catalog    *translate.PathCatalog
+	useCatalog bool
+}
+
+// NewEdge returns an Edge scheme. withValueIndex adds the (name, value)
+// index used by the F5 ablation.
+func NewEdge(withValueIndex bool) *Edge {
+	return &Edge{maxDepth: 16, valueIndex: withValueIndex, catalog: translate.NewPathCatalog()}
+}
+
+// UseCatalog toggles catalog-driven descendant expansion (ablation A1):
+// `//x` unions only the label chains observed in the data instead of
+// blind wildcard chains of every depth.
+func (e *Edge) UseCatalog(on bool) { e.useCatalog = on }
+
+// Name implements Scheme.
+func (e *Edge) Name() string { return "edge" }
+
+// Setup implements Scheme.
+func (e *Edge) Setup(db *sqldb.Database) error {
+	stmts := []string{
+		`CREATE TABLE edge (
+			source INTEGER NOT NULL,
+			ordinal INTEGER NOT NULL,
+			name TEXT,
+			kind TEXT NOT NULL,
+			target INTEGER NOT NULL PRIMARY KEY,
+			value TEXT
+		)`,
+		`CREATE INDEX edge_source ON edge (source, ordinal)`,
+		`CREATE INDEX edge_name ON edge (name)`,
+	}
+	if e.valueIndex {
+		stmts = append(stmts, `CREATE INDEX edge_name_value ON edge (name, value)`)
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements Scheme.
+func (e *Edge) Load(db *sqldb.Database, doc *xmldom.Document) error {
+	doc.Number()
+	if d := doc.MaxDepth(); d > 0 {
+		e.maxDepth = d
+	}
+	b := newBatcher(db, "edge")
+	for _, n := range doc.Nodes() {
+		if n.Kind == xmldom.DocumentNode {
+			continue
+		}
+		e.catalog.Add(catalogPath(n))
+		row := []sqldb.Value{
+			sqldb.NewInt(int64(n.Parent.Pre)),
+			sqldb.NewInt(int64(globalOrdinal(n))),
+			nodeName(n),
+			sqldb.NewText(n.Kind.String()),
+			sqldb.NewInt(int64(n.Pre)),
+			nodeValue(n),
+		}
+		if err := b.add(row); err != nil {
+			return err
+		}
+	}
+	return b.flush()
+}
+
+// Translate implements Scheme.
+func (e *Edge) Translate(q *xpath.Path) (string, error) {
+	opt := translate.EdgeOptions{Table: "edge", MaxDepth: e.maxDepth}
+	if e.useCatalog {
+		opt.Catalog = e.catalog
+	}
+	return translate.Edge(q, opt)
+}
+
+// catalogPath renders a node's label path in catalog form
+// ("site/people/person/@id").
+func catalogPath(n *xmldom.Node) string {
+	var segs []string
+	for m := n; m != nil && m.Kind != xmldom.DocumentNode; m = m.Parent {
+		switch m.Kind {
+		case xmldom.ElementNode:
+			segs = append(segs, m.Name)
+		case xmldom.AttributeNode:
+			segs = append(segs, "@"+m.Name)
+		case xmldom.TextNode:
+			segs = append(segs, "#text")
+		case xmldom.CommentNode:
+			segs = append(segs, "#comment")
+		case xmldom.ProcInstNode:
+			segs = append(segs, "#pi")
+		}
+	}
+	var b []byte
+	for i := len(segs) - 1; i >= 0; i-- {
+		if len(b) > 0 {
+			b = append(b, '/')
+		}
+		b = append(b, segs[i]...)
+	}
+	return string(b)
+}
+
+// Reconstruct implements Scheme.
+func (e *Edge) Reconstruct(db *sqldb.Database) (*xmldom.Document, error) {
+	rows, err := db.Query(`SELECT source, ordinal, name, kind, target, value FROM edge`)
+	if err != nil {
+		return nil, err
+	}
+	type edgeRow struct {
+		source, ordinal, target int64
+		name, kind, value       string
+		hasValue                bool
+	}
+	bySource := map[int64][]edgeRow{}
+	for _, r := range rows.Data {
+		er := edgeRow{
+			source:   r[0].Int(),
+			ordinal:  r[1].Int(),
+			name:     r[2].Text(),
+			kind:     r[3].Text(),
+			target:   r[4].Int(),
+			value:    r[5].Text(),
+			hasValue: !r[5].IsNull(),
+		}
+		bySource[er.source] = append(bySource[er.source], er)
+	}
+	for k := range bySource {
+		rs := bySource[k]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].ordinal < rs[j].ordinal })
+	}
+	doc := &xmldom.Document{Root: &xmldom.Node{Kind: xmldom.DocumentNode}}
+	var build func(parent *xmldom.Node, id int64) error
+	build = func(parent *xmldom.Node, id int64) error {
+		for _, er := range bySource[id] {
+			switch er.kind {
+			case "attr":
+				a := &xmldom.Node{Kind: xmldom.AttributeNode, Name: er.name, Value: er.value, Parent: parent}
+				parent.Attrs = append(parent.Attrs, a)
+			case "elem":
+				el := &xmldom.Node{Kind: xmldom.ElementNode, Name: er.name, Parent: parent}
+				parent.Children = append(parent.Children, el)
+				if err := build(el, er.target); err != nil {
+					return err
+				}
+			case "text":
+				t := &xmldom.Node{Kind: xmldom.TextNode, Value: er.value, Parent: parent}
+				parent.Children = append(parent.Children, t)
+			case "comment":
+				c := &xmldom.Node{Kind: xmldom.CommentNode, Value: er.value, Parent: parent}
+				parent.Children = append(parent.Children, c)
+			case "pi":
+				p := &xmldom.Node{Kind: xmldom.ProcInstNode, Name: er.name, Value: er.value, Parent: parent}
+				parent.Children = append(parent.Children, p)
+			default:
+				return errScheme("edge", "unknown edge kind %q", er.kind)
+			}
+		}
+		return nil
+	}
+	if err := build(doc.Root, 0); err != nil {
+		return nil, err
+	}
+	if doc.RootElement() == nil {
+		return nil, errScheme("edge", "no root element stored")
+	}
+	doc.Number()
+	return doc, nil
+}
+
+// InsertSubtree implements Scheme: following siblings' ordinals shift by
+// one (a local update), then the subtree's edges are appended with fresh
+// node ids.
+func (e *Edge) InsertSubtree(db *sqldb.Database, parentID int64, position int, subtree *xmldom.Node) error {
+	nAttrs, err := db.QueryScalar(`SELECT COUNT(*) FROM edge WHERE source = ? AND kind = 'attr'`, sqldb.NewInt(parentID))
+	if err != nil {
+		return err
+	}
+	ordinal := nAttrs.Int() + int64(position) + 1
+	if _, err := db.Exec(`UPDATE edge SET ordinal = ordinal + 1 WHERE source = ? AND ordinal >= ?`,
+		sqldb.NewInt(parentID), sqldb.NewInt(ordinal)); err != nil {
+		return err
+	}
+	maxID, err := db.QueryScalar(`SELECT MAX(target) FROM edge`)
+	if err != nil {
+		return err
+	}
+	nextID := maxID.Int() + 1
+
+	// Keep the path catalog complete so catalog-driven descendant
+	// expansion (ablation A1) stays exact after updates.
+	parentPath, err := e.storedLabelPath(db, parentID)
+	if err != nil {
+		return err
+	}
+
+	b := newBatcher(db, "edge")
+	var insert func(n *xmldom.Node, source, ordinal int64, path string) error
+	insert = func(n *xmldom.Node, source, ordinal int64, path string) error {
+		id := nextID
+		nextID++
+		seg := nodeSegment(n)
+		childPath := seg
+		if path != "" {
+			childPath = path + "/" + seg
+		}
+		e.catalog.Add(childPath)
+		row := []sqldb.Value{
+			sqldb.NewInt(source),
+			sqldb.NewInt(ordinal),
+			nodeName(n),
+			sqldb.NewText(n.Kind.String()),
+			sqldb.NewInt(id),
+			nodeValue(n),
+		}
+		if err := b.add(row); err != nil {
+			return err
+		}
+		ord := int64(1)
+		for _, a := range n.Attrs {
+			if err := insert(a, id, ord, childPath); err != nil {
+				return err
+			}
+			ord++
+		}
+		for _, c := range n.Children {
+			if err := insert(c, id, ord, childPath); err != nil {
+				return err
+			}
+			ord++
+		}
+		return nil
+	}
+	if err := insert(subtree, parentID, ordinal, parentPath); err != nil {
+		return err
+	}
+	return b.flush()
+}
+
+// nodeSegment is the catalog segment for one node.
+func nodeSegment(n *xmldom.Node) string {
+	switch n.Kind {
+	case xmldom.ElementNode:
+		return n.Name
+	case xmldom.AttributeNode:
+		return "@" + n.Name
+	case xmldom.TextNode:
+		return "#text"
+	case xmldom.CommentNode:
+		return "#comment"
+	case xmldom.ProcInstNode:
+		return "#pi"
+	}
+	return "#node"
+}
+
+// storedLabelPath walks parent links in the edge table to recover the
+// label path of a stored element.
+func (e *Edge) storedLabelPath(db *sqldb.Database, id int64) (string, error) {
+	var segs []string
+	cur := id
+	for cur != 0 {
+		rows, err := db.Query(`SELECT source, name FROM edge WHERE target = ?`, sqldb.NewInt(cur))
+		if err != nil {
+			return "", err
+		}
+		if rows.Len() == 0 {
+			return "", errScheme("edge", "no node with id %d", cur)
+		}
+		segs = append([]string{rows.Data[0][1].Text()}, segs...)
+		cur = rows.Data[0][0].Int()
+	}
+	out := ""
+	for i, s := range segs {
+		if i > 0 {
+			out += "/"
+		}
+		out += s
+	}
+	return out, nil
+}

@@ -1,0 +1,269 @@
+package shred
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqldb"
+	"repro/internal/xmldom"
+	"repro/internal/xmlgen"
+)
+
+const unitDoc = `<r a="1"><x><y>hello</y><y>world</y></x><z/>text<w b="2">mixed<v/>tail</w></r>`
+
+func loadUnit(t *testing.T, s Scheme) *sqldb.Database {
+	t.Helper()
+	doc, err := xmldom.ParseString(unitDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadDocument(s, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestEdgeTableLayout(t *testing.T) {
+	db := loadUnit(t, NewEdge(false))
+	// One edge per non-document node.
+	doc, _ := xmldom.ParseString(unitDoc)
+	n, _ := db.QueryScalar(`SELECT COUNT(*) FROM edge`)
+	if int(n.Int()) != doc.NodeCount()-1 {
+		t.Fatalf("edges = %d, nodes-1 = %d", n.Int(), doc.NodeCount()-1)
+	}
+	// Root element hangs off source 0.
+	rows, err := db.Query(`SELECT name, kind FROM edge WHERE source = 0`)
+	if err != nil || rows.Len() != 1 || rows.Data[0][0].Text() != "r" {
+		t.Fatalf("root edge: %v %v", rows, err)
+	}
+	// Simple-content elements carry their text in the value column.
+	v, _ := db.QueryScalar(`SELECT value FROM edge WHERE name = 'y' AND kind = 'elem' AND value = 'hello'`)
+	if v.Text() != "hello" {
+		t.Errorf("denormalized value missing: %v", v)
+	}
+	// Mixed-content elements do not (w has element children).
+	rows, _ = db.Query(`SELECT value FROM edge WHERE name = 'w' AND kind = 'elem'`)
+	if rows.Len() != 1 || !rows.Data[0][0].IsNull() {
+		t.Errorf("mixed content should have NULL value: %v", rows.Data)
+	}
+	// Attribute edges keep kind = 'attr' and their value.
+	v, _ = db.QueryScalar(`SELECT value FROM edge WHERE kind = 'attr' AND name = 'a'`)
+	if v.Text() != "1" {
+		t.Errorf("attr value: %v", v)
+	}
+	// Ordinals: attributes precede children.
+	rows, _ = db.Query(`SELECT kind, ordinal FROM edge WHERE source = (SELECT target FROM edge WHERE name = 'r') ORDER BY ordinal`)
+	if rows.Data[0][0].Text() != "attr" || rows.Data[0][1].Int() != 1 {
+		t.Errorf("attr must be ordinal 1: %v", rows.Data)
+	}
+}
+
+func TestIntervalRegionInvariants(t *testing.T) {
+	db := loadUnit(t, NewInterval(false))
+	// Every non-root node's pre lies inside its parent's region and one
+	// level below — checked in SQL itself.
+	bad, err := db.QueryScalar(`
+		SELECT COUNT(*) FROM accel c, accel p
+		WHERE c.parent = p.pre
+		  AND (c.pre <= p.pre OR c.pre > p.pre + p.size OR c.level <> p.level + 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Int() != 0 {
+		t.Fatalf("%d region violations", bad.Int())
+	}
+	// Sizes are consistent: parent size = sum of (child size + 1).
+	bad, err = db.QueryScalar(`
+		SELECT COUNT(*) FROM accel p
+		WHERE p.kind = 'elem'
+		  AND p.size <> (SELECT COALESCE(SUM(c.size + 1), 0) FROM accel c WHERE c.parent = p.pre)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Int() != 0 {
+		t.Fatalf("%d size violations", bad.Int())
+	}
+}
+
+func TestDeweyPathOrderIsDocumentOrder(t *testing.T) {
+	db := loadUnit(t, NewDewey(false))
+	// Lexicographic path order must equal pre order for the loaded doc.
+	rows, err := db.Query(`SELECT pre FROM dewey ORDER BY path`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := int64(0)
+	for _, r := range rows.Data {
+		if r[0].Int() <= last && last != 0 {
+			t.Fatalf("path order diverges from document order at pre %d", r[0].Int())
+		}
+		last = r[0].Int()
+	}
+	// Parent paths are proper prefixes.
+	bad, err := db.QueryScalar(`
+		SELECT COUNT(*) FROM dewey c
+		WHERE c.parent IS NOT NULL AND NOT (c.path LIKE c.parent || '.%')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Int() != 0 {
+		t.Fatalf("%d prefix violations", bad.Int())
+	}
+}
+
+func TestBinaryPartitionNaming(t *testing.T) {
+	// Labels that sanitize to the same identifier must get distinct
+	// partitions, and element vs attribute namespaces must not collide.
+	doc, err := xmldom.ParseString(`<r><a-b>1</a-b><a.b>2</a.b><c x="y"/><x>3</x></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewBinary(false)
+	db, err := LoadDocument(s, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := db.TableNames()
+	set := map[string]bool{}
+	for _, n := range names {
+		if set[n] {
+			t.Fatalf("duplicate table %s", n)
+		}
+		set[n] = true
+	}
+	// a-b and a.b both sanitize to a_b: one must have a suffix.
+	ids, err := QueryIDs(db, s, `/r/a-b`)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("a-b: %v %v", ids, err)
+	}
+	// Element <x> and attribute @x live in different partitions.
+	ids, err = QueryIDs(db, s, `/r/x`)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("element x: %v %v", ids, err)
+	}
+	ids, err = QueryIDs(db, s, `/r/c/@x`)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("attr x: %v %v", ids, err)
+	}
+	// Round trip through partitions.
+	rec, err := s.Reconstruct(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xmldom.SerializeString(rec.Root) != xmldom.SerializeString(doc.Root) {
+		t.Error("binary round trip with colliding labels failed")
+	}
+}
+
+func TestUniversalRejectsRecursion(t *testing.T) {
+	doc := xmlgen.Recursive(4, 2, 1)
+	_, err := LoadDocument(NewUniversal(), doc)
+	if err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("expected recursion rejection, got %v", err)
+	}
+}
+
+func TestUniversalColumnCollisions(t *testing.T) {
+	doc, err := xmldom.ParseString(`<r><a-b>1</a-b><a_b>2</a_b></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewUniversal()
+	db, err := LoadDocument(s, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := QueryIDs(db, s, `/r/a-b`)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("a-b: %v %v", ids, err)
+	}
+	ids, err = QueryIDs(db, s, `/r/a_b`)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("a_b: %v %v", ids, err)
+	}
+}
+
+func TestInlineRejectsNonConforming(t *testing.T) {
+	inline, err := NewInline(`
+<!ELEMENT root (item*)>
+<!ELEMENT item (name)>
+<!ELEMENT name (#PCDATA)>
+`, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		doc  string
+		frag string
+	}{
+		{`<other/>`, "does not match DTD root"},
+		{`<root><item><name>x</name><bogus/></item></root>`, "not declared"},
+		{`<root><item><name>x</name><name>y</name></item></root>`, "more than once"},
+		{`<root><item badattr="1"><name>x</name></item></root>`, "not declared"},
+	}
+	for _, c := range cases {
+		fresh, _ := NewInline(`
+<!ELEMENT root (item*)>
+<!ELEMENT item (name)>
+<!ELEMENT name (#PCDATA)>
+`, "root")
+		doc, err := xmldom.ParseString(c.doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = LoadDocument(fresh, doc)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: expected error mentioning %q, got %v", c.doc, c.frag, err)
+		}
+	}
+	_ = inline
+}
+
+func TestInlineRecursiveDocuments(t *testing.T) {
+	// Recursive DTDs work: each part row self-references via parentid.
+	s, err := NewInline(xmlgen.RecursiveDTD, "assembly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmlgen.Recursive(4, 2, 1)
+	db, err := LoadDocument(s, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Document-rooted descendant over the recursive element is exact.
+	wantParts := 0
+	for _, n := range doc.Nodes() {
+		if n.Kind == xmldom.ElementNode && n.Name == "part" {
+			wantParts++
+		}
+	}
+	rows, err := Query(db, s, `//part`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != wantParts {
+		t.Errorf("//part = %d, want %d", rows.Len(), wantParts)
+	}
+	rows, err = Query(db, s, `//partname`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != wantParts {
+		t.Errorf("//partname = %d, want %d", rows.Len(), wantParts)
+	}
+}
+
+func TestSchemeErrorOnBadParent(t *testing.T) {
+	doc, _ := xmldom.ParseString(`<r><a/></r>`)
+	frag, _ := xmldom.ParseString(`<new/>`)
+	for _, s := range []Scheme{NewInterval(false), NewDewey(false)} {
+		db, err := LoadDocument(s, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.InsertSubtree(db, 99999, 0, frag.RootElement().Copy()); err == nil {
+			t.Errorf("%s: bogus parent id accepted", s.Name())
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package sqldb
+
+// AST node definitions for the SQL subset. The parser produces these; the
+// planner compiles them into iterator trees.
+
+// Stmt is any parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// CreateTableStmt is CREATE TABLE.
+type CreateTableStmt struct {
+	Def TableDef
+}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX name ON table (cols...).
+type CreateIndexStmt struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+// DropTableStmt is DROP TABLE.
+type DropTableStmt struct{ Name string }
+
+// DropIndexStmt is DROP INDEX.
+type DropIndexStmt struct{ Name string }
+
+// InsertStmt is INSERT INTO table [(cols)] VALUES (...),(...) or
+// INSERT INTO table [(cols)] SELECT ...
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Select  *SelectStmt
+}
+
+// DeleteStmt is DELETE FROM table [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// UpdateStmt is UPDATE table SET col = expr, ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Sets  []SetClause
+	Where Expr
+}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// SelectStmt is a (possibly UNION ALL-chained) SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr
+	Offset   Expr
+	// UnionAll chains the next SELECT in a UNION ALL sequence.
+	UnionAll *SelectStmt
+}
+
+// SelectItem is one projection: an expression with optional alias, or a
+// star (optionally qualified: t.*).
+type SelectItem struct {
+	Expr      Expr
+	Alias     string
+	Star      bool
+	StarTable string
+}
+
+// FromItem is one source in the FROM clause: a base table or a derived
+// table (subquery), with an optional alias, plus how it joins to the
+// preceding items.
+type FromItem struct {
+	Table string
+	Sub   *SelectStmt
+	Alias string
+	// JoinKind is "" for the first item or comma-joins, "INNER" or
+	// "LEFT" for explicit JOIN syntax. On holds the ON condition.
+	JoinKind string
+	On       Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*DropIndexStmt) stmt()   {}
+func (*InsertStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*SelectStmt) stmt()      {}
+
+// Expr is any scalar expression.
+type Expr interface{ expr() }
+
+// ColumnRef names a column, optionally qualified by table alias.
+type ColumnRef struct {
+	Table string
+	Name  string
+}
+
+// Literal is a constant value.
+type Literal struct{ Val Value }
+
+// Param is a ? placeholder, numbered left to right from 0.
+type Param struct{ Idx int }
+
+// UnaryExpr is -x or NOT x.
+type UnaryExpr struct {
+	Op string // "-", "NOT"
+	X  Expr
+}
+
+// BinaryExpr covers arithmetic, comparison, logical and string operators:
+// + - * / % = <> < <= > >= AND OR ||.
+type BinaryExpr struct {
+	Op string
+	L  Expr
+	R  Expr
+}
+
+// LikeExpr is x [NOT] LIKE pattern [ESCAPE e].
+type LikeExpr struct {
+	X       Expr
+	Pattern Expr
+	Escape  Expr
+	Not     bool
+}
+
+// InExpr is x [NOT] IN (list) or x [NOT] IN (subquery).
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Sub  *SelectStmt
+	Not  bool
+}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Sub *SelectStmt
+	Not bool
+}
+
+// BetweenExpr is x [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	X   Expr
+	Lo  Expr
+	Hi  Expr
+	Not bool
+}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr
+	Whens   []CaseWhen
+	Else    Expr
+}
+
+// CaseWhen is one WHEN/THEN arm.
+type CaseWhen struct {
+	Cond   Expr
+	Result Expr
+}
+
+// FuncExpr is a function or aggregate call. Star marks COUNT(*).
+type FuncExpr struct {
+	Name     string // uppercased
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+// CastExpr is CAST(x AS type).
+type CastExpr struct {
+	X  Expr
+	To Type
+}
+
+// SubqueryExpr is a scalar subquery: (SELECT ...) used as a value.
+type SubqueryExpr struct{ Sub *SelectStmt }
+
+func (*ColumnRef) expr()    {}
+func (*Literal) expr()      {}
+func (*Param) expr()        {}
+func (*UnaryExpr) expr()    {}
+func (*BinaryExpr) expr()   {}
+func (*LikeExpr) expr()     {}
+func (*InExpr) expr()       {}
+func (*ExistsExpr) expr()   {}
+func (*BetweenExpr) expr()  {}
+func (*IsNullExpr) expr()   {}
+func (*CaseExpr) expr()     {}
+func (*FuncExpr) expr()     {}
+func (*CastExpr) expr()     {}
+func (*SubqueryExpr) expr() {}

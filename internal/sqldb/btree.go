@@ -1,0 +1,355 @@
+package sqldb
+
+// B+tree index over composite Value keys. Entries are (key, rowid) pairs;
+// rowid acts as a tiebreaker so duplicate keys are supported. Leaves are
+// chained for range scans, which is what the interval-encoding (pre/post)
+// and Dewey-prefix query translations depend on.
+
+const btreeOrder = 64 // max entries per node
+
+type btreeEntry struct {
+	key []Value
+	rid int64
+}
+
+type btreeNode struct {
+	leaf     bool
+	entries  []btreeEntry // in leaf: data; in inner: separator keys
+	children []*btreeNode // inner only; len = len(entries)+1
+	next     *btreeNode   // leaf chain
+}
+
+// btree is the index structure. Not safe for concurrent mutation; the
+// Database serializes writers.
+//
+// The tree maintains approximate distinct-prefix counts per key column
+// (distinct[L-1] = number of distinct L-column key prefixes). They are
+// maintained by comparing each inserted/deleted entry with its in-leaf
+// neighbors, which miscounts slightly at leaf boundaries — fine for the
+// planner's cardinality estimates, their only consumer.
+type btree struct {
+	root     *btreeNode
+	size     int
+	width    int
+	distinct []int
+}
+
+func newBtree() *btree {
+	return &btree{root: &btreeNode{leaf: true}}
+}
+
+// DistinctPrefix estimates the number of distinct L-column key prefixes.
+func (t *btree) DistinctPrefix(l int) int {
+	if l < 1 || l > len(t.distinct) {
+		return t.size
+	}
+	d := t.distinct[l-1]
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// compareKeys orders composite keys elementwise; a shorter key that is a
+// prefix of a longer one compares equal on the shared prefix, then the
+// shorter sorts first. rid breaks full-key ties.
+func compareKeys(a, b []Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareEntry(a btreeEntry, key []Value, rid int64) int {
+	if c := compareKeys(a.key, key); c != 0 {
+		return c
+	}
+	switch {
+	case a.rid < rid:
+		return -1
+	case a.rid > rid:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// lowerBound returns the first index i in n.entries with
+// compareEntry(entries[i], key, rid) >= 0.
+func (n *btreeNode) lowerBound(key []Value, rid int64) int {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareEntry(n.entries[mid], key, rid) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns the inner-node child to descend to for an exact
+// (key, rid). Separators are copies of their right subtree's first
+// entry, so an entry equal to a separator lives in the RIGHT child:
+// descend left of the first separator strictly greater than the key.
+func (n *btreeNode) childIndex(key []Value, rid int64) int {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareEntry(n.entries[mid], key, rid) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds (key, rid). Duplicate (key, rid) pairs are ignored.
+func (t *btree) Insert(key []Value, rid int64) {
+	newRoot := t.insertRec(t.root, key, rid)
+	if newRoot != nil {
+		t.root = newRoot
+	}
+}
+
+// insertRec inserts into the subtree at n and returns a new root if the
+// node split and n was the root, else nil. Splits propagate by having
+// the caller patch its child/entry slices via the returned promotion.
+func (t *btree) insertRec(n *btreeNode, key []Value, rid int64) *btreeNode {
+	promoted, right := t.insertInto(n, key, rid)
+	if right == nil {
+		return nil
+	}
+	root := &btreeNode{
+		leaf:     false,
+		entries:  []btreeEntry{promoted},
+		children: []*btreeNode{n, right},
+	}
+	return root
+}
+
+// insertInto performs the recursive insert. On split it returns the
+// promoted separator and the new right sibling.
+func (t *btree) insertInto(n *btreeNode, key []Value, rid int64) (btreeEntry, *btreeNode) {
+	if n.leaf {
+		i := n.lowerBound(key, rid)
+		if i < len(n.entries) && compareEntry(n.entries[i], key, rid) == 0 {
+			return btreeEntry{}, nil // duplicate
+		}
+		n.entries = append(n.entries, btreeEntry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = btreeEntry{key: key, rid: rid}
+		t.size++
+		t.countInsert(n, i, key)
+		if len(n.entries) <= btreeOrder {
+			return btreeEntry{}, nil
+		}
+		return n.splitLeaf()
+	}
+	i := n.childIndex(key, rid)
+	promoted, right := t.insertInto(n.children[i], key, rid)
+	if right == nil {
+		return btreeEntry{}, nil
+	}
+	n.entries = append(n.entries, btreeEntry{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = promoted
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+	if len(n.entries) <= btreeOrder {
+		return btreeEntry{}, nil
+	}
+	return n.splitInner()
+}
+
+func (n *btreeNode) splitLeaf() (btreeEntry, *btreeNode) {
+	mid := len(n.entries) / 2
+	right := &btreeNode{leaf: true}
+	right.entries = append(right.entries, n.entries[mid:]...)
+	n.entries = n.entries[:mid:mid]
+	right.next = n.next
+	n.next = right
+	// Leaf split promotes a copy of the right node's first entry.
+	return right.entries[0], right
+}
+
+func (n *btreeNode) splitInner() (btreeEntry, *btreeNode) {
+	mid := len(n.entries) / 2
+	promoted := n.entries[mid]
+	right := &btreeNode{leaf: false}
+	right.entries = append(right.entries, n.entries[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.entries = n.entries[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return promoted, right
+}
+
+// Delete removes (key, rid). Underfull nodes are tolerated (no rebalance);
+// the tree stays correct and scans skip empty leaves. Returns whether the
+// entry existed.
+func (t *btree) Delete(key []Value, rid int64) bool {
+	n := t.root
+	for !n.leaf {
+		i := n.childIndex(key, rid)
+		n = n.children[i]
+	}
+	i := n.lowerBound(key, rid)
+	if i >= len(n.entries) || compareEntry(n.entries[i], key, rid) != 0 {
+		return false
+	}
+	t.countDelete(n, i, key)
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	t.size--
+	return true
+}
+
+// countInsert updates distinct-prefix counts after placing key at
+// position i of leaf n.
+func (t *btree) countInsert(n *btreeNode, i int, key []Value) {
+	if t.width == 0 {
+		t.width = len(key)
+		t.distinct = make([]int, t.width)
+	}
+	for l := 1; l <= t.width && l <= len(key); l++ {
+		prefix := key[:l]
+		predSame := i > 0 && prefixCompare(n.entries[i-1].key, prefix) == 0
+		succSame := i+1 < len(n.entries) && prefixCompare(n.entries[i+1].key, prefix) == 0
+		if !predSame && !succSame {
+			t.distinct[l-1]++
+		}
+	}
+}
+
+// countDelete updates distinct-prefix counts before removing position i
+// of leaf n.
+func (t *btree) countDelete(n *btreeNode, i int, key []Value) {
+	for l := 1; l <= t.width && l <= len(key); l++ {
+		prefix := key[:l]
+		predSame := i > 0 && prefixCompare(n.entries[i-1].key, prefix) == 0
+		succSame := i+1 < len(n.entries) && prefixCompare(n.entries[i+1].key, prefix) == 0
+		if !predSame && !succSame && t.distinct[l-1] > 0 {
+			t.distinct[l-1]--
+		}
+	}
+}
+
+// Len returns the number of entries.
+func (t *btree) Len() int { return t.size }
+
+// btreeCursor walks leaf entries in key order.
+type btreeCursor struct {
+	node *btreeNode
+	pos  int
+}
+
+// seek positions the cursor at the first entry with key >= bound,
+// comparing only len(bound) key columns (prefix semantics). A nil bound
+// seeks to the first entry.
+func (t *btree) seek(bound []Value) btreeCursor {
+	n := t.root
+	if bound == nil {
+		for !n.leaf {
+			n = n.children[0]
+		}
+		return btreeCursor{node: n, pos: 0}
+	}
+	for !n.leaf {
+		i := prefixLowerBound(n.entries, bound)
+		n = n.children[i]
+	}
+	i := prefixLowerBound(n.entries, bound)
+	c := btreeCursor{node: n, pos: i}
+	c.skipEmpty()
+	return c
+}
+
+// seekAfter positions at the first entry with key prefix > bound.
+func (t *btree) seekAfter(bound []Value) btreeCursor {
+	n := t.root
+	for !n.leaf {
+		i := prefixUpperBound(n.entries, bound)
+		n = n.children[i]
+	}
+	i := prefixUpperBound(n.entries, bound)
+	c := btreeCursor{node: n, pos: i}
+	c.skipEmpty()
+	return c
+}
+
+// prefixCompare compares the first len(bound) columns of key to bound.
+func prefixCompare(key, bound []Value) int {
+	n := len(bound)
+	if len(key) < n {
+		n = len(key)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(key[i], bound[i]); c != 0 {
+			return c
+		}
+	}
+	if len(key) < len(bound) {
+		return -1
+	}
+	return 0
+}
+
+func prefixLowerBound(entries []btreeEntry, bound []Value) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if prefixCompare(entries[mid].key, bound) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func prefixUpperBound(entries []btreeEntry, bound []Value) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if prefixCompare(entries[mid].key, bound) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (c *btreeCursor) skipEmpty() {
+	for c.node != nil && c.pos >= len(c.node.entries) {
+		c.node = c.node.next
+		c.pos = 0
+	}
+}
+
+// valid reports whether the cursor points at an entry.
+func (c *btreeCursor) valid() bool { return c.node != nil && c.pos < len(c.node.entries) }
+
+// entry returns the current entry; caller must check valid first.
+func (c *btreeCursor) entry() btreeEntry { return c.node.entries[c.pos] }
+
+// advance moves to the next entry in key order.
+func (c *btreeCursor) advance() {
+	c.pos++
+	c.skipEmpty()
+}

@@ -1,0 +1,182 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func collectAll(t *btree) []btreeEntry {
+	var out []btreeEntry
+	c := t.seek(nil)
+	for c.valid() {
+		out = append(out, c.entry())
+		c.advance()
+	}
+	return out
+}
+
+func TestBtreeOrderedInsertScan(t *testing.T) {
+	tr := newBtree()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr.Insert([]Value{NewInt(int64(i))}, int64(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	got := collectAll(tr)
+	if len(got) != n {
+		t.Fatalf("scan yielded %d entries, want %d", len(got), n)
+	}
+	for i, e := range got {
+		if e.key[0].I != int64(i) {
+			t.Fatalf("entry %d has key %d", i, e.key[0].I)
+		}
+	}
+	if d := tr.DistinctPrefix(1); d != n {
+		t.Errorf("distinct = %d, want %d", d, n)
+	}
+}
+
+// TestBtreeEqualKeyDeleteReinsert is the regression for the separator
+// descent bug: with >64 equal keys (so leaves split), deleting and
+// re-inserting every (key, rid) must not duplicate or lose entries.
+// This is exactly what an UPDATE on a non-key column does to an index.
+func TestBtreeEqualKeyDeleteReinsert(t *testing.T) {
+	tr := newBtree()
+	const n = 300
+	key := []Value{NewText("same")}
+	for i := 0; i < n; i++ {
+		tr.Insert(key, int64(i))
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Delete(key, int64(i)) {
+			t.Fatalf("delete of rid %d failed", i)
+		}
+		tr.Insert(key, int64(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d after delete/reinsert cycle, want %d", tr.Len(), n)
+	}
+	got := collectAll(tr)
+	if len(got) != n {
+		t.Fatalf("scan yielded %d entries, want %d", len(got), n)
+	}
+	seen := map[int64]bool{}
+	for _, e := range got {
+		if seen[e.rid] {
+			t.Fatalf("duplicate rid %d in scan", e.rid)
+		}
+		seen[e.rid] = true
+	}
+	if d := tr.DistinctPrefix(1); d != 1 {
+		t.Errorf("distinct = %d, want 1", d)
+	}
+}
+
+func TestBtreeRangeScan(t *testing.T) {
+	tr := newBtree()
+	for i := 0; i < 500; i++ {
+		tr.Insert([]Value{NewInt(int64(i % 50)), NewInt(int64(i))}, int64(i))
+	}
+	// Prefix scan: all entries with first column 7.
+	c := tr.seek([]Value{NewInt(7)})
+	count := 0
+	for c.valid() {
+		e := c.entry()
+		if prefixCompare(e.key, []Value{NewInt(7)}) > 0 {
+			break
+		}
+		if e.key[0].I != 7 {
+			t.Fatalf("prefix scan hit key %v", e.key)
+		}
+		count++
+		c.advance()
+	}
+	if count != 10 {
+		t.Fatalf("prefix scan found %d entries, want 10", count)
+	}
+	// seekAfter: strictly greater than prefix 7.
+	c = tr.seekAfter([]Value{NewInt(7)})
+	if !c.valid() || c.entry().key[0].I != 8 {
+		t.Fatalf("seekAfter(7) landed on %v", c.entry().key)
+	}
+}
+
+// Property: the tree agrees with a reference sorted slice under random
+// interleaved inserts and deletes.
+func TestBtreeAgainstReferenceModel(t *testing.T) {
+	type op struct {
+		Key uint8
+		Rid uint8
+		Del bool
+	}
+	check := func(ops []op) bool {
+		tr := newBtree()
+		ref := map[string]bool{}
+		for _, o := range ops {
+			key := []Value{NewInt(int64(o.Key % 16))}
+			rid := int64(o.Rid % 32)
+			id := fmt.Sprintf("%d/%d", o.Key%16, rid)
+			if o.Del {
+				tr.Delete(key, rid)
+				delete(ref, id)
+			} else {
+				tr.Insert(key, rid)
+				ref[id] = true
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		got := collectAll(tr)
+		if len(got) != len(ref) {
+			return false
+		}
+		var want []string
+		for id := range ref {
+			want = append(want, id)
+		}
+		gotIDs := make([]string, len(got))
+		for i, e := range got {
+			gotIDs[i] = fmt.Sprintf("%d/%d", e.key[0].I, e.rid)
+		}
+		sort.Strings(want)
+		sorted := append([]string{}, gotIDs...)
+		sort.Strings(sorted)
+		for i := range want {
+			if want[i] != sorted[i] {
+				return false
+			}
+		}
+		// Scan order must be non-decreasing.
+		for i := 1; i < len(got); i++ {
+			if compareEntry(got[i-1], got[i].key, got[i].rid) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBtreeDistinctPrefixTracking(t *testing.T) {
+	tr := newBtree()
+	// 20 names × 5 values each.
+	for n := 0; n < 20; n++ {
+		for v := 0; v < 5; v++ {
+			tr.Insert([]Value{NewText(fmt.Sprintf("name%02d", n)), NewInt(int64(v))}, int64(n*5+v))
+		}
+	}
+	if d := tr.DistinctPrefix(1); d < 18 || d > 20 {
+		t.Errorf("distinct(1) = %d, want ~20", d)
+	}
+	if d := tr.DistinctPrefix(2); d < 95 || d > 100 {
+		t.Errorf("distinct(2) = %d, want ~100", d)
+	}
+}

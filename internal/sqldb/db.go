@@ -1,0 +1,554 @@
+package sqldb
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Database is an in-memory relational database. It is safe for
+// concurrent use: readers share an RLock, writers serialize.
+type Database struct {
+	mu      sync.RWMutex
+	tables  map[string]*table
+	indexes map[string]*IndexDef // index name -> def (table lookup)
+}
+
+// New creates an empty database.
+func New() *Database {
+	return &Database{
+		tables:  map[string]*table{},
+		indexes: map[string]*IndexDef{},
+	}
+}
+
+func (db *Database) table(name string) *table {
+	return db.tables[strings.ToLower(name)]
+}
+
+// Rows is a fully materialized query result.
+type Rows struct {
+	Columns []string
+	Data    [][]Value
+}
+
+// Len returns the number of result rows.
+func (r *Rows) Len() int { return len(r.Data) }
+
+// Exec runs a DDL or DML statement. It returns the number of affected
+// rows (0 for DDL). Args bind ? placeholders in order.
+func (db *Database) Exec(sql string, args ...Value) (int, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	return db.ExecStmt(stmt, args...)
+}
+
+// ExecStmt runs a pre-parsed statement.
+func (db *Database) ExecStmt(stmt Stmt, args ...Value) (int, error) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return 0, errorf("use Query for SELECT statements")
+	case *CreateTableStmt:
+		return 0, db.createTable(s)
+	case *CreateIndexStmt:
+		return 0, db.createIndex(s)
+	case *DropTableStmt:
+		return 0, db.dropTable(s.Name)
+	case *DropIndexStmt:
+		return 0, db.dropIndex(s.Name)
+	case *InsertStmt:
+		return db.execInsert(s, args)
+	case *DeleteStmt:
+		return db.execDelete(s, args)
+	case *UpdateStmt:
+		return db.execUpdate(s, args)
+	}
+	return 0, errorf("unsupported statement %T", stmt)
+}
+
+// MustExec is Exec that panics on error; intended for tests and setup.
+func (db *Database) MustExec(sql string, args ...Value) {
+	if _, err := db.Exec(sql, args...); err != nil {
+		panic(err)
+	}
+}
+
+// Query runs a SELECT and returns the materialized result.
+func (db *Database) Query(sql string, args ...Value) (*Rows, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, errorf("Query requires a SELECT statement")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.runSelect(sel, args)
+}
+
+// QueryScalar runs a SELECT expected to return a single value; it
+// returns NULL for an empty result.
+func (db *Database) QueryScalar(sql string, args ...Value) (Value, error) {
+	rows, err := db.Query(sql, args...)
+	if err != nil {
+		return Null, err
+	}
+	if len(rows.Data) == 0 || len(rows.Data[0]) == 0 {
+		return Null, nil
+	}
+	return rows.Data[0][0], nil
+}
+
+func (db *Database) runSelect(sel *SelectStmt, args []Value) (*Rows, error) {
+	p, sch, err := planSelect(db, sel, nil)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &evalCtx{db: db, params: args}
+	data, err := materialize(ctx, p.root)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(sch))
+	for i, c := range sch {
+		cols[i] = c.name
+	}
+	return &Rows{Columns: cols, Data: data}, nil
+}
+
+// Prepared is a compiled SELECT that can be executed repeatedly. It
+// becomes invalid if the referenced tables are dropped.
+type Prepared struct {
+	db   *Database
+	plan *plan
+	cols []string
+}
+
+// Prepare compiles a SELECT statement once for repeated execution.
+func (db *Database) Prepare(sql string) (*Prepared, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, errorf("Prepare requires a SELECT statement")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, sch, err := planSelect(db, sel, nil)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(sch))
+	for i, c := range sch {
+		cols[i] = c.name
+	}
+	return &Prepared{db: db, plan: p, cols: cols}, nil
+}
+
+// Query executes the prepared statement.
+func (p *Prepared) Query(args ...Value) (*Rows, error) {
+	p.db.mu.RLock()
+	defer p.db.mu.RUnlock()
+	ctx := &evalCtx{db: p.db, params: args}
+	data, err := materialize(ctx, p.plan.root)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{Columns: p.cols, Data: data}, nil
+}
+
+func (db *Database) createTable(s *CreateTableStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(s.Def.Name)
+	if _, ok := db.tables[key]; ok {
+		return errorf("table %s already exists", s.Def.Name)
+	}
+	def := s.Def
+	db.tables[key] = newTable(&def)
+	return nil
+}
+
+// CreateTableDef registers a table programmatically (used by the
+// shredding schemes for bulk setup without SQL round trips).
+func (db *Database) CreateTableDef(def TableDef) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(def.Name)
+	if _, ok := db.tables[key]; ok {
+		return errorf("table %s already exists", def.Name)
+	}
+	db.tables[key] = newTable(&def)
+	return nil
+}
+
+func (db *Database) createIndex(s *CreateIndexStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(s.Name)
+	if _, ok := db.indexes[key]; ok {
+		return errorf("index %s already exists", s.Name)
+	}
+	tbl := db.table(s.Table)
+	if tbl == nil {
+		return errorf("no such table: %s", s.Table)
+	}
+	def := IndexDef{Name: s.Name, Table: tbl.def.Name, Unique: s.Unique}
+	for _, c := range s.Columns {
+		ci := tbl.def.ColumnIndex(c)
+		if ci < 0 {
+			return errorf("no such column %s in table %s", c, s.Table)
+		}
+		def.Columns = append(def.Columns, ci)
+	}
+	if _, err := tbl.addIndex(def); err != nil {
+		return err
+	}
+	db.indexes[key] = &def
+	return nil
+}
+
+func (db *Database) dropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	tbl, ok := db.tables[key]
+	if !ok {
+		return errorf("no such table: %s", name)
+	}
+	for _, idx := range tbl.indexes {
+		delete(db.indexes, strings.ToLower(idx.def.Name))
+	}
+	delete(db.tables, key)
+	return nil
+}
+
+func (db *Database) dropIndex(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	def, ok := db.indexes[key]
+	if !ok {
+		return errorf("no such index: %s", name)
+	}
+	tbl := db.table(def.Table)
+	if tbl != nil {
+		for i, idx := range tbl.indexes {
+			if strings.EqualFold(idx.def.Name, name) {
+				tbl.indexes = append(tbl.indexes[:i], tbl.indexes[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(db.indexes, key)
+	return nil
+}
+
+func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tbl := db.table(s.Table)
+	if tbl == nil {
+		return 0, errorf("no such table: %s", s.Table)
+	}
+	// Column mapping: target ordinal for each provided value position.
+	var mapping []int
+	if len(s.Columns) > 0 {
+		for _, c := range s.Columns {
+			ci := tbl.def.ColumnIndex(c)
+			if ci < 0 {
+				return 0, errorf("no such column %s in table %s", c, s.Table)
+			}
+			mapping = append(mapping, ci)
+		}
+	} else {
+		for i := range tbl.def.Columns {
+			mapping = append(mapping, i)
+		}
+	}
+
+	buildRow := func(vals []Value) ([]Value, error) {
+		if len(vals) != len(mapping) {
+			return nil, errorf("table %s: expected %d values, got %d", s.Table, len(mapping), len(vals))
+		}
+		row := make([]Value, len(tbl.def.Columns))
+		for i := range row {
+			row[i] = Null
+		}
+		for i, v := range vals {
+			col := tbl.def.Columns[mapping[i]]
+			row[mapping[i]] = coerceTo(v, col.Type)
+		}
+		for i, col := range tbl.def.Columns {
+			if col.NotNull && row[i].IsNull() {
+				return nil, errorf("table %s: column %s is NOT NULL", s.Table, col.Name)
+			}
+		}
+		return row, nil
+	}
+
+	ctx := &evalCtx{db: db, params: args}
+	n := 0
+	if s.Select != nil {
+		p, _, err := planSelect(db, s.Select, nil)
+		if err != nil {
+			return 0, err
+		}
+		data, err := materialize(ctx, p.root)
+		if err != nil {
+			return 0, err
+		}
+		for _, vals := range data {
+			row, err := buildRow(vals)
+			if err != nil {
+				return n, err
+			}
+			if _, err := tbl.insert(row); err != nil {
+				return n, err
+			}
+			n++
+		}
+		return n, nil
+	}
+
+	comp := &compiler{db: db, sch: schema{}}
+	for _, exprs := range s.Rows {
+		vals := make([]Value, len(exprs))
+		for i, e := range exprs {
+			ce, err := comp.compile(e)
+			if err != nil {
+				return n, err
+			}
+			vals[i], err = ce(ctx, nil)
+			if err != nil {
+				return n, err
+			}
+		}
+		row, err := buildRow(vals)
+		if err != nil {
+			return n, err
+		}
+		if _, err := tbl.insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// BulkInsert appends rows to a table without SQL parsing, for loaders.
+// Values are coerced to the declared column types.
+func (db *Database) BulkInsert(tableName string, rows [][]Value) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tbl := db.table(tableName)
+	if tbl == nil {
+		return 0, errorf("no such table: %s", tableName)
+	}
+	n := 0
+	for _, vals := range rows {
+		if len(vals) != len(tbl.def.Columns) {
+			return n, errorf("table %s: expected %d values, got %d", tableName, len(tbl.def.Columns), len(vals))
+		}
+		row := make([]Value, len(vals))
+		for i, v := range vals {
+			row[i] = coerceTo(v, tbl.def.Columns[i].Type)
+			if tbl.def.Columns[i].NotNull && row[i].IsNull() {
+				return n, errorf("table %s: column %s is NOT NULL", tableName, tbl.def.Columns[i].Name)
+			}
+		}
+		if _, err := tbl.insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (db *Database) execDelete(s *DeleteStmt, args []Value) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tbl := db.table(s.Table)
+	if tbl == nil {
+		return 0, errorf("no such table: %s", s.Table)
+	}
+	rids, err := db.matchRows(tbl, s.Where, args)
+	if err != nil {
+		return 0, err
+	}
+	for _, rid := range rids {
+		tbl.delete(rid)
+	}
+	return len(rids), nil
+}
+
+func (db *Database) execUpdate(s *UpdateStmt, args []Value) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tbl := db.table(s.Table)
+	if tbl == nil {
+		return 0, errorf("no such table: %s", s.Table)
+	}
+	sch := make(schema, len(tbl.def.Columns))
+	for i, c := range tbl.def.Columns {
+		sch[i] = colInfo{alias: tbl.def.Name, name: c.Name}
+	}
+	comp := &compiler{db: db, sch: sch}
+	type setOp struct {
+		col int
+		fn  compiledExpr
+	}
+	var sets []setOp
+	for _, sc := range s.Sets {
+		ci := tbl.def.ColumnIndex(sc.Column)
+		if ci < 0 {
+			return 0, errorf("no such column %s in table %s", sc.Column, s.Table)
+		}
+		fn, err := comp.compile(sc.Value)
+		if err != nil {
+			return 0, err
+		}
+		sets = append(sets, setOp{col: ci, fn: fn})
+	}
+	rids, err := db.matchRows(tbl, s.Where, args)
+	if err != nil {
+		return 0, err
+	}
+	ctx := &evalCtx{db: db, params: args}
+	n := 0
+	for _, rid := range rids {
+		old := tbl.rows[rid]
+		if old == nil {
+			continue
+		}
+		row := append([]Value{}, old...)
+		for _, so := range sets {
+			v, err := so.fn(ctx, old)
+			if err != nil {
+				return n, err
+			}
+			row[so.col] = coerceTo(v, tbl.def.Columns[so.col].Type)
+			if tbl.def.Columns[so.col].NotNull && row[so.col].IsNull() {
+				return n, errorf("table %s: column %s is NOT NULL", s.Table, tbl.def.Columns[so.col].Name)
+			}
+		}
+		if err := tbl.update(rid, row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// matchRows returns rowids matching a WHERE predicate (all live rows when
+// where is nil). Caller holds the write lock.
+func (db *Database) matchRows(tbl *table, where Expr, args []Value) ([]int64, error) {
+	var pred compiledExpr
+	if where != nil {
+		sch := make(schema, len(tbl.def.Columns))
+		for i, c := range tbl.def.Columns {
+			sch[i] = colInfo{alias: tbl.def.Name, name: c.Name}
+		}
+		comp := &compiler{db: db, sch: sch}
+		var err error
+		pred, err = comp.compile(where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctx := &evalCtx{db: db, params: args}
+	var rids []int64
+	for rid, row := range tbl.rows {
+		if row == nil {
+			continue
+		}
+		if pred != nil {
+			v, err := pred(ctx, row)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !v.Bool() {
+				continue
+			}
+		}
+		rids = append(rids, int64(rid))
+	}
+	return rids, nil
+}
+
+// TableStats summarizes one table's storage.
+type TableStats struct {
+	Name    string
+	Rows    int
+	Bytes   int64
+	Indexes int
+}
+
+// Stats returns per-table storage statistics, sorted by table name.
+func (db *Database) Stats() []TableStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]TableStats, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, TableStats{
+			Name:    t.def.Name,
+			Rows:    t.live,
+			Bytes:   t.bytes,
+			Indexes: len(t.indexes),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TableNames lists the tables, sorted.
+func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.def.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TableDef returns the schema of a table, or nil if absent.
+func (db *Database) TableDef(name string) *TableDef {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t := db.table(name)
+	if t == nil {
+		return nil
+	}
+	def := *t.def
+	return &def
+}
+
+// TotalBytes sums the payload bytes across all tables.
+func (db *Database) TotalBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var n int64
+	for _, t := range db.tables {
+		n += t.bytes
+	}
+	return n
+}
+
+// TotalRows sums live rows across all tables.
+func (db *Database) TotalRows() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, t := range db.tables {
+		n += t.live
+	}
+	return n
+}

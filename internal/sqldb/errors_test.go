@@ -1,0 +1,162 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func expectQueryError(t *testing.T, db *Database, sql, frag string) {
+	t.Helper()
+	_, err := db.Query(sql)
+	if err == nil {
+		t.Errorf("%s: expected error", sql)
+		return
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Errorf("%s: error %q does not mention %q", sql, err, frag)
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	db := testDB(t)
+	expectQueryError(t, db, `SELECT nope FROM nums`, "unknown column")
+	expectQueryError(t, db, `SELECT n FROM nosuch`, "no such table")
+	expectQueryError(t, db, `SELECT bogus.n FROM nums`, "unknown column")
+	expectQueryError(t, db, `SELECT grp FROM nums WHERE grp = n2`, "unknown column")
+	// Ambiguity: both tables have a column n.
+	expectQueryError(t, db, `SELECT n FROM nums, tags`, "ambiguous")
+	// Duplicate alias.
+	expectQueryError(t, db, `SELECT 1 FROM nums x, tags x`, "duplicate table alias")
+	// Aggregation misuse.
+	expectQueryError(t, db, `SELECT label, COUNT(*) FROM nums GROUP BY grp`, "GROUP BY")
+	expectQueryError(t, db, `SELECT SUM(n, sq) FROM nums`, "exactly one argument")
+	expectQueryError(t, db, `SELECT SUM(*) FROM nums`, "not valid")
+	// ORDER BY ordinal range.
+	expectQueryError(t, db, `SELECT n FROM nums ORDER BY 2`, "out of range")
+	// DISTINCT + hidden order key.
+	expectQueryError(t, db, `SELECT DISTINCT grp FROM nums ORDER BY sq`, "DISTINCT")
+	// Scalar subquery cardinality is a runtime error.
+	expectQueryError(t, db, `SELECT (SELECT n FROM nums) FROM nums`, "returned")
+	// IN subquery column count.
+	expectQueryError(t, db, `SELECT n FROM nums WHERE n IN (SELECT n, sq FROM nums)`, "one column")
+	// UNION ALL column count mismatch.
+	expectQueryError(t, db, `SELECT n FROM nums UNION ALL SELECT n, sq FROM nums`, "column counts")
+	// Unknown function.
+	expectQueryError(t, db, `SELECT WIBBLE(n) FROM nums`, "unknown function")
+}
+
+func TestExecErrors(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Exec(`SELECT 1`); err == nil {
+		t.Error("Exec of SELECT accepted")
+	}
+	if _, err := db.Query(`DELETE FROM nums`); err == nil {
+		t.Error("Query of DELETE accepted")
+	}
+	if _, err := db.Exec(`INSERT INTO nums (n) VALUES (1, 2)`); err == nil {
+		t.Error("value arity mismatch accepted")
+	}
+	if _, err := db.Exec(`INSERT INTO nums (nosuch) VALUES (1)`); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := db.Exec(`UPDATE nums SET nosuch = 1`); err == nil {
+		t.Error("update of unknown column accepted")
+	}
+	if _, err := db.Exec(`CREATE TABLE nums (n INTEGER)`); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if _, err := db.Exec(`CREATE INDEX dup ON nums (n)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE INDEX dup ON nums (sq)`); err == nil {
+		t.Error("duplicate index name accepted")
+	}
+	if _, err := db.Exec(`CREATE INDEX i2 ON nums (nosuch)`); err == nil {
+		t.Error("index on unknown column accepted")
+	}
+	// Missing parameter value.
+	if _, err := db.Query(`SELECT n FROM nums WHERE n = ?`); err == nil {
+		t.Error("missing parameter accepted")
+	}
+}
+
+func TestAggregationShapes(t *testing.T) {
+	db := testDB(t)
+	// Expression group keys match structurally.
+	rows, err := db.Query(`SELECT n % 10, COUNT(*) FROM nums GROUP BY n % 10 ORDER BY 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 10 || rows.Data[0][1].Int() != 10 {
+		t.Fatalf("mod groups: %v", rows.Data[:2])
+	}
+	// Aggregates inside arithmetic.
+	v, err := db.QueryScalar(`SELECT MAX(n) - MIN(n) + 1 FROM nums`)
+	if err != nil || v.Int() != 100 {
+		t.Fatalf("agg arithmetic: %v %v", v, err)
+	}
+	// HAVING referencing a group key and an aggregate.
+	rows, err = db.Query(`
+		SELECT grp, COUNT(*) FROM nums
+		GROUP BY grp HAVING grp = 'odd' AND COUNT(*) > 10`)
+	if err != nil || rows.Len() != 1 || rows.Data[0][0].Text() != "odd" {
+		t.Fatalf("having: %v %v", rows, err)
+	}
+	// The same aggregate used twice is computed once (no error, right
+	// value).
+	rows, err = db.Query(`SELECT COUNT(*), COUNT(*) * 2 FROM nums`)
+	if err != nil || rows.Data[0][1].Int() != 200 {
+		t.Fatalf("repeated aggregate: %v %v", rows, err)
+	}
+	// CASE over an aggregate.
+	v, err = db.QueryScalar(`SELECT CASE WHEN COUNT(*) > 50 THEN 'big' ELSE 'small' END FROM nums`)
+	if err != nil || v.Text() != "big" {
+		t.Fatalf("case over aggregate: %v %v", v, err)
+	}
+	// AVG returns a float even for integer inputs.
+	v, err = db.QueryScalar(`SELECT AVG(n) FROM nums WHERE n <= 2`)
+	if err != nil || v.T != TypeFloat || v.Float() != 1.5 {
+		t.Fatalf("avg: %v %v", v, err)
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	db := New()
+	db.MustExec(`create table MixedCase (Col INTEGER)`)
+	db.MustExec(`insert into mixedcase values (1)`)
+	v, err := db.QueryScalar(`SELECT COL FROM MIXEDCASE WHERE col = 1`)
+	if err != nil || v.Int() != 1 {
+		t.Fatalf("case insensitivity: %v %v", v, err)
+	}
+	// Quoted identifiers preserve spelling but resolve case-insensitively
+	// (one namespace).
+	v, err = db.QueryScalar(`SELECT "Col" FROM "MixedCase"`)
+	if err != nil || v.Int() != 1 {
+		t.Fatalf("quoted: %v %v", v, err)
+	}
+}
+
+func TestStatsAndCatalog(t *testing.T) {
+	db := testDB(t)
+	stats := db.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats tables = %d", len(stats))
+	}
+	if stats[0].Name != "nums" || stats[0].Rows != 100 || stats[0].Bytes == 0 {
+		t.Errorf("nums stats = %+v", stats[0])
+	}
+	if db.TotalRows() != 100+20+15 {
+		t.Errorf("total rows = %d", db.TotalRows())
+	}
+	def := db.TableDef("nums")
+	if def == nil || len(def.Columns) != 4 || def.Columns[0].Name != "n" {
+		t.Errorf("table def = %+v", def)
+	}
+	if db.TableDef("nosuch") != nil {
+		t.Error("def for missing table")
+	}
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "nums" {
+		t.Errorf("names = %v", names)
+	}
+}

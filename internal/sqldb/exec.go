@@ -1,0 +1,995 @@
+package sqldb
+
+import (
+	"sort"
+	"strings"
+)
+
+// rowIter is the Volcano-style iterator every physical operator
+// implements. next returns (nil, nil) at end of stream.
+type rowIter interface {
+	next() ([]Value, error)
+	close()
+}
+
+// planNode is a physical operator in a compiled plan. Opening a node
+// yields a fresh iterator; a node can be opened multiple times (e.g. the
+// inner side of a nested-loop join or a correlated subquery).
+type planNode interface {
+	sch() schema
+	open(ctx *evalCtx) (rowIter, error)
+	// estRows is the planner's cardinality estimate, used for join
+	// ordering. It is heuristic, not statistical.
+	estRows() float64
+}
+
+// ---------------------------------------------------------------------------
+// Sequential scan
+
+type seqScanNode struct {
+	tbl    *table
+	alias  string
+	schema schema
+	// filter is the residual predicate pushed into the scan (may be nil).
+	filter compiledExpr
+	// sel is the estimated selectivity of filter.
+	sel float64
+}
+
+func newSeqScanNode(tbl *table, alias string) *seqScanNode {
+	s := make(schema, len(tbl.def.Columns))
+	for i, c := range tbl.def.Columns {
+		s[i] = colInfo{alias: alias, name: c.Name, typ: c.Type}
+	}
+	return &seqScanNode{tbl: tbl, alias: alias, schema: s, sel: 1}
+}
+
+func (n *seqScanNode) sch() schema { return n.schema }
+
+func (n *seqScanNode) estRows() float64 { return float64(n.tbl.live)*n.sel + 1 }
+
+func (n *seqScanNode) open(ctx *evalCtx) (rowIter, error) {
+	return &seqScanIter{node: n, ctx: ctx}, nil
+}
+
+type seqScanIter struct {
+	node *seqScanNode
+	ctx  *evalCtx
+	pos  int
+}
+
+func (it *seqScanIter) next() ([]Value, error) {
+	rows := it.node.tbl.rows
+	for it.pos < len(rows) {
+		row := rows[it.pos]
+		it.pos++
+		if row == nil {
+			continue
+		}
+		if it.node.filter != nil {
+			v, err := it.node.filter(it.ctx, row)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !v.Bool() {
+				continue
+			}
+		}
+		return row, nil
+	}
+	return nil, nil
+}
+
+func (it *seqScanIter) close() {}
+
+// ---------------------------------------------------------------------------
+// Index scan
+
+// indexScanNode scans an index range. The bounds are expressions that
+// must be row-independent (literals, params, outer refs); they are
+// evaluated when the iterator opens.
+type indexScanNode struct {
+	tbl    *table
+	idx    *tableIndex
+	alias  string
+	schema schema
+	// eq holds equality bounds for the leading key columns.
+	eq []compiledExpr
+	// lo/hi optionally bound the next key column after the eq prefix.
+	lo, hi         compiledExpr
+	loIncl, hiIncl bool
+	filter         compiledExpr
+	sel            float64
+}
+
+func (n *indexScanNode) sch() schema { return n.schema }
+
+func (n *indexScanNode) estRows() float64 { return float64(n.tbl.live)*n.sel + 1 }
+
+func (n *indexScanNode) open(ctx *evalCtx) (rowIter, error) {
+	prefix := make([]Value, 0, len(n.eq)+1)
+	for _, e := range n.eq {
+		v, err := e(ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			// Equality with NULL matches nothing in SQL.
+			return &sliceIter{}, nil
+		}
+		prefix = append(prefix, v)
+	}
+	var cur btreeCursor
+	var stop func(key []Value) bool
+	tree := n.idx.tree
+
+	loBound := prefix
+	switch {
+	case n.lo != nil:
+		v, err := n.lo(ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			return &sliceIter{}, nil
+		}
+		loBound = append(append([]Value{}, prefix...), v)
+		if n.loIncl {
+			cur = tree.seek(loBound)
+		} else {
+			cur = tree.seekAfter(loBound)
+		}
+	case n.hi != nil:
+		// Upper-bound-only range: NULL keys sort first in the index but
+		// never satisfy a SQL comparison, so start after the NULL run.
+		cur = tree.seekAfter(append(append([]Value{}, prefix...), Null))
+	case len(prefix) > 0:
+		cur = tree.seek(prefix)
+	default:
+		cur = tree.seek(nil)
+	}
+
+	if n.hi != nil {
+		v, err := n.hi(ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		hiBound := append(append([]Value{}, prefix...), v)
+		incl := n.hiIncl
+		stop = func(key []Value) bool {
+			c := prefixCompare(key, hiBound)
+			if incl {
+				return c > 0
+			}
+			return c >= 0
+		}
+	} else if len(prefix) > 0 {
+		p := prefix
+		stop = func(key []Value) bool { return prefixCompare(key, p) > 0 }
+	}
+	return &indexScanIter{node: n, ctx: ctx, cur: cur, stop: stop}, nil
+}
+
+type indexScanIter struct {
+	node *indexScanNode
+	ctx  *evalCtx
+	cur  btreeCursor
+	stop func(key []Value) bool
+}
+
+func (it *indexScanIter) next() ([]Value, error) {
+	for it.cur.valid() {
+		e := it.cur.entry()
+		if it.stop != nil && it.stop(e.key) {
+			return nil, nil
+		}
+		it.cur.advance()
+		row := it.node.tbl.rows[e.rid]
+		if row == nil {
+			continue
+		}
+		if it.node.filter != nil {
+			v, err := it.node.filter(it.ctx, row)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !v.Bool() {
+				continue
+			}
+		}
+		return row, nil
+	}
+	return nil, nil
+}
+
+func (it *indexScanIter) close() {}
+
+// ---------------------------------------------------------------------------
+// Filter
+
+type filterNode struct {
+	in   planNode
+	pred compiledExpr
+	sel  float64
+}
+
+func (n *filterNode) sch() schema      { return n.in.sch() }
+func (n *filterNode) estRows() float64 { return n.in.estRows()*n.sel + 1 }
+
+func (n *filterNode) open(ctx *evalCtx) (rowIter, error) {
+	in, err := n.in.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &filterIter{in: in, pred: n.pred, ctx: ctx}, nil
+}
+
+type filterIter struct {
+	in   rowIter
+	pred compiledExpr
+	ctx  *evalCtx
+}
+
+func (it *filterIter) next() ([]Value, error) {
+	for {
+		row, err := it.in.next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		v, err := it.pred(it.ctx, row)
+		if err != nil {
+			return nil, err
+		}
+		if !v.IsNull() && v.Bool() {
+			return row, nil
+		}
+	}
+}
+
+func (it *filterIter) close() { it.in.close() }
+
+// ---------------------------------------------------------------------------
+// Projection
+
+type projectNode struct {
+	in     planNode
+	exprs  []compiledExpr
+	schema schema
+}
+
+func (n *projectNode) sch() schema      { return n.schema }
+func (n *projectNode) estRows() float64 { return n.in.estRows() }
+
+func (n *projectNode) open(ctx *evalCtx) (rowIter, error) {
+	in, err := n.in.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &projectIter{in: in, node: n, ctx: ctx}, nil
+}
+
+type projectIter struct {
+	in   rowIter
+	node *projectNode
+	ctx  *evalCtx
+}
+
+func (it *projectIter) next() ([]Value, error) {
+	row, err := it.in.next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make([]Value, len(it.node.exprs))
+	for i, e := range it.node.exprs {
+		out[i], err = e(it.ctx, row)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (it *projectIter) close() { it.in.close() }
+
+// ---------------------------------------------------------------------------
+// Nested-loop join (materializes the inner side once)
+
+type nlJoinNode struct {
+	left, right planNode
+	cond        compiledExpr // may be nil (cross join)
+	leftOuter   bool
+	schema      schema
+}
+
+func (n *nlJoinNode) sch() schema { return n.schema }
+
+func (n *nlJoinNode) estRows() float64 {
+	f := 0.5
+	if n.cond == nil {
+		f = 1
+	}
+	return n.left.estRows() * n.right.estRows() * f
+}
+
+func (n *nlJoinNode) open(ctx *evalCtx) (rowIter, error) {
+	left, err := n.left.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := materialize(ctx, n.right)
+	if err != nil {
+		left.close()
+		return nil, err
+	}
+	return &nlJoinIter{node: n, ctx: ctx, left: left, inner: inner, ipos: -1}, nil
+}
+
+type nlJoinIter struct {
+	node    *nlJoinNode
+	ctx     *evalCtx
+	left    rowIter
+	inner   [][]Value
+	lrow    []Value
+	ipos    int
+	matched bool
+}
+
+func (it *nlJoinIter) next() ([]Value, error) {
+	for {
+		if it.lrow == nil || it.ipos >= len(it.inner) {
+			if it.lrow != nil && it.node.leftOuter && !it.matched {
+				out := padRight(it.lrow, len(it.node.right.sch()))
+				it.lrow = nil
+				return out, nil
+			}
+			var err error
+			it.lrow, err = it.left.next()
+			if err != nil || it.lrow == nil {
+				return nil, err
+			}
+			it.ipos = 0
+			it.matched = false
+		}
+		for it.ipos < len(it.inner) {
+			r := it.inner[it.ipos]
+			it.ipos++
+			joined := concatRows(it.lrow, r)
+			if it.node.cond != nil {
+				v, err := it.node.cond(it.ctx, joined)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() || !v.Bool() {
+					continue
+				}
+			}
+			it.matched = true
+			return joined, nil
+		}
+	}
+}
+
+func (it *nlJoinIter) close() { it.left.close() }
+
+// ---------------------------------------------------------------------------
+// Hash join (equi-join; builds on the right side)
+
+type hashJoinNode struct {
+	left, right         planNode
+	leftKeys, rightKeys []compiledExpr
+	extraCond           compiledExpr
+	leftOuter           bool
+	schema              schema
+}
+
+func (n *hashJoinNode) sch() schema { return n.schema }
+
+func (n *hashJoinNode) estRows() float64 {
+	l, r := n.left.estRows(), n.right.estRows()
+	m := l
+	if r > m {
+		m = r
+	}
+	return m + 1
+}
+
+// hashKey builds a string key from values; numeric types are normalized
+// so 1 and 1.0 collide, matching compareSQL semantics.
+func hashKey(vals []Value) (string, bool) {
+	var b strings.Builder
+	for _, v := range vals {
+		switch v.T {
+		case TypeNull:
+			return "", false // NULL never joins
+		case TypeInt, TypeBool:
+			b.WriteByte('n')
+			b.WriteString(NewFloat(float64(v.I)).Text())
+		case TypeFloat:
+			b.WriteByte('n')
+			b.WriteString(v.Text())
+		case TypeText:
+			b.WriteByte('s')
+			b.WriteString(v.S)
+		case TypeBlob:
+			b.WriteByte('b')
+			b.Write(v.B)
+		}
+		b.WriteByte(0)
+	}
+	return b.String(), true
+}
+
+func (n *hashJoinNode) open(ctx *evalCtx) (rowIter, error) {
+	rightRows, err := materialize(ctx, n.right)
+	if err != nil {
+		return nil, err
+	}
+	ht := make(map[string][][]Value, len(rightRows))
+	keyBuf := make([]Value, len(n.rightKeys))
+	for _, r := range rightRows {
+		for i, ke := range n.rightKeys {
+			keyBuf[i], err = ke(ctx, r)
+			if err != nil {
+				return nil, err
+			}
+		}
+		k, ok := hashKey(keyBuf)
+		if !ok {
+			continue
+		}
+		ht[k] = append(ht[k], r)
+	}
+	left, err := n.left.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &hashJoinIter{node: n, ctx: ctx, left: left, ht: ht, rightWidth: len(n.right.sch())}, nil
+}
+
+type hashJoinIter struct {
+	node       *hashJoinNode
+	ctx        *evalCtx
+	left       rowIter
+	ht         map[string][][]Value
+	rightWidth int
+	lrow       []Value
+	bucket     [][]Value
+	bpos       int
+	matched    bool
+}
+
+func (it *hashJoinIter) next() ([]Value, error) {
+	for {
+		if it.lrow == nil || it.bpos >= len(it.bucket) {
+			if it.lrow != nil && it.node.leftOuter && !it.matched {
+				out := padRight(it.lrow, it.rightWidth)
+				it.lrow = nil
+				return out, nil
+			}
+			var err error
+			it.lrow, err = it.left.next()
+			if err != nil || it.lrow == nil {
+				return nil, err
+			}
+			it.matched = false
+			keyBuf := make([]Value, len(it.node.leftKeys))
+			for i, ke := range it.node.leftKeys {
+				keyBuf[i], err = ke(it.ctx, it.lrow)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if k, ok := hashKey(keyBuf); ok {
+				it.bucket = it.ht[k]
+			} else {
+				it.bucket = nil
+			}
+			it.bpos = 0
+		}
+		for it.bpos < len(it.bucket) {
+			r := it.bucket[it.bpos]
+			it.bpos++
+			joined := concatRows(it.lrow, r)
+			if it.node.extraCond != nil {
+				v, err := it.node.extraCond(it.ctx, joined)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() || !v.Bool() {
+					continue
+				}
+			}
+			it.matched = true
+			return joined, nil
+		}
+	}
+}
+
+func (it *hashJoinIter) close() { it.left.close() }
+
+// ---------------------------------------------------------------------------
+// Index nested-loop join: probes the right table's index per left row.
+
+// The probe key is an equality prefix (keyExprs, evaluated against the
+// left row; constant bounds simply ignore the row) optionally followed
+// by a range on the next key column (rngLo/rngHi, also computed per left
+// row). Range support is what makes the interval-encoding descendant
+// join (`c.pre BETWEEN p.pre+1 AND p.pre+p.size`) and the Dewey prefix
+// join run as index lookups instead of nested-loop scans.
+type indexJoinNode struct {
+	left                 planNode
+	tbl                  *table
+	idx                  *tableIndex
+	keyExprs             []compiledExpr // equality prefix, evaluated on the left row
+	rngLo, rngHi         compiledExpr   // optional bounds on the next key column
+	rngLoIncl, rngHiIncl bool
+	extraCond            compiledExpr // over the joined row
+	leftOuter            bool
+	schema               schema
+	sel                  float64
+}
+
+func (n *indexJoinNode) sch() schema { return n.schema }
+
+func (n *indexJoinNode) estRows() float64 {
+	per := float64(n.tbl.live) * n.sel
+	if per < 1 {
+		per = 1
+	}
+	return n.left.estRows() * per
+}
+
+func (n *indexJoinNode) open(ctx *evalCtx) (rowIter, error) {
+	left, err := n.left.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &indexJoinIter{node: n, ctx: ctx, left: left}, nil
+}
+
+type indexJoinIter struct {
+	node    *indexJoinNode
+	ctx     *evalCtx
+	left    rowIter
+	lrow    []Value
+	cur     btreeCursor
+	stop    func(key []Value) bool
+	active  bool
+	matched bool
+}
+
+func (it *indexJoinIter) next() ([]Value, error) {
+	for {
+		if !it.active {
+			if it.lrow != nil && it.node.leftOuter && !it.matched {
+				out := padRight(it.lrow, len(it.node.tbl.def.Columns))
+				it.lrow = nil
+				return out, nil
+			}
+			var err error
+			it.lrow, err = it.left.next()
+			if err != nil || it.lrow == nil {
+				return nil, err
+			}
+			it.matched = false
+			if err := it.seek(); err != nil {
+				return nil, err
+			}
+			it.active = true
+		}
+		for it.cur.valid() {
+			e := it.cur.entry()
+			if it.stop != nil && it.stop(e.key) {
+				break
+			}
+			it.cur.advance()
+			row := it.node.tbl.rows[e.rid]
+			if row == nil {
+				continue
+			}
+			joined := concatRows(it.lrow, row)
+			if it.node.extraCond != nil {
+				v, err := it.node.extraCond(it.ctx, joined)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() || !v.Bool() {
+					continue
+				}
+			}
+			it.matched = true
+			return joined, nil
+		}
+		it.active = false
+	}
+}
+
+// seek positions the cursor for the current left row, computing the
+// equality prefix and optional range bounds.
+func (it *indexJoinIter) seek() error {
+	n := it.node
+	prefix := make([]Value, len(n.keyExprs), len(n.keyExprs)+1)
+	for i, ke := range n.keyExprs {
+		v, err := ke(it.ctx, it.lrow)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() { // NULL keys never join
+			it.cur = btreeCursor{}
+			it.stop = nil
+			return nil
+		}
+		prefix[i] = v
+	}
+	tree := n.idx.tree
+	switch {
+	case n.rngLo != nil:
+		v, err := n.rngLo(it.ctx, it.lrow)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() { // comparison with NULL matches nothing
+			it.cur = btreeCursor{}
+			it.stop = nil
+			return nil
+		}
+		lo := append(append([]Value{}, prefix...), v)
+		if n.rngLoIncl {
+			it.cur = tree.seek(lo)
+		} else {
+			it.cur = tree.seekAfter(lo)
+		}
+	case n.rngHi != nil:
+		// Upper-bound-only range: skip the NULL run (NULLs never
+		// satisfy a SQL comparison).
+		it.cur = tree.seekAfter(append(append([]Value{}, prefix...), Null))
+	case len(prefix) > 0:
+		it.cur = tree.seek(prefix)
+	default:
+		it.cur = tree.seek(nil)
+	}
+	switch {
+	case n.rngHi != nil:
+		v, err := n.rngHi(it.ctx, it.lrow)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			it.cur = btreeCursor{}
+			it.stop = nil
+			return nil
+		}
+		hi := append(append([]Value{}, prefix...), v)
+		incl := n.rngHiIncl
+		it.stop = func(key []Value) bool {
+			c := prefixCompare(key, hi)
+			if incl {
+				return c > 0
+			}
+			return c >= 0
+		}
+	case len(prefix) > 0:
+		p := prefix
+		it.stop = func(key []Value) bool { return prefixCompare(key, p) > 0 }
+	default:
+		it.stop = nil
+	}
+	return nil
+}
+
+func (it *indexJoinIter) close() { it.left.close() }
+
+// ---------------------------------------------------------------------------
+// Sort
+
+type sortNode struct {
+	in   planNode
+	keys []compiledExpr
+	desc []bool
+}
+
+func (n *sortNode) sch() schema      { return n.in.sch() }
+func (n *sortNode) estRows() float64 { return n.in.estRows() }
+
+func (n *sortNode) open(ctx *evalCtx) (rowIter, error) {
+	rows, err := materialize(ctx, n.in)
+	if err != nil {
+		return nil, err
+	}
+	type keyed struct {
+		row  []Value
+		keys []Value
+	}
+	ks := make([]keyed, len(rows))
+	for i, r := range rows {
+		kv := make([]Value, len(n.keys))
+		for j, ke := range n.keys {
+			kv[j], err = ke(ctx, r)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ks[i] = keyed{row: r, keys: kv}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		for j := range n.keys {
+			c := Compare(ks[a].keys[j], ks[b].keys[j])
+			if c == 0 {
+				continue
+			}
+			if n.desc[j] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	out := make([][]Value, len(ks))
+	for i := range ks {
+		out[i] = ks[i].row
+	}
+	return &sliceIter{rows: out}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Limit / offset
+
+type limitNode struct {
+	in            planNode
+	limit, offset compiledExpr // either may be nil
+}
+
+func (n *limitNode) sch() schema      { return n.in.sch() }
+func (n *limitNode) estRows() float64 { return n.in.estRows() }
+
+func (n *limitNode) open(ctx *evalCtx) (rowIter, error) {
+	in, err := n.in.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	it := &limitIter{in: in, limit: -1}
+	if n.limit != nil {
+		v, err := n.limit(ctx, nil)
+		if err != nil {
+			in.close()
+			return nil, err
+		}
+		it.limit = v.Int()
+	}
+	if n.offset != nil {
+		v, err := n.offset(ctx, nil)
+		if err != nil {
+			in.close()
+			return nil, err
+		}
+		it.offset = v.Int()
+	}
+	return it, nil
+}
+
+type limitIter struct {
+	in            rowIter
+	limit, offset int64
+	emitted       int64
+}
+
+func (it *limitIter) next() ([]Value, error) {
+	for it.offset > 0 {
+		row, err := it.in.next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		it.offset--
+	}
+	if it.limit >= 0 && it.emitted >= it.limit {
+		return nil, nil
+	}
+	row, err := it.in.next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	it.emitted++
+	return row, nil
+}
+
+func (it *limitIter) close() { it.in.close() }
+
+// ---------------------------------------------------------------------------
+// Distinct
+
+type distinctNode struct{ in planNode }
+
+func (n *distinctNode) sch() schema      { return n.in.sch() }
+func (n *distinctNode) estRows() float64 { return n.in.estRows() }
+
+func (n *distinctNode) open(ctx *evalCtx) (rowIter, error) {
+	in, err := n.in.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &distinctIter{in: in, seen: map[string]bool{}}, nil
+}
+
+type distinctIter struct {
+	in   rowIter
+	seen map[string]bool
+}
+
+func (it *distinctIter) next() ([]Value, error) {
+	for {
+		row, err := it.in.next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		k := distinctKey(row)
+		if it.seen[k] {
+			continue
+		}
+		it.seen[k] = true
+		return row, nil
+	}
+}
+
+func (it *distinctIter) close() { it.in.close() }
+
+// distinctKey encodes a row for duplicate elimination; unlike hashKey it
+// keeps NULLs (two NULL rows are duplicates under DISTINCT).
+func distinctKey(vals []Value) string {
+	var b strings.Builder
+	for _, v := range vals {
+		switch v.T {
+		case TypeNull:
+			b.WriteByte('0')
+		case TypeInt, TypeBool:
+			b.WriteByte('n')
+			b.WriteString(NewFloat(float64(v.I)).Text())
+		case TypeFloat:
+			b.WriteByte('n')
+			b.WriteString(v.Text())
+		case TypeText:
+			b.WriteByte('s')
+			b.WriteString(v.S)
+		case TypeBlob:
+			b.WriteByte('b')
+			b.Write(v.B)
+		}
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Union all
+
+type unionAllNode struct {
+	parts  []planNode
+	schema schema
+}
+
+func (n *unionAllNode) sch() schema { return n.schema }
+
+func (n *unionAllNode) estRows() float64 {
+	var t float64
+	for _, p := range n.parts {
+		t += p.estRows()
+	}
+	return t
+}
+
+func (n *unionAllNode) open(ctx *evalCtx) (rowIter, error) {
+	return &unionAllIter{node: n, ctx: ctx}, nil
+}
+
+type unionAllIter struct {
+	node *unionAllNode
+	ctx  *evalCtx
+	idx  int
+	cur  rowIter
+}
+
+func (it *unionAllIter) next() ([]Value, error) {
+	for {
+		if it.cur == nil {
+			if it.idx >= len(it.node.parts) {
+				return nil, nil
+			}
+			var err error
+			it.cur, err = it.node.parts[it.idx].open(it.ctx)
+			if err != nil {
+				return nil, err
+			}
+			it.idx++
+		}
+		row, err := it.cur.next()
+		if err != nil {
+			return nil, err
+		}
+		if row != nil {
+			return row, nil
+		}
+		it.cur.close()
+		it.cur = nil
+	}
+}
+
+func (it *unionAllIter) close() {
+	if it.cur != nil {
+		it.cur.close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+type sliceIter struct {
+	rows [][]Value
+	pos  int
+}
+
+func (it *sliceIter) next() ([]Value, error) {
+	if it.pos >= len(it.rows) {
+		return nil, nil
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r, nil
+}
+
+func (it *sliceIter) close() {}
+
+// materialize drains a node into a slice.
+func materialize(ctx *evalCtx, n planNode) ([][]Value, error) {
+	it, err := n.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer it.close()
+	var out [][]Value
+	for {
+		row, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+func concatRows(a, b []Value) []Value {
+	out := make([]Value, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// padRight appends n NULLs to a copy of row (left outer join padding).
+func padRight(row []Value, n int) []Value {
+	out := make([]Value, 0, len(row)+n)
+	out = append(out, row...)
+	for i := 0; i < n; i++ {
+		out = append(out, Null)
+	}
+	return out
+}
+
+// runSubquery executes a compiled subplan with the given outer row.
+func runSubquery(ctx *evalCtx, p *plan, outerRow []Value) ([][]Value, error) {
+	sub := &evalCtx{db: ctx.db, params: ctx.params, outer: outerRow}
+	return materialize(sub, p.root)
+}
+
+// subqueryHasRow reports whether the subplan yields at least one row.
+func subqueryHasRow(ctx *evalCtx, p *plan, outerRow []Value) (bool, error) {
+	sub := &evalCtx{db: ctx.db, params: ctx.params, outer: outerRow}
+	it, err := p.root.open(sub)
+	if err != nil {
+		return false, err
+	}
+	defer it.close()
+	row, err := it.next()
+	if err != nil {
+		return false, err
+	}
+	return row != nil, nil
+}

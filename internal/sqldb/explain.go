@@ -1,0 +1,101 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain compiles a SELECT and renders its physical plan tree, one
+// operator per line with the planner's cardinality estimates. It is a
+// debugging and teaching aid; the format is not stable.
+func (db *Database) Explain(sql string, args ...Value) (string, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return "", errorf("Explain requires a SELECT statement")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, _, err := planSelect(db, sel, nil)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	explainNode(&b, p.root, 0)
+	return b.String(), nil
+}
+
+func explainNode(b *strings.Builder, n planNode, depth int) {
+	indent := strings.Repeat("  ", depth)
+	write := func(format string, args ...any) {
+		fmt.Fprintf(b, "%s%s (est %.1f)\n", indent, fmt.Sprintf(format, args...), n.estRows())
+	}
+	switch n := n.(type) {
+	case *seqScanNode:
+		filter := ""
+		if n.filter != nil {
+			filter = " filtered"
+		}
+		write("SeqScan %s as %s%s", n.tbl.def.Name, n.alias, filter)
+	case *indexScanNode:
+		write("IndexScan %s via %s (eq %d, range lo=%v hi=%v)", n.tbl.def.Name, n.idx.def.Name, len(n.eq), n.lo != nil, n.hi != nil)
+	case *filterNode:
+		write("Filter")
+		explainNode(b, n.in, depth+1)
+	case *projectNode:
+		write("Project %d cols", len(n.exprs))
+		explainNode(b, n.in, depth+1)
+	case *nlJoinNode:
+		kind := "NestedLoopJoin"
+		if n.leftOuter {
+			kind = "NestedLoopLeftJoin"
+		}
+		if n.cond == nil {
+			kind += " (cross)"
+		}
+		write("%s", kind)
+		explainNode(b, n.left, depth+1)
+		explainNode(b, n.right, depth+1)
+	case *hashJoinNode:
+		kind := "HashJoin"
+		if n.leftOuter {
+			kind = "HashLeftJoin"
+		}
+		write("%s on %d key(s)", kind, len(n.leftKeys))
+		explainNode(b, n.left, depth+1)
+		explainNode(b, n.right, depth+1)
+	case *indexJoinNode:
+		write("IndexJoin %s via %s (eq %d, range lo=%v hi=%v)", n.tbl.def.Name, n.idx.def.Name, len(n.keyExprs), n.rngLo != nil, n.rngHi != nil)
+		explainNode(b, n.left, depth+1)
+	case *sortNode:
+		write("Sort on %d key(s)", len(n.keys))
+		explainNode(b, n.in, depth+1)
+	case *limitNode:
+		write("Limit")
+		explainNode(b, n.in, depth+1)
+	case *distinctNode:
+		write("Distinct")
+		explainNode(b, n.in, depth+1)
+	case *aggNode:
+		write("Aggregate %d group key(s), %d aggregate(s)", len(n.groupBy), len(n.aggs))
+		explainNode(b, n.in, depth+1)
+	case *unionAllNode:
+		write("UnionAll %d parts", len(n.parts))
+		for _, p := range n.parts {
+			explainNode(b, p, depth+1)
+		}
+	case *derivedNode:
+		write("Derived")
+		explainNode(b, n.p.root, depth+1)
+	case *valuesNode:
+		write("Values %d row(s)", len(n.rows))
+	case *cutNode:
+		write("Cut to %d cols", n.width)
+		explainNode(b, n.in, depth+1)
+	default:
+		fmt.Fprintf(b, "%s%T\n", indent, n)
+	}
+}

@@ -1,0 +1,263 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Differential fuzz: generated queries run both through the full
+// planner/executor and through a naive reference evaluation (pure Go
+// over slices). Any disagreement is a planner or executor bug.
+
+type refRow struct {
+	a     int64 // may be null (aNull)
+	b     string
+	c     int64
+	aNull bool
+	cNull bool
+}
+
+// fuzzFixture builds the table both in the engine and as a slice.
+func fuzzFixture(seed uint64, withIndexes bool) (*Database, []refRow) {
+	state := seed + 7
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	db := New()
+	db.MustExec(`CREATE TABLE f (a INTEGER, b TEXT, c INTEGER)`)
+	if withIndexes {
+		db.MustExec(`CREATE INDEX f_a ON f (a)`)
+		db.MustExec(`CREATE INDEX f_bc ON f (b, c)`)
+	}
+	var ref []refRow
+	words := []string{"red", "green", "blue", "teal"}
+	for i := 0; i < 200; i++ {
+		r := refRow{
+			a: int64(next(20)),
+			b: words[next(len(words))],
+			c: int64(next(50)),
+		}
+		if next(10) == 0 {
+			r.aNull = true
+		}
+		if next(10) == 0 {
+			r.cNull = true
+		}
+		av, cv := NewInt(r.a), NewInt(r.c)
+		if r.aNull {
+			av = Null
+		}
+		if r.cNull {
+			cv = Null
+		}
+		db.MustExec(`INSERT INTO f VALUES (?, ?, ?)`, av, NewText(r.b), cv)
+		ref = append(ref, r)
+	}
+	return db, ref
+}
+
+// refCond is a reference predicate.
+type refCond struct {
+	sql  string
+	eval func(refRow) bool // three-valued: false covers unknown
+}
+
+func fuzzConds() []refCond {
+	conds := []refCond{
+		{"a = 5", func(r refRow) bool { return !r.aNull && r.a == 5 }},
+		{"a <> 5", func(r refRow) bool { return !r.aNull && r.a != 5 }},
+		{"a < 7", func(r refRow) bool { return !r.aNull && r.a < 7 }},
+		{"a >= 15", func(r refRow) bool { return !r.aNull && r.a >= 15 }},
+		{"a BETWEEN 3 AND 9", func(r refRow) bool { return !r.aNull && r.a >= 3 && r.a <= 9 }},
+		{"a IS NULL", func(r refRow) bool { return r.aNull }},
+		{"a IS NOT NULL", func(r refRow) bool { return !r.aNull }},
+		{"b = 'red'", func(r refRow) bool { return r.b == "red" }},
+		{"b LIKE 'g%'", func(r refRow) bool { return strings.HasPrefix(r.b, "g") }},
+		{"b LIKE '%ee%'", func(r refRow) bool { return strings.Contains(r.b, "ee") }},
+		{"b IN ('red', 'blue')", func(r refRow) bool { return r.b == "red" || r.b == "blue" }},
+		{"c > 25", func(r refRow) bool { return !r.cNull && r.c > 25 }},
+		{"c % 2 = 0", func(r refRow) bool { return !r.cNull && r.c%2 == 0 }},
+		{"a + c > 40", func(r refRow) bool { return !r.aNull && !r.cNull && r.a+r.c > 40 }},
+	}
+	return conds
+}
+
+func TestFuzzFiltersAgainstReference(t *testing.T) {
+	conds := fuzzConds()
+	for seed := uint64(1); seed <= 4; seed++ {
+		for _, withIdx := range []bool{false, true} {
+			db, ref := fuzzFixture(seed, withIdx)
+			// Single conditions plus all AND/OR pairs.
+			type cse struct {
+				sql  string
+				eval func(refRow) bool
+			}
+			var cases []cse
+			for _, c := range conds {
+				cases = append(cases, cse{c.sql, c.eval})
+			}
+			for i := range conds {
+				for j := range conds {
+					ci, cj := conds[i], conds[j]
+					cases = append(cases, cse{
+						sql:  "(" + ci.sql + ") AND (" + cj.sql + ")",
+						eval: func(r refRow) bool { return ci.eval(r) && cj.eval(r) },
+					})
+					cases = append(cases, cse{
+						sql:  "(" + ci.sql + ") OR (" + cj.sql + ")",
+						eval: func(r refRow) bool { return ci.eval(r) || cj.eval(r) },
+					})
+				}
+			}
+			for _, c := range cases {
+				want := 0
+				for _, r := range ref {
+					if c.eval(r) {
+						want++
+					}
+				}
+				got, err := db.QueryScalar("SELECT COUNT(*) FROM f WHERE " + c.sql)
+				if err != nil {
+					t.Fatalf("seed %d idx=%v %q: %v", seed, withIdx, c.sql, err)
+				}
+				if got.Int() != int64(want) {
+					t.Errorf("seed %d idx=%v %q: engine %d, reference %d", seed, withIdx, c.sql, got.Int(), want)
+				}
+			}
+		}
+	}
+}
+
+func TestFuzzAggregatesAgainstReference(t *testing.T) {
+	db, ref := fuzzFixture(3, true)
+	// GROUP BY b with several aggregates.
+	rows, err := db.Query(`SELECT b, COUNT(*), COUNT(a), SUM(c), MIN(a), MAX(c) FROM f GROUP BY b ORDER BY b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type agg struct {
+		n, nA, sumC int64
+		minA, maxC  int64
+		hasA, hasC  bool
+	}
+	refAgg := map[string]*agg{}
+	for _, r := range ref {
+		g := refAgg[r.b]
+		if g == nil {
+			g = &agg{}
+			refAgg[r.b] = g
+		}
+		g.n++
+		if !r.aNull {
+			g.nA++
+			if !g.hasA || r.a < g.minA {
+				g.minA = r.a
+			}
+			g.hasA = true
+		}
+		if !r.cNull {
+			g.sumC += r.c
+			if !g.hasC || r.c > g.maxC {
+				g.maxC = r.c
+			}
+			g.hasC = true
+		}
+	}
+	var keys []string
+	for k := range refAgg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if rows.Len() != len(keys) {
+		t.Fatalf("groups: %d vs %d", rows.Len(), len(keys))
+	}
+	for i, k := range keys {
+		g := refAgg[k]
+		r := rows.Data[i]
+		if r[0].Text() != k || r[1].Int() != g.n || r[2].Int() != g.nA ||
+			r[3].Int() != g.sumC || r[4].Int() != g.minA || r[5].Int() != g.maxC {
+			t.Errorf("group %s: engine %v, reference %+v", k, r, g)
+		}
+	}
+}
+
+func TestFuzzSelfJoinAgainstReference(t *testing.T) {
+	db, ref := fuzzFixture(5, true)
+	// Self equi-join on a with a residual condition.
+	want := 0
+	for _, x := range ref {
+		for _, y := range ref {
+			if !x.aNull && !y.aNull && x.a == y.a && x.b < y.b {
+				want++
+			}
+		}
+	}
+	got, err := db.QueryScalar(`SELECT COUNT(*) FROM f x, f y WHERE x.a = y.a AND x.b < y.b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != int64(want) {
+		t.Errorf("self join: engine %d, reference %d", got.Int(), want)
+	}
+	// ORDER BY + LIMIT determinism against reference sort.
+	rows, err := db.Query(`SELECT a, b, c FROM f WHERE a IS NOT NULL ORDER BY a DESC, b, c LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		a    int64
+		b    string
+		c    int64
+		cNul bool
+	}
+	var sorted []key
+	for _, r := range ref {
+		if r.aNull {
+			continue
+		}
+		sorted = append(sorted, key{r.a, r.b, r.c, r.cNull})
+	}
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].a != sorted[j].a {
+			return sorted[i].a > sorted[j].a
+		}
+		if sorted[i].b != sorted[j].b {
+			return sorted[i].b < sorted[j].b
+		}
+		// NULL c sorts first ascending.
+		if sorted[i].cNul != sorted[j].cNul {
+			return sorted[i].cNul
+		}
+		return sorted[i].c < sorted[j].c
+	})
+	for i := 0; i < 10 && i < rows.Len(); i++ {
+		r := rows.Data[i]
+		w := sorted[i]
+		cMatches := (r[2].IsNull() && w.cNul) || (!r[2].IsNull() && !w.cNul && r[2].Int() == w.c)
+		if r[0].Int() != w.a || r[1].Text() != w.b || !cMatches {
+			t.Errorf("row %d: engine %v, reference %+v", i, r, w)
+		}
+	}
+}
+
+func TestFuzzDistinctAgainstReference(t *testing.T) {
+	db, ref := fuzzFixture(9, false)
+	seen := map[string]bool{}
+	for _, r := range ref {
+		a := "null"
+		if !r.aNull {
+			a = fmt.Sprint(r.a)
+		}
+		seen[a+"|"+r.b] = true
+	}
+	got, err := db.QueryScalar(`SELECT COUNT(*) FROM (SELECT DISTINCT a, b FROM f) d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != int64(len(seen)) {
+		t.Errorf("distinct: engine %d, reference %d", got.Int(), len(seen))
+	}
+}

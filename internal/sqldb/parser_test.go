@@ -1,0 +1,176 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) Stmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return stmt
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE t (a INTEGER PRIMARY KEY, b TEXT NOT NULL, c REAL, d BOOLEAN, e VARCHAR(20))`)
+	ct, ok := stmt.(*CreateTableStmt)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if ct.Def.Name != "t" || len(ct.Def.Columns) != 5 {
+		t.Fatalf("def = %+v", ct.Def)
+	}
+	if ct.Def.Columns[0].Type != TypeInt || ct.Def.Columns[1].Type != TypeText ||
+		ct.Def.Columns[2].Type != TypeFloat || ct.Def.Columns[3].Type != TypeBool ||
+		ct.Def.Columns[4].Type != TypeText {
+		t.Fatalf("column types wrong: %+v", ct.Def.Columns)
+	}
+	if !ct.Def.Columns[1].NotNull {
+		t.Error("b should be NOT NULL")
+	}
+	if len(ct.Def.PrimaryKey) != 1 || ct.Def.PrimaryKey[0] != 0 {
+		t.Errorf("primary key = %v", ct.Def.PrimaryKey)
+	}
+}
+
+func TestParseCompositePrimaryKey(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a, b))`)
+	ct := stmt.(*CreateTableStmt)
+	if len(ct.Def.PrimaryKey) != 2 {
+		t.Fatalf("pk = %v", ct.Def.PrimaryKey)
+	}
+}
+
+func TestParseSelectShapes(t *testing.T) {
+	cases := []string{
+		`SELECT 1`,
+		`SELECT * FROM t`,
+		`SELECT t.* FROM t`,
+		`SELECT a, b AS bee, a + b * 2 FROM t WHERE a > 1 AND NOT (b = 2 OR c < 3)`,
+		`SELECT a FROM t1, t2 WHERE t1.x = t2.y`,
+		`SELECT a FROM t1 JOIN t2 ON t1.x = t2.y LEFT JOIN t3 ON t2.z = t3.w`,
+		`SELECT a FROM t1 CROSS JOIN t2`,
+		`SELECT COUNT(*), SUM(a), AVG(b), MIN(c), MAX(d), COUNT(DISTINCT e) FROM t GROUP BY f HAVING COUNT(*) > 2`,
+		`SELECT a FROM t ORDER BY a DESC, b ASC LIMIT 10 OFFSET 5`,
+		`SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT IN (SELECT c FROM u)`,
+		`SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.x = t.a)`,
+		`SELECT a FROM t WHERE b BETWEEN 1 AND 10 AND c NOT BETWEEN 2 AND 3`,
+		`SELECT a FROM t WHERE b LIKE 'x%' ESCAPE '\'`,
+		`SELECT a FROM t WHERE b IS NULL OR c IS NOT NULL`,
+		`SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END FROM t`,
+		`SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t`,
+		`SELECT CAST(a AS TEXT) FROM t`,
+		`SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY 1`,
+		`SELECT a FROM (SELECT b AS a FROM u) sub WHERE a > 0`,
+		`SELECT a FROM t WHERE x = ? AND y > ?`,
+		`SELECT "quoted ident", 'string' FROM "weird table"`,
+		`SELECT LENGTH(a) || '!' FROM t`,
+		`SELECT -a, +b FROM t`,
+		`SELECT (SELECT MAX(x) FROM u) FROM t`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("parse %q: %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{`SELECT`, "expected"},
+		{`SELECT a FROM`, "expected identifier"},
+		{`SELECT a FROM t WHERE`, "unexpected token"},
+		{`CREATE TABLE t (a BADTYPE)`, "type"},
+		{`INSERT INTO t VALUES`, `expected "("`},
+		{`SELECT a FROM t UNION SELECT b FROM u`, "UNION ALL"},
+		{`SELECT a FROM t trailing garbage ON`, "trailing"},
+		{`SELECT 'unterminated`, "unterminated"},
+		{`SELECT "unterminated`, "unterminated"},
+		{`SELECT a FROM (SELECT 1)`, "alias"},
+		{`DELETE t`, "FROM"},
+		{`SELECT CASE END FROM t`, "unexpected keyword"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("parse %q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("parse %q: error %q does not mention %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestParseInsertForms(t *testing.T) {
+	stmt := mustParse(t, `INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')`)
+	ins := stmt.(*InsertStmt)
+	if len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	stmt = mustParse(t, `INSERT INTO t SELECT a, b FROM u WHERE a > 0`)
+	ins = stmt.(*InsertStmt)
+	if ins.Select == nil {
+		t.Fatal("expected INSERT ... SELECT")
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	stmt := mustParse(t, `UPDATE t SET a = a + 1, b = 'x' WHERE c = 2`)
+	up := stmt.(*UpdateStmt)
+	if len(up.Sets) != 2 || up.Where == nil {
+		t.Fatalf("update = %+v", up)
+	}
+	stmt = mustParse(t, `DELETE FROM t`)
+	del := stmt.(*DeleteStmt)
+	if del.Where != nil {
+		t.Fatal("expected no WHERE")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	stmt := mustParse(t, "SELECT a -- comment here\nFROM t -- another\n")
+	if _, ok := stmt.(*SelectStmt); !ok {
+		t.Fatalf("got %T", stmt)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	stmt := mustParse(t, `SELECT 1 + 2 * 3`)
+	sel := stmt.(*SelectStmt)
+	b, ok := sel.Items[0].Expr.(*BinaryExpr)
+	if !ok || b.Op != "+" {
+		t.Fatalf("top op = %v", sel.Items[0].Expr)
+	}
+	r, ok := b.R.(*BinaryExpr)
+	if !ok || r.Op != "*" {
+		t.Fatalf("* must bind tighter: %v", b.R)
+	}
+	// AND binds tighter than OR.
+	stmt = mustParse(t, `SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3`)
+	w := stmt.(*SelectStmt).Where.(*BinaryExpr)
+	if w.Op != "OR" {
+		t.Fatalf("top where op = %s", w.Op)
+	}
+}
+
+func TestParamNumbering(t *testing.T) {
+	stmt := mustParse(t, `SELECT ? FROM t WHERE a = ? AND b = ?`)
+	sel := stmt.(*SelectStmt)
+	p0 := sel.Items[0].Expr.(*Param)
+	if p0.Idx != 0 {
+		t.Fatalf("first param idx = %d", p0.Idx)
+	}
+	and := sel.Where.(*BinaryExpr)
+	p1 := and.L.(*BinaryExpr).R.(*Param)
+	p2 := and.R.(*BinaryExpr).R.(*Param)
+	if p1.Idx != 1 || p2.Idx != 2 {
+		t.Fatalf("param idxs = %d, %d", p1.Idx, p2.Idx)
+	}
+}

@@ -1,0 +1,107 @@
+package sqldb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Snapshot persistence: Save writes the whole database (schemas, live
+// rows, index definitions) as a gob stream; LoadFrom rebuilds it,
+// re-deriving the B-trees. This is checkpoint-style durability — the
+// WAL/recovery machinery of a production engine is out of the
+// reproduction's scope (DESIGN.md), but a shredded store can be written
+// to disk and reopened, which is the property the paper's "persist"
+// use case needs.
+
+const snapshotMagic = "xmlrdb-snapshot-v1"
+
+type savedColumn struct {
+	Name    string
+	Type    Type
+	NotNull bool
+}
+
+type savedTable struct {
+	Name       string
+	Columns    []savedColumn
+	PrimaryKey []int
+	Rows       [][]Value
+	Indexes    []IndexDef
+}
+
+type snapshot struct {
+	Magic  string
+	Tables []savedTable
+}
+
+// Save writes a snapshot of the database.
+func (db *Database) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snap := snapshot{Magic: snapshotMagic}
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := db.tables[n]
+		st := savedTable{
+			Name:       t.def.Name,
+			PrimaryKey: append([]int{}, t.def.PrimaryKey...),
+		}
+		for _, c := range t.def.Columns {
+			st.Columns = append(st.Columns, savedColumn{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
+		}
+		for _, row := range t.rows {
+			if row != nil {
+				st.Rows = append(st.Rows, row)
+			}
+		}
+		for _, idx := range t.indexes {
+			if idx == t.pkIndex {
+				continue // re-derived from the primary key
+			}
+			st.Indexes = append(st.Indexes, idx.def)
+		}
+		snap.Tables = append(snap.Tables, st)
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// LoadFrom rebuilds a database from a snapshot written by Save.
+func LoadFrom(r io.Reader) (*Database, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("sqldb: reading snapshot: %w", err)
+	}
+	if snap.Magic != snapshotMagic {
+		return nil, errorf("not a database snapshot (magic %q)", snap.Magic)
+	}
+	db := New()
+	for _, st := range snap.Tables {
+		def := TableDef{Name: st.Name, PrimaryKey: append([]int{}, st.PrimaryKey...)}
+		for _, c := range st.Columns {
+			def.Columns = append(def.Columns, Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
+		}
+		if err := db.CreateTableDef(def); err != nil {
+			return nil, err
+		}
+		if _, err := db.BulkInsert(st.Name, st.Rows); err != nil {
+			return nil, fmt.Errorf("sqldb: restoring %s: %w", st.Name, err)
+		}
+		tbl := db.table(st.Name)
+		for _, idef := range st.Indexes {
+			d := idef
+			d.Columns = append([]int{}, idef.Columns...)
+			if _, err := tbl.addIndex(d); err != nil {
+				return nil, fmt.Errorf("sqldb: rebuilding index %s: %w", d.Name, err)
+			}
+			db.indexes[strings.ToLower(d.Name)] = &d
+		}
+	}
+	return db, nil
+}

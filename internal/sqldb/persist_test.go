@@ -1,0 +1,115 @@
+package sqldb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := testDB(t)
+	db.MustExec(`CREATE INDEX nums_grp ON nums (grp)`)
+	db.MustExec(`CREATE UNIQUE INDEX nums_label ON nums (label)`)
+	db.MustExec(`DELETE FROM nums WHERE n > 90`) // tombstones must not persist
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same data through the same queries.
+	queries := []string{
+		`SELECT COUNT(*) FROM nums`,
+		`SELECT SUM(n) FROM nums WHERE grp = 'even'`,
+		`SELECT COUNT(*) FROM nums, tags WHERE nums.n = tags.n`,
+		`SELECT MAX(n) FROM nums`,
+	}
+	for _, q := range queries {
+		a, err := db.QueryScalar(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := re.QueryScalar(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Compare(a, b) != 0 {
+			t.Errorf("%s: %v vs %v", q, a, b)
+		}
+	}
+
+	// Indexes were rebuilt: plans use them and constraints hold.
+	plan, err := re.Explain(`SELECT COUNT(*) FROM nums WHERE grp = 'even'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "nums_grp") {
+		t.Errorf("restored plan does not use the secondary index:\n%s", plan)
+	}
+	if _, err := re.Exec(`INSERT INTO nums VALUES (200, 0, 'n001', 'even')`); err == nil {
+		t.Error("unique index not enforced after restore")
+	}
+	if _, err := re.Exec(`INSERT INTO nums VALUES (1, 0, 'nX', 'even')`); err == nil {
+		t.Error("primary key not enforced after restore")
+	}
+
+	// Restored database is independently writable.
+	if _, err := re.Exec(`INSERT INTO nums VALUES (200, 0, 'n200', 'even')`); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := db.QueryScalar(`SELECT COUNT(*) FROM nums`)
+	b, _ := re.QueryScalar(`SELECT COUNT(*) FROM nums`)
+	if b.Int() != a.Int()+1 {
+		t.Errorf("restore not independent: %v vs %v", a, b)
+	}
+}
+
+func TestLoadFromRejectsGarbage(t *testing.T) {
+	if _, err := LoadFrom(strings.NewReader("not a snapshot")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	db := New()
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.TableNames()) != 0 {
+		t.Errorf("empty snapshot restored tables: %v", re.TableNames())
+	}
+}
+
+func TestSaveLoadValueTypes(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE v (i INTEGER, f REAL, s TEXT, b BOOLEAN)`)
+	db.MustExec(`INSERT INTO v VALUES (1, 2.5, 'x', TRUE), (NULL, NULL, NULL, NULL)`)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := re.Query(`SELECT * FROM v ORDER BY i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("rows = %d", rows.Len())
+	}
+	if !rows.Data[0][0].IsNull() {
+		t.Errorf("NULLs lost: %v", rows.Data[0])
+	}
+	r := rows.Data[1]
+	if r[0].Int() != 1 || r[1].Float() != 2.5 || r[2].Text() != "x" || !r[3].Bool() {
+		t.Errorf("typed row = %v", r)
+	}
+}

@@ -1,0 +1,410 @@
+package sqldb
+
+import "strings"
+
+// Cost-based join ordering. For every possible starting relation, a
+// greedy chain is simulated under a cardinality model fed by the B-tree
+// distinct-prefix statistics; the order with the lowest total
+// intermediate cardinality wins. With the handful of relations XPath
+// translations produce (≤ ~8), trying every start is cheap and fixes
+// the classic greedy failure of starting at the wrong end of a join
+// chain (e.g. scanning the root instead of probing the value index).
+
+// conjInfo is the planner's precomputed view of one conjunct.
+type conjInfo struct {
+	aliases map[string]bool
+	// eqCol maps a relation index to the column the conjunct equates
+	// (for "=" conjuncts with a plain column on that side).
+	eqCol map[int]int
+	sel   float64
+	isEq  bool
+}
+
+func buildConjInfos(conjs []conjunct, rels []relation) []conjInfo {
+	infos := make([]conjInfo, len(conjs))
+	for i := range conjs {
+		c := &conjs[i]
+		info := conjInfo{aliases: c.aliases, eqCol: map[int]int{}, sel: conjSelectivity(c.expr)}
+		if b, ok := c.expr.(*BinaryExpr); ok && b.Op == "=" {
+			info.isEq = true
+			for ri := range rels {
+				relSch := rels[ri].node.sch()
+				if col := candColumn(b.L, &rels[ri], relSch); col >= 0 {
+					info.eqCol[ri] = col
+				} else if col := candColumn(b.R, &rels[ri], relSch); col >= 0 {
+					info.eqCol[ri] = col
+				}
+			}
+		}
+		infos[i] = info
+	}
+	return infos
+}
+
+// estRelRows estimates the cardinality of accessing rel alone with its
+// single-alias conjuncts applied, using index distinct statistics for
+// equality bounds.
+func estRelRows(rel *relation, infos []conjInfo, conjs []conjunct, relIdx int) float64 {
+	base := rel.node.estRows()
+	var eqCols []int
+	other := 1.0
+	ca := strings.ToLower(rel.alias)
+	for i := range conjs {
+		c := &conjs[i]
+		if c.used || c.complex || len(c.aliases) != 1 || !c.aliases[ca] {
+			continue
+		}
+		if col, ok := infos[i].eqCol[relIdx]; ok && infos[i].isEq {
+			eqCols = append(eqCols, col)
+		} else {
+			other *= infos[i].sel
+		}
+	}
+	return estWithEq(rel, eqCols, other, base)
+}
+
+// estWithEq applies equality bounds on eqCols plus a residual
+// selectivity to a base cardinality. Each equality contributes
+// 1/distinct(col) using the distinct-prefix statistic of any index whose
+// leading column matches; a multi-column index covering several bound
+// columns refines the joint estimate.
+func estWithEq(rel *relation, eqCols []int, residualSel, base float64) float64 {
+	if len(eqCols) == 0 || rel.tbl == nil {
+		v := base * residualSel
+		for range eqCols {
+			v *= 0.05
+		}
+		if v < 0.5 {
+			v = 0.5
+		}
+		return v
+	}
+	live := float64(rel.tbl.live)
+	if live < 1 {
+		live = 1
+	}
+	// Per-column independence estimate.
+	seen := map[int]bool{}
+	sel := 1.0
+	for _, ec := range eqCols {
+		if seen[ec] {
+			continue
+		}
+		seen[ec] = true
+		d := 0
+		for _, idx := range rel.tbl.indexes {
+			if idx.def.Columns[0] == ec {
+				if dp := idx.tree.DistinctPrefix(1); dp > d {
+					d = dp
+				}
+			}
+		}
+		if d > 0 {
+			sel *= 1 / float64(d)
+		} else {
+			sel *= 0.05
+		}
+	}
+	est := live * sel
+	// Joint refinement from the longest multi-column eq prefix.
+	for _, idx := range rel.tbl.indexes {
+		l := 0
+		for _, ic := range idx.def.Columns {
+			found := false
+			for _, ec := range eqCols {
+				if ec == ic {
+					found = true
+					break
+				}
+			}
+			if !found {
+				break
+			}
+			l++
+		}
+		if l >= 2 {
+			joint := live / float64(idx.tree.DistinctPrefix(l))
+			if joint < est {
+				est = joint
+			}
+		}
+	}
+	est *= residualSel
+	if est < 0.05 {
+		est = 0.05
+	}
+	return est
+}
+
+// estJoinFanout estimates how many rows of cand match one row of the
+// placed set.
+func estJoinFanout(rels []relation, infos []conjInfo, conjs []conjunct, placed map[string]bool, cand int) float64 {
+	rel := &rels[cand]
+	ca := strings.ToLower(rel.alias)
+	var eqCols []int
+	other := 1.0
+	connected := false
+	for i := range conjs {
+		c := &conjs[i]
+		if c.used || c.complex {
+			continue
+		}
+		if !c.aliases[ca] {
+			continue
+		}
+		applicable := true
+		isJoin := false
+		for a := range c.aliases {
+			if a == ca {
+				continue
+			}
+			isJoin = true
+			if !placed[a] {
+				applicable = false
+				break
+			}
+		}
+		if !applicable {
+			continue
+		}
+		if len(c.aliases) == 1 || isJoin {
+			if isJoin {
+				connected = true
+			}
+			if col, ok := infos[i].eqCol[cand]; ok && infos[i].isEq {
+				eqCols = append(eqCols, col)
+				continue
+			}
+			other *= infos[i].sel
+		}
+	}
+	est := estWithEq(rel, eqCols, other, rel.node.estRows())
+	if !connected && len(eqCols) == 0 && other == 1.0 {
+		// Pure cross join.
+		return rel.node.estRows()
+	}
+	return est
+}
+
+// sampleRowCap bounds plan-time sampling: simulated chains stop counting
+// past this many intermediate rows and take a fixed overflow penalty.
+const sampleRowCap = 512
+
+// sampledJoinOrder picks a join order by executing candidate chains on
+// capped samples: for every start relation a greedy chain is built with
+// the real physical operators, each step capped at sampleRowCap rows,
+// and the order with the smallest observed total intermediate
+// cardinality wins. This sees through the correlation and skew that
+// defeat independence-based estimates (e.g. that all 10^3 'row' edges
+// are children of the single root). It declines (ok=false) when the
+// query is not cheaply sampleable: correlated outer references, bound
+// parameters, too many relations.
+func sampledJoinOrder(db *Database, rels []relation, conjs []conjunct, outer schema) ([]int, bool) {
+	if len(rels) == 1 {
+		return []int{0}, true
+	}
+	if len(rels) > 8 {
+		return nil, false
+	}
+	saved := make([]bool, len(conjs))
+	for i := range conjs {
+		saved[i] = conjs[i].used
+	}
+	restore := func(flags []bool) {
+		for i := range conjs {
+			conjs[i].used = flags[i]
+		}
+	}
+	snapshot := func() []bool {
+		out := make([]bool, len(conjs))
+		for i := range conjs {
+			out[i] = conjs[i].used
+		}
+		return out
+	}
+	defer restore(saved)
+
+	ctx := &evalCtx{db: db}
+	runCapped := func(n planNode) ([][]Value, bool, error) {
+		it, err := n.open(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		defer it.close()
+		var rows [][]Value
+		for {
+			r, err := it.next()
+			if err != nil {
+				return nil, false, err
+			}
+			if r == nil {
+				return rows, true, nil
+			}
+			rows = append(rows, r)
+			if len(rows) > sampleRowCap {
+				return rows, false, nil
+			}
+		}
+	}
+	const overflowCost = float64(sampleRowCap) * 4
+
+	var bestOrder []int
+	bestCost := -1.0
+	for start := range rels {
+		restore(saved)
+		order := []int{start}
+		placed := map[string]bool{strings.ToLower(rels[start].alias): true}
+		node, err := buildAccessPath(db, &rels[start], rels[start].own, outer)
+		if err != nil {
+			return nil, false
+		}
+		rows, complete, err := runCapped(node)
+		if err != nil {
+			return nil, false // not sampleable (outer refs, params)
+		}
+		cost := float64(len(rows))
+		overflow := !complete
+		cur := planNode(&valuesNode{rows: rows, schema: node.sch()})
+		remaining := make([]int, 0, len(rels)-1)
+		for i := range rels {
+			if i != start {
+				remaining = append(remaining, i)
+			}
+		}
+		for len(remaining) > 0 && !overflow {
+			trialBase := snapshot()
+			bestCand := -1
+			bestScore := 0.0
+			var bestRows [][]Value
+			var bestSch schema
+			bestComplete := false
+			for _, cand := range remaining {
+				restore(trialBase)
+				cross := !hasJoinLink(conjs, rels, placed, cand)
+				jn, err := joinRelation(db, cur, &rels[cand], conjs, rels, placed, cross, outer)
+				if err != nil {
+					return nil, false
+				}
+				rws, comp, err := runCapped(jn)
+				if err != nil {
+					return nil, false
+				}
+				score := float64(len(rws))
+				if !comp {
+					score = overflowCost
+				}
+				if cross {
+					score *= 4 // discourage cartesian steps when a link exists elsewhere
+				}
+				if bestCand < 0 || score < bestScore {
+					bestCand = cand
+					bestScore = score
+					bestRows = rws
+					bestSch = jn.sch()
+					bestComplete = comp
+				}
+			}
+			// Commit the winner (re-run to set used flags consistently).
+			restore(trialBase)
+			cross := !hasJoinLink(conjs, rels, placed, bestCand)
+			if _, err := joinRelation(db, cur, &rels[bestCand], conjs, rels, placed, cross, outer); err != nil {
+				return nil, false
+			}
+			placed[strings.ToLower(rels[bestCand].alias)] = true
+			order = append(order, bestCand)
+			for k, r := range remaining {
+				if r == bestCand {
+					remaining = append(remaining[:k], remaining[k+1:]...)
+					break
+				}
+			}
+			if !bestComplete {
+				overflow = true
+				cost += overflowCost
+				break
+			}
+			cost += float64(len(bestRows))
+			cur = &valuesNode{rows: bestRows, schema: bestSch}
+		}
+		// Unplaced tail after overflow: keep input order.
+		order = append(order, remaining...)
+		if bestCost < 0 || cost < bestCost {
+			bestCost = cost
+			bestOrder = order
+		}
+	}
+	restore(saved)
+	// When even the best chain overflowed the cap, sampling observed
+	// nothing that distinguishes the orders — defer to the estimate
+	// model rather than committing to an arbitrary plugged order.
+	if bestCost >= overflowCost {
+		return nil, false
+	}
+	return bestOrder, true
+}
+
+// chooseJoinOrder returns the relation order minimizing the summed
+// intermediate cardinalities across all greedy chains.
+func chooseJoinOrder(rels []relation, conjs []conjunct) []int {
+	n := len(rels)
+	if n == 1 {
+		return []int{0}
+	}
+	infos := buildConjInfos(conjs, rels)
+
+	simulate := func(start int) ([]int, float64) {
+		order := []int{start}
+		placed := map[string]bool{strings.ToLower(rels[start].alias): true}
+		cur := estRelRows(&rels[start], infos, conjs, start)
+		total := cur
+		remaining := make([]int, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i != start {
+				remaining = append(remaining, i)
+			}
+		}
+		for len(remaining) > 0 {
+			best := -1
+			bestCost := 0.0
+			bestConnected := false
+			for _, cand := range remaining {
+				connected := hasJoinLink(conjs, rels, placed, cand)
+				fan := estJoinFanout(rels, infos, conjs, placed, cand)
+				cost := cur * fan
+				// Prefer connected candidates categorically.
+				if best < 0 ||
+					(connected && !bestConnected) ||
+					(connected == bestConnected && cost < bestCost) {
+					best = cand
+					bestCost = cost
+					bestConnected = connected
+				}
+			}
+			cur = bestCost
+			if cur < 0.5 {
+				cur = 0.5
+			}
+			total += cur
+			placed[strings.ToLower(rels[best].alias)] = true
+			order = append(order, best)
+			for k, r := range remaining {
+				if r == best {
+					remaining = append(remaining[:k], remaining[k+1:]...)
+					break
+				}
+			}
+		}
+		return order, total
+	}
+
+	var bestOrder []int
+	bestTotal := 0.0
+	for start := 0; start < n; start++ {
+		order, total := simulate(start)
+		if bestOrder == nil || total < bestTotal {
+			bestOrder = order
+			bestTotal = total
+		}
+	}
+	return bestOrder
+}

@@ -1,0 +1,46 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name    string
+	Type    Type
+	NotNull bool
+}
+
+// TableDef is the schema of a table.
+type TableDef struct {
+	Name    string
+	Columns []Column
+	// PrimaryKey holds column ordinals forming the primary key, or nil.
+	PrimaryKey []int
+}
+
+// ColumnIndex returns the ordinal of the named column (case-insensitive)
+// or -1.
+func (d *TableDef) ColumnIndex(name string) int {
+	for i := range d.Columns {
+		if strings.EqualFold(d.Columns[i].Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// IndexDef describes a secondary index.
+type IndexDef struct {
+	Name    string
+	Table   string
+	Columns []int // column ordinals, in key order
+	Unique  bool
+}
+
+// errorf builds engine errors with a uniform prefix so callers can
+// distinguish them from I/O errors.
+func errorf(format string, args ...any) error {
+	return fmt.Errorf("sqldb: "+format, args...)
+}

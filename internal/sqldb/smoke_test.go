@@ -1,0 +1,107 @@
+package sqldb
+
+import (
+	"testing"
+)
+
+func mustQuery(t *testing.T, db *Database, sql string, args ...Value) *Rows {
+	t.Helper()
+	rows, err := db.Query(sql, args...)
+	if err != nil {
+		t.Fatalf("query %q: %v", sql, err)
+	}
+	return rows
+}
+
+func TestSmokeEndToEnd(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE emp (id INTEGER PRIMARY KEY, name TEXT NOT NULL, dept TEXT, salary REAL)`)
+	db.MustExec(`CREATE TABLE dept (name TEXT PRIMARY KEY, city TEXT)`)
+	db.MustExec(`INSERT INTO emp VALUES (1,'ann','eng',100.0),(2,'bob','eng',90.0),(3,'carol','sales',80.0),(4,'dan',NULL,70.0)`)
+	db.MustExec(`INSERT INTO dept VALUES ('eng','berlin'),('sales','paris')`)
+
+	rows := mustQuery(t, db, `SELECT name FROM emp WHERE salary > 75 ORDER BY name`)
+	if rows.Len() != 3 {
+		t.Fatalf("expected 3 rows, got %d: %v", rows.Len(), rows.Data)
+	}
+	if rows.Data[0][0].Text() != "ann" || rows.Data[2][0].Text() != "carol" {
+		t.Fatalf("bad order: %v", rows.Data)
+	}
+
+	// Join with aggregation.
+	rows = mustQuery(t, db, `
+		SELECT d.city, COUNT(*) AS n, AVG(e.salary) AS avg_sal
+		FROM emp e, dept d
+		WHERE e.dept = d.name
+		GROUP BY d.city
+		ORDER BY n DESC`)
+	if rows.Len() != 2 {
+		t.Fatalf("expected 2 groups, got %d: %v", rows.Len(), rows.Data)
+	}
+	if rows.Data[0][0].Text() != "berlin" || rows.Data[0][1].Int() != 2 {
+		t.Fatalf("bad group row: %v", rows.Data[0])
+	}
+	if rows.Data[0][2].Float() != 95.0 {
+		t.Fatalf("bad avg: %v", rows.Data[0][2])
+	}
+
+	// Subqueries.
+	rows = mustQuery(t, db, `SELECT name FROM emp WHERE dept IN (SELECT name FROM dept WHERE city = 'paris')`)
+	if rows.Len() != 1 || rows.Data[0][0].Text() != "carol" {
+		t.Fatalf("IN subquery: %v", rows.Data)
+	}
+	rows = mustQuery(t, db, `SELECT name FROM emp e WHERE EXISTS (SELECT 1 FROM dept d WHERE d.name = e.dept AND d.city = 'berlin') ORDER BY 1`)
+	if rows.Len() != 2 || rows.Data[0][0].Text() != "ann" {
+		t.Fatalf("EXISTS: %v", rows.Data)
+	}
+
+	// NULL semantics.
+	rows = mustQuery(t, db, `SELECT name FROM emp WHERE dept IS NULL`)
+	if rows.Len() != 1 || rows.Data[0][0].Text() != "dan" {
+		t.Fatalf("IS NULL: %v", rows.Data)
+	}
+
+	// Parameters, LIKE, LIMIT.
+	rows = mustQuery(t, db, `SELECT name FROM emp WHERE name LIKE ? ORDER BY name LIMIT 1`, NewText("%a%"))
+	if rows.Len() != 1 || rows.Data[0][0].Text() != "ann" {
+		t.Fatalf("LIKE+LIMIT: %v", rows.Data)
+	}
+
+	// Update / delete.
+	n, err := db.Exec(`UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'`)
+	if err != nil || n != 2 {
+		t.Fatalf("update: n=%d err=%v", n, err)
+	}
+	v, err := db.QueryScalar(`SELECT SUM(salary) FROM emp WHERE dept = 'eng'`)
+	if err != nil || v.Float() != 210 {
+		t.Fatalf("sum after update: %v %v", v, err)
+	}
+	n, err = db.Exec(`DELETE FROM emp WHERE salary < 75`)
+	if err != nil || n != 1 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+
+	// UNION ALL.
+	rows = mustQuery(t, db, `SELECT name FROM emp WHERE dept='eng' UNION ALL SELECT name FROM emp WHERE dept='sales' ORDER BY 1`)
+	if rows.Len() != 3 {
+		t.Fatalf("union: %v", rows.Data)
+	}
+
+	// Secondary index + prepared statement.
+	db.MustExec(`CREATE INDEX emp_dept ON emp (dept)`)
+	prep, err := db.Prepare(`SELECT COUNT(*) FROM emp WHERE dept = ?`)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	r2, err := prep.Query(NewText("eng"))
+	if err != nil || r2.Data[0][0].Int() != 2 {
+		t.Fatalf("prepared: %v %v", r2, err)
+	}
+
+	// LEFT JOIN.
+	rows = mustQuery(t, db, `
+		SELECT e.name, d.city FROM emp e LEFT JOIN dept d ON e.dept = d.name ORDER BY e.name`)
+	if rows.Len() != 3 {
+		t.Fatalf("left join rows: %v", rows.Data)
+	}
+}

@@ -1,0 +1,194 @@
+package sqldb
+
+// table is the heap storage for one relation: a slice of rows addressed
+// by rowid, with nil tombstones for deleted rows. Secondary structures
+// (B-tree indexes) reference rows by rowid.
+type table struct {
+	def     *TableDef
+	rows    [][]Value
+	live    int
+	indexes []*tableIndex
+	pkIndex *tableIndex // non-nil when the table has a primary key
+	bytes   int64       // rough payload size, maintained incrementally
+}
+
+type tableIndex struct {
+	def  IndexDef
+	tree *btree
+}
+
+func newTable(def *TableDef) *table {
+	t := &table{def: def}
+	if len(def.PrimaryKey) > 0 {
+		pk := &tableIndex{
+			def: IndexDef{
+				Name:    def.Name + "_pk",
+				Table:   def.Name,
+				Columns: def.PrimaryKey,
+				Unique:  true,
+			},
+			tree: newBtree(),
+		}
+		t.pkIndex = pk
+		t.indexes = append(t.indexes, pk)
+	}
+	return t
+}
+
+// valueBytes estimates the storage footprint of a value, used for the
+// database-size experiment (T1).
+func valueBytes(v Value) int64 {
+	switch v.T {
+	case TypeNull:
+		return 1
+	case TypeInt, TypeFloat, TypeBool:
+		return 8
+	case TypeText:
+		return int64(len(v.S)) + 4
+	case TypeBlob:
+		return int64(len(v.B)) + 4
+	default:
+		return 8
+	}
+}
+
+func (t *table) rowBytes(row []Value) int64 {
+	var n int64
+	for _, v := range row {
+		n += valueBytes(v)
+	}
+	return n
+}
+
+// indexKey extracts the key columns for idx from a row.
+func indexKey(idx *tableIndex, row []Value) []Value {
+	key := make([]Value, len(idx.def.Columns))
+	for i, c := range idx.def.Columns {
+		key[i] = row[c]
+	}
+	return key
+}
+
+// insert appends a row (already coerced and validated) and maintains all
+// indexes. It returns the new rowid.
+func (t *table) insert(row []Value) (int64, error) {
+	if t.pkIndex != nil {
+		key := indexKey(t.pkIndex, row)
+		if rid, ok := t.lookupUnique(t.pkIndex, key); ok && t.rows[rid] != nil {
+			return 0, errorf("table %s: duplicate primary key %v", t.def.Name, key)
+		}
+	}
+	for _, idx := range t.indexes {
+		if idx.def.Unique && idx != t.pkIndex {
+			key := indexKey(idx, row)
+			if rid, ok := t.lookupUnique(idx, key); ok && t.rows[rid] != nil {
+				return 0, errorf("table %s: unique index %s violated", t.def.Name, idx.def.Name)
+			}
+		}
+	}
+	rid := int64(len(t.rows))
+	t.rows = append(t.rows, row)
+	t.live++
+	t.bytes += t.rowBytes(row)
+	for _, idx := range t.indexes {
+		idx.tree.Insert(indexKey(idx, row), rid)
+	}
+	return rid, nil
+}
+
+// lookupUnique finds a rowid whose full index key equals key.
+func (t *table) lookupUnique(idx *tableIndex, key []Value) (int64, bool) {
+	c := idx.tree.seek(key)
+	if !c.valid() {
+		return 0, false
+	}
+	e := c.entry()
+	if prefixCompare(e.key, key) != 0 || len(e.key) != len(key) {
+		return 0, false
+	}
+	return e.rid, true
+}
+
+// delete tombstones the row at rid and removes index entries.
+func (t *table) delete(rid int64) {
+	row := t.rows[rid]
+	if row == nil {
+		return
+	}
+	for _, idx := range t.indexes {
+		idx.tree.Delete(indexKey(idx, row), rid)
+	}
+	t.bytes -= t.rowBytes(row)
+	t.rows[rid] = nil
+	t.live--
+}
+
+// update replaces the row at rid, maintaining indexes.
+func (t *table) update(rid int64, row []Value) error {
+	old := t.rows[rid]
+	if old == nil {
+		return errorf("table %s: update of deleted row %d", t.def.Name, rid)
+	}
+	for _, idx := range t.indexes {
+		if !idx.def.Unique {
+			continue
+		}
+		newKey := indexKey(idx, row)
+		if compareKeys(newKey, indexKey(idx, old)) == 0 {
+			continue
+		}
+		if other, ok := t.lookupUnique(idx, newKey); ok && other != rid && t.rows[other] != nil {
+			return errorf("table %s: unique index %s violated by update", t.def.Name, idx.def.Name)
+		}
+	}
+	for _, idx := range t.indexes {
+		idx.tree.Delete(indexKey(idx, old), rid)
+	}
+	t.bytes += t.rowBytes(row) - t.rowBytes(old)
+	t.rows[rid] = row
+	for _, idx := range t.indexes {
+		idx.tree.Insert(indexKey(idx, row), rid)
+	}
+	return nil
+}
+
+// addIndex builds a new secondary index over existing rows.
+func (t *table) addIndex(def IndexDef) (*tableIndex, error) {
+	idx := &tableIndex{def: def, tree: newBtree()}
+	for rid, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		key := indexKey(idx, row)
+		if def.Unique {
+			if other, ok := t.lookupUnique(idx, key); ok && t.rows[other] != nil {
+				return nil, errorf("table %s: cannot build unique index %s: duplicate key %v", t.def.Name, def.Name, key)
+			}
+		}
+		idx.tree.Insert(key, int64(rid))
+	}
+	t.indexes = append(t.indexes, idx)
+	return idx, nil
+}
+
+// findIndex returns an index whose leading key columns cover cols in
+// order, preferring the shortest such index.
+func (t *table) findIndex(cols []int) *tableIndex {
+	var best *tableIndex
+	for _, idx := range t.indexes {
+		if len(idx.def.Columns) < len(cols) {
+			continue
+		}
+		match := true
+		for i, c := range cols {
+			if idx.def.Columns[i] != c {
+				match = false
+				break
+			}
+		}
+		if match && (best == nil || len(idx.def.Columns) < len(best.def.Columns)) {
+			best = idx
+		}
+	}
+	return best
+}

@@ -1,0 +1,243 @@
+package sqldb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v       Value
+		isNull  bool
+		i       int64
+		f       float64
+		s       string
+		boolish bool
+	}{
+		{Null, true, 0, 0, "", false},
+		{NewInt(42), false, 42, 42, "42", true},
+		{NewInt(0), false, 0, 0, "0", false},
+		{NewFloat(2.5), false, 2, 2.5, "2.5", true},
+		{NewText("7.5"), false, 7, 7.5, "7.5", true},
+		{NewText(""), false, 0, 0, "", false},
+		{NewText("abc"), false, 0, 0, "abc", true},
+		{NewBool(true), false, 1, 1, "true", true},
+		{NewBool(false), false, 0, 0, "false", false},
+	}
+	for _, c := range cases {
+		if c.v.IsNull() != c.isNull {
+			t.Errorf("%v IsNull = %v", c.v, c.v.IsNull())
+		}
+		if c.v.Int() != c.i {
+			t.Errorf("%v Int = %d, want %d", c.v, c.v.Int(), c.i)
+		}
+		if c.v.Float() != c.f {
+			t.Errorf("%v Float = %g, want %g", c.v, c.v.Float(), c.f)
+		}
+		if c.v.Text() != c.s {
+			t.Errorf("%v Text = %q, want %q", c.v, c.v.Text(), c.s)
+		}
+		if c.v.Bool() != c.boolish {
+			t.Errorf("%v Bool = %v, want %v", c.v, c.v.Bool(), c.boolish)
+		}
+	}
+}
+
+func TestCompareSemantics(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null, Null, 0},
+		{Null, NewInt(0), -1},
+		{NewInt(1), Null, 1},
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewFloat(2.5), 1},
+		{NewFloat(2.5), NewInt(3), -1},
+		{NewBool(true), NewInt(1), 0},
+		{NewText("a"), NewText("b"), -1},
+		{NewText("b"), NewText("b"), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: Compare is antisymmetric and transitive over random values.
+func TestCompareProperties(t *testing.T) {
+	gen := func(seed int64) Value {
+		switch seed % 4 {
+		case 0:
+			return Null
+		case 1:
+			return NewInt(seed % 100)
+		case 2:
+			return NewFloat(float64(seed%100) / 3)
+		default:
+			return NewText(string(rune('a' + seed%26)))
+		}
+	}
+	anti := func(x, y int64) bool {
+		a, b := gen(x), gen(y)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(anti, nil); err != nil {
+		t.Errorf("antisymmetry: %v", err)
+	}
+	trans := func(x, y, z int64) bool {
+		a, b, c := gen(x), gen(y), gen(z)
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 {
+			return Compare(a, c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+}
+
+func TestCompareSQLNullAndCoercion(t *testing.T) {
+	if _, ok := compareSQL(Null, NewInt(1)); ok {
+		t.Error("NULL comparison must be unknown")
+	}
+	if _, ok := compareSQL(NewInt(1), Null); ok {
+		t.Error("NULL comparison must be unknown")
+	}
+	// Text-vs-number coercion.
+	if cmp, ok := compareSQL(NewText("250.00"), NewInt(250)); !ok || cmp != 0 {
+		t.Errorf("'250.00' vs 250: cmp=%d ok=%v", cmp, ok)
+	}
+	if cmp, ok := compareSQL(NewText("99.5"), NewInt(250)); !ok || cmp >= 0 {
+		t.Errorf("'99.5' vs 250: cmp=%d ok=%v", cmp, ok)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if v := addValues(NewInt(2), NewInt(3)); v.T != TypeInt || v.I != 5 {
+		t.Errorf("2+3 = %v", v)
+	}
+	if v := addValues(NewInt(2), NewFloat(0.5)); v.T != TypeFloat || v.F != 2.5 {
+		t.Errorf("2+0.5 = %v", v)
+	}
+	if v := addValues(Null, NewInt(1)); !v.IsNull() {
+		t.Errorf("NULL+1 = %v", v)
+	}
+	if v := divValues(NewInt(7), NewInt(2)); v.Int() != 3 {
+		t.Errorf("7/2 = %v (integer division)", v)
+	}
+	if v := divValues(NewInt(7), NewInt(0)); !v.IsNull() {
+		t.Errorf("7/0 = %v, want NULL", v)
+	}
+	if v := modValues(NewInt(7), NewInt(4)); v.Int() != 3 {
+		t.Errorf("7%%4 = %v", v)
+	}
+	if v := mulValues(NewFloat(1.5), NewInt(4)); v.Float() != 6 {
+		t.Errorf("1.5*4 = %v", v)
+	}
+	if v := negValue(NewFloat(2.5)); v.F != -2.5 {
+		t.Errorf("-2.5 = %v", v)
+	}
+	if v := modValues(NewFloat(7.5), NewFloat(2)); math.Abs(v.Float()-1.5) > 1e-9 {
+		t.Errorf("7.5 mod 2 = %v", v)
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		esc  byte
+		want bool
+	}{
+		{"hello", "hello", 0, true},
+		{"hello", "h%", 0, true},
+		{"hello", "%llo", 0, true},
+		{"hello", "h_llo", 0, true},
+		{"hello", "h___o", 0, true},
+		{"hello", "h__l", 0, false},
+		{"hello", "%", 0, true},
+		{"", "%", 0, true},
+		{"", "_", 0, false},
+		{"a%b", `a\%b`, '\\', true},
+		{"aXb", `a\%b`, '\\', false},
+		{"a_b", `a\_b`, '\\', true},
+		{"abcabc", "%abc", 0, true},
+		{"abcabc", "abc%abc", 0, true},
+		{"hello", "HELLO", 0, false}, // case sensitive
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p, c.esc); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestLikePrefix(t *testing.T) {
+	cases := []struct {
+		p          string
+		prefix     string
+		prefixOnly bool
+	}{
+		{"abc%", "abc", true},
+		{"abc", "abc", false},
+		{"abc%def", "abc", false},
+		{"%abc", "", false},
+		{"a_c%", "a", false},
+		{`a\%b%`, "a%b", true},
+	}
+	for _, c := range cases {
+		esc := byte(0)
+		if c.p == `a\%b%` {
+			esc = '\\'
+		}
+		prefix, only := likePrefix(c.p, esc)
+		if prefix != c.prefix || only != c.prefixOnly {
+			t.Errorf("likePrefix(%q) = (%q, %v), want (%q, %v)", c.p, prefix, only, c.prefix, c.prefixOnly)
+		}
+	}
+}
+
+func TestCoerceTo(t *testing.T) {
+	if v := coerceTo(NewText("42"), TypeInt); v.T != TypeInt || v.I != 42 {
+		t.Errorf("coerce '42' to int = %v", v)
+	}
+	if v := coerceTo(NewInt(42), TypeText); v.T != TypeText || v.S != "42" {
+		t.Errorf("coerce 42 to text = %v", v)
+	}
+	if v := coerceTo(Null, TypeInt); !v.IsNull() {
+		t.Errorf("coerce NULL = %v", v)
+	}
+	if v := coerceTo(NewFloat(2.9), TypeInt); v.I != 2 {
+		t.Errorf("coerce 2.9 to int = %v", v)
+	}
+}
+
+func TestSuccString(t *testing.T) {
+	if s, ok := succString("abc"); !ok || s != "abd" {
+		t.Errorf("succ(abc) = %q %v", s, ok)
+	}
+	if s, ok := succString("ab\xff"); !ok || s != "ac" {
+		t.Errorf("succ(ab\\xff) = %q %v", s, ok)
+	}
+	if _, ok := succString("\xff\xff"); ok {
+		t.Error("succ(all-0xff) must report no bound")
+	}
+	// Property: prefix <= s with that prefix < succ(prefix).
+	prop := func(p, tail string) bool {
+		if p == "" {
+			return true
+		}
+		succ, ok := succString(p)
+		if !ok {
+			return true
+		}
+		s := p + tail
+		return p <= s && s < succ
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("succ bound property: %v", err)
+	}
+}

@@ -1,0 +1,297 @@
+package translate
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/xpath"
+)
+
+func TestQuoteHelpers(t *testing.T) {
+	if QuoteString("o'clock") != "'o''clock'" {
+		t.Errorf("QuoteString: %q", QuoteString("o'clock"))
+	}
+	if QuoteIdent("from") != `"from"` {
+		t.Errorf("QuoteIdent must always quote: %q", QuoteIdent("from"))
+	}
+	if QuoteIdent(`we"ird`) != `"we""ird"` {
+		t.Errorf("QuoteIdent escaping: %q", QuoteIdent(`we"ird`))
+	}
+	if SanitizeName("Mixed-Case.Name:x") != "mixed_case_name_x" {
+		t.Errorf("SanitizeName: %q", SanitizeName("Mixed-Case.Name:x"))
+	}
+	if likeEscapeMeta(`50%_a\b`) != `50\%\_a\\b` {
+		t.Errorf("likeEscapeMeta: %q", likeEscapeMeta(`50%_a\b`))
+	}
+	if numLiteral(3) != "3" || numLiteral(2.5) != "2.5" {
+		t.Errorf("numLiteral: %s %s", numLiteral(3), numLiteral(2.5))
+	}
+}
+
+func TestPathCatalogExpand(t *testing.T) {
+	c := NewPathCatalog()
+	for _, p := range []string{
+		"site",
+		"site/people",
+		"site/people/person",
+		"site/people/person/name",
+		"site/people/person/name/#text",
+		"site/people/person/@id",
+		"site/regions",
+		"site/regions/africa",
+		"site/regions/africa/item",
+		"site/regions/africa/item/name",
+	} {
+		c.Add(p)
+	}
+	c.Add("site/people") // duplicates are ignored
+	if c.Len() != 10 {
+		t.Fatalf("catalog len = %d", c.Len())
+	}
+	expand := func(q string) []string {
+		pat, err := patternOf(xpath.MustParse(q).Steps, "test")
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		var out []string
+		for _, m := range c.Expand(pat) {
+			out = append(out, strings.Join(m.Segments, "/"))
+		}
+		return out
+	}
+	if got := expand("//name"); len(got) != 2 {
+		t.Errorf("//name -> %v", got)
+	}
+	if got := expand("/site/people/person/name"); len(got) != 1 || got[0] != "site/people/person/name" {
+		t.Errorf("exact path -> %v", got)
+	}
+	if got := expand("//person/@id"); len(got) != 1 {
+		t.Errorf("//person/@id -> %v", got)
+	}
+	if got := expand("/site/*/person"); len(got) != 1 {
+		t.Errorf("wildcard -> %v", got)
+	}
+	if got := expand("//bogus"); got != nil {
+		t.Errorf("//bogus -> %v", got)
+	}
+	if got := expand("//person//name"); len(got) != 1 {
+		t.Errorf("//person//name -> %v", got)
+	}
+	// StepSeg mapping points each step at its matched segment.
+	pat, _ := patternOf(xpath.MustParse("//item/name").Steps, "test")
+	ms := c.Expand(pat)
+	if len(ms) != 1 || ms[0].Segments[ms[0].StepSeg[0]] != "item" || ms[0].Segments[ms[0].StepSeg[1]] != "name" {
+		t.Errorf("StepSeg mapping: %+v", ms)
+	}
+}
+
+func TestEdgeTranslationShape(t *testing.T) {
+	sql, err := Edge(xpath.MustParse("/site/people/person[@id='p1']/name"), EdgeOptions{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"e1.source = 0", "e1.name = 'site'",
+		"e2.source = e1.target", "e3.source = e2.target",
+		"EXISTS", "'p1'", "ORDER BY id",
+	} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("edge SQL missing %q:\n%s", frag, sql)
+		}
+	}
+	// A descendant step becomes a UNION whose size tracks MaxDepth.
+	shallow, err := Edge(xpath.MustParse("//name"), EdgeOptions{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := Edge(xpath.MustParse("//name"), EdgeOptions{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, cd := strings.Count(shallow, "UNION ALL"), strings.Count(deep, "UNION ALL")
+	if cs != 3 || cd != 9 {
+		t.Errorf("union sizes: depth4 %d (want 3), depth10 %d (want 9)", cs, cd)
+	}
+	// Expansion explosion is bounded.
+	if _, err := Edge(xpath.MustParse("//a//b//c"), EdgeOptions{MaxDepth: 16, MaxExpansions: 10}); err == nil {
+		t.Error("expected expansion cap error")
+	}
+}
+
+func TestIntervalTranslationShape(t *testing.T) {
+	sql, err := Interval(xpath.MustParse("//open_auction//increase"), IntervalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Descendants are single range predicates, not unions.
+	if strings.Contains(sql, "UNION") {
+		t.Error("interval descendant must not expand to unions")
+	}
+	for _, frag := range []string{"a2.pre > a1.pre", "a2.pre <= a1.pre + a1.size"} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("interval SQL missing %q:\n%s", frag, sql)
+		}
+	}
+	// Ancestor axis.
+	sql, err = Interval(xpath.MustParse("/a/b/ancestor::a"), IntervalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "a3.pre + a3.size >= a2.pre") {
+		t.Errorf("ancestor region predicate missing:\n%s", sql)
+	}
+}
+
+func TestDeweyTranslationShape(t *testing.T) {
+	sql, err := Dewey(xpath.MustParse("/site//item"), DeweyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"d2.path > d1.path || '.'",
+		"d2.path < d1.path || '/'",
+		"ORDER BY dpath",
+	} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("dewey SQL missing %q:\n%s", frag, sql)
+		}
+	}
+	// Child steps probe the parent path, not a range.
+	sql, err = Dewey(xpath.MustParse("/site/people"), DeweyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "d2.parent = d1.path") {
+		t.Errorf("dewey child join missing:\n%s", sql)
+	}
+}
+
+func TestUnsupportedConstructs(t *testing.T) {
+	var unsup *ErrUnsupported
+	if _, err := Edge(xpath.MustParse("a/b"), EdgeOptions{}); !errors.As(err, &unsup) {
+		t.Errorf("relative path: %v", err)
+	}
+	if _, err := Interval(xpath.MustParse("/"), IntervalOptions{}); !errors.As(err, &unsup) {
+		t.Errorf("bare document: %v", err)
+	}
+	c := NewPathCatalog()
+	c.Add("a")
+	col := func(seg string) (string, bool) { return SanitizeName(seg), true }
+	if _, err := Universal(xpath.MustParse("/a[1]"), UniversalOptions{Catalog: c, Column: col}); !errors.As(err, &unsup) {
+		t.Errorf("universal positional: %v", err)
+	}
+}
+
+func TestInlineMappingStructure(t *testing.T) {
+	d, err := dtd.Parse(`
+<!ELEMENT root (meta?, entry*)>
+<!ELEMENT meta (created, owner)>
+<!ELEMENT created (#PCDATA)>
+<!ELEMENT owner (#PCDATA)>
+<!ATTLIST owner role CDATA #IMPLIED>
+<!ELEMENT entry (title, note?)>
+<!ATTLIST entry id ID #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+`, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildInlineMapping(dtd.BuildGraph(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// root and entry get relations; meta/created/owner/title/note inline.
+	if len(m.Order) != 2 {
+		t.Fatalf("relations = %v", m.Order)
+	}
+	root := m.Relations["root"]
+	for _, key := range []string{"meta", "meta.created", "meta.owner", "meta.owner.@role"} {
+		if _, ok := root.ByKey[key]; !ok {
+			t.Errorf("root relation missing column %q (has %v)", key, keysOf(root))
+		}
+	}
+	entry := m.Relations["entry"]
+	for _, key := range []string{"@id", "title", "note"} {
+		if _, ok := entry.ByKey[key]; !ok {
+			t.Errorf("entry relation missing column %q (has %v)", key, keysOf(entry))
+		}
+	}
+	// meta is presence-typed (no text), created is text-typed.
+	if root.ByKey["meta"].Kind != ColPresence {
+		t.Error("meta should be a presence column")
+	}
+	if root.ByKey["meta.created"].Kind != ColText {
+		t.Error("meta.created should be a text column")
+	}
+	// Placements know every spot an element occupies.
+	if len(m.Placements["title"]) != 1 || m.Placements["title"][0].Rel != entry {
+		t.Errorf("title placements = %+v", m.Placements["title"])
+	}
+}
+
+func keysOf(r *InlineRelation) []string {
+	var out []string
+	for _, c := range r.Columns {
+		out = append(out, c.Key)
+	}
+	return out
+}
+
+func TestInlineTranslationShape(t *testing.T) {
+	d, err := dtd.Parse(`
+<!ELEMENT root (entry*)>
+<!ELEMENT entry (title, tag*)>
+<!ATTLIST entry id ID #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT tag (#PCDATA)>
+`, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildInlineMapping(dtd.BuildGraph(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inlined column access: no join beyond the entry relation.
+	sql, err := Inline(xpath.MustParse("/root/entry[title='x']/@id"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sql, "inl_entry") != 1 {
+		t.Errorf("expected one entry reference:\n%s", sql)
+	}
+	if !strings.Contains(sql, `"title" = 'x'`) {
+		t.Errorf("title predicate missing:\n%s", sql)
+	}
+	// Set-valued child crosses into its own relation with parentcode.
+	sql, err = Inline(xpath.MustParse("/root/entry/tag"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "inl_tag") || !strings.Contains(sql, "parentid") {
+		t.Errorf("tag relation join missing:\n%s", sql)
+	}
+	// Descendants through recursion are rejected below the root.
+	dRec, err := dtd.Parse(`
+<!ELEMENT assembly (part)>
+<!ELEMENT part (partname, part*)>
+<!ELEMENT partname (#PCDATA)>
+`, "assembly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mRec, err := BuildInlineMapping(dtd.BuildGraph(dRec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Document-rooted // is exact even with recursion.
+	if _, err := Inline(xpath.MustParse("//partname"), mRec); err != nil {
+		t.Errorf("root-anchored //partname should work: %v", err)
+	}
+	if _, err := Inline(xpath.MustParse("/assembly/part//partname"), mRec); err == nil {
+		t.Error("anchored descendant through recursion should be unsupported")
+	}
+}

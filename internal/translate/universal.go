@@ -1,0 +1,277 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xpath"
+)
+
+// UniversalOptions parameterizes the Universal-table translation.
+//
+// The universal table is the classic strawman: one denormalized
+// relation with a pair of columns per label (id_<l>, val_<l>) and one
+// row per leaf node, carrying the ids/values of every node on the
+// root-to-leaf path. Simple path queries become single-table column
+// conjunctions; the price is massive redundancy (experiment T1) and
+// awkward branching predicates (self-joins below).
+type UniversalOptions struct {
+	Table   string
+	Catalog *PathCatalog
+	// Column maps a path segment ("person", "@id", "#text") to the
+	// sanitized column suffix; labels never seen return false.
+	Column func(seg string) (string, bool)
+}
+
+func (o *UniversalOptions) defaults() {
+	if o.Table == "" {
+		o.Table = "universal"
+	}
+}
+
+// Universal translates XPath to SQL over the universal table.
+func Universal(p *xpath.Path, opt UniversalOptions) (string, error) {
+	opt.defaults()
+	if opt.Catalog == nil || opt.Column == nil {
+		return "", fmt.Errorf("translate: universal options missing catalog or column map")
+	}
+	if !p.Absolute {
+		return "", unsupported("universal", "relative paths")
+	}
+	if len(p.Steps) == 0 {
+		return "", unsupported("universal", "the bare document path /")
+	}
+	pat, err := patternOf(p.Steps, "universal")
+	if err != nil {
+		return "", err
+	}
+	matches := opt.Catalog.Expand(pat)
+	if len(matches) == 0 {
+		return "SELECT 0 AS id, NULL AS val WHERE 1 = 0", nil
+	}
+	var parts []string
+	seen := map[string]bool{}
+	for _, m := range matches {
+		q, err := universalChainSQL(p.Steps, m, opt)
+		if err != nil {
+			return "", err
+		}
+		if !seen[q] {
+			seen[q] = true
+			parts = append(parts, q)
+		}
+	}
+	if len(parts) == 1 {
+		return "SELECT DISTINCT id, val FROM (" + parts[0] + ") u ORDER BY id", nil
+	}
+	return "SELECT DISTINCT id, val FROM (" + strings.Join(parts, " UNION ALL ") + ") u ORDER BY id", nil
+}
+
+func universalCol(seg, kind string, opt UniversalOptions) (string, bool) {
+	suffix, ok := opt.Column(seg)
+	if !ok {
+		return "", false
+	}
+	return kind + "_" + suffix, true
+}
+
+// universalChainSQL renders one concrete path match: non-null checks for
+// every segment's id column, predicates via value columns or self-joins.
+func universalChainSQL(steps []xpath.Step, m CatalogMatch, opt UniversalOptions) (string, error) {
+	u := "u0"
+	var where []string
+	for _, seg := range m.Segments {
+		idCol, ok := universalCol(seg, "id", opt)
+		if !ok {
+			return "SELECT 0 AS id, NULL AS val WHERE 1 = 0", nil
+		}
+		where = append(where, fmt.Sprintf("%s.%s IS NOT NULL", u, QuoteIdent(idCol)))
+	}
+
+	joins := []string{opt.Table + " " + u}
+	joinN := 0
+
+	pi := 0
+	for _, s := range steps {
+		switch s.Axis {
+		case xpath.AxisChild, xpath.AxisDescendant, xpath.AxisAttribute:
+		default:
+			return "", unsupported("universal", "axis "+s.Axis.String())
+		}
+		seg := m.Segments[m.StepSeg[pi]]
+		for _, pe := range s.Preds {
+			cond, extraJoin, err := universalPred(pe, u, seg, &joinN, opt)
+			if err != nil {
+				return "", err
+			}
+			joins = append(joins, extraJoin...)
+			where = append(where, cond)
+		}
+		pi++
+	}
+
+	lastSeg := m.Segments[len(m.Segments)-1]
+	idCol, _ := universalCol(lastSeg, "id", opt)
+	valCol, ok := universalCol(lastSeg, "val", opt)
+	if !ok {
+		valCol = idCol
+	}
+	sql := fmt.Sprintf("SELECT %s.%s AS id, %s.%s AS val FROM %s",
+		u, QuoteIdent(idCol), u, QuoteIdent(valCol), strings.Join(joins, ", "))
+	if len(where) > 0 {
+		sql += " WHERE " + strings.Join(where, " AND ")
+	}
+	return sql, nil
+}
+
+// universalPred translates a predicate anchored at the element whose
+// label is anchorSeg on row alias u. Predicates over sibling branches
+// need a self-join: another universal row sharing the anchor's id.
+func universalPred(e xpath.Expr, u, anchorSeg string, joinN *int, opt UniversalOptions) (string, []string, error) {
+	switch e := e.(type) {
+	case *xpath.BinaryExpr:
+		switch e.Op {
+		case "and", "or":
+			l, jl, err := universalPred(e.L, u, anchorSeg, joinN, opt)
+			if err != nil {
+				return "", nil, err
+			}
+			r, jr, err := universalPred(e.R, u, anchorSeg, joinN, opt)
+			if err != nil {
+				return "", nil, err
+			}
+			if e.Op == "or" && (len(jl) > 0 || len(jr) > 0) {
+				// A disjunct with its own join would wrongly constrain
+				// the other branch.
+				return "", nil, unsupported("universal", "or over branching predicates")
+			}
+			return "(" + l + " " + strings.ToUpper(e.Op) + " " + r + ")", append(jl, jr...), nil
+		default:
+			return universalComparison(e, u, anchorSeg, joinN, opt)
+		}
+	case *xpath.PathOperand:
+		cond, joins, _, err := universalPredTarget(e.Path, u, anchorSeg, joinN, opt)
+		if err != nil {
+			return "", nil, err
+		}
+		return cond, joins, nil
+	case *xpath.FuncCall:
+		switch e.Name {
+		case "not":
+			if len(e.Args) != 1 {
+				return "", nil, unsupported("universal", "not() arity")
+			}
+			inner, joins, err := universalPred(e.Args[0], u, anchorSeg, joinN, opt)
+			if err != nil {
+				return "", nil, err
+			}
+			if len(joins) > 0 {
+				return "", nil, unsupported("universal", "not() over branching predicates")
+			}
+			return "NOT (" + inner + ")", nil, nil
+		case "true":
+			return "1 = 1", nil, nil
+		case "false":
+			return "1 = 0", nil, nil
+		case "contains", "starts-with":
+			if len(e.Args) != 2 {
+				return "", nil, unsupported("universal", e.Name+"() arity")
+			}
+			lit, ok := e.Args[1].(*xpath.StringLit)
+			if !ok {
+				return "", nil, unsupported("universal", e.Name+"() with a non-literal pattern")
+			}
+			pattern := "%" + likeEscapeMeta(lit.Val) + "%"
+			if e.Name == "starts-with" {
+				pattern = likeEscapeMeta(lit.Val) + "%"
+			}
+			po, ok := e.Args[0].(*xpath.PathOperand)
+			if !ok {
+				return "", nil, unsupported("universal", "non-path operand in string function")
+			}
+			exist, joins, valExpr, err := universalPredTarget(po.Path, u, anchorSeg, joinN, opt)
+			if err != nil {
+				return "", nil, err
+			}
+			return fmt.Sprintf("(%s AND %s LIKE %s ESCAPE '\\')", exist, valExpr, QuoteString(pattern)), joins, nil
+		}
+		return "", nil, unsupported("universal", e.Name+"() in a predicate")
+	case *xpath.NumberLit:
+		return "", nil, unsupported("universal", "positional predicates (no order columns)")
+	}
+	return "", nil, unsupported("universal", fmt.Sprintf("predicate %T", e))
+}
+
+func universalComparison(e *xpath.BinaryExpr, u, anchorSeg string, joinN *int, opt UniversalOptions) (string, []string, error) {
+	l, r, op := e.L, e.R, e.Op
+	if isLiteral(l) && !isLiteral(r) {
+		l, r = r, l
+		op = flipXPathOp(op)
+	}
+	lit, err := literalSQL(r)
+	if err != nil {
+		return "", nil, err
+	}
+	if op == "!=" {
+		op = "<>"
+	}
+	po, ok := l.(*xpath.PathOperand)
+	if !ok {
+		return "", nil, unsupported("universal", fmt.Sprintf("comparison of %T", l))
+	}
+	exist, joins, valExpr, err := universalPredTarget(po.Path, u, anchorSeg, joinN, opt)
+	if err != nil {
+		return "", nil, err
+	}
+	return "(" + exist + " AND " + valExpr + " " + op + " " + lit + ")", joins, nil
+}
+
+// universalPredTarget resolves a relative predicate path to a value
+// expression, adding a self-join on the anchor element's id (the sibling
+// branch lives in a different leaf row). Returns (existence condition,
+// joins, value expression).
+func universalPredTarget(p *xpath.Path, u, anchorSeg string, joinN *int, opt UniversalOptions) (string, []string, string, error) {
+	if p.Absolute {
+		return "", nil, "", unsupported("universal", "absolute paths inside predicates")
+	}
+	anchorID, ok := universalCol(anchorSeg, "id", opt)
+	if !ok {
+		return "1 = 0", nil, "NULL", nil
+	}
+	*joinN++
+	v := fmt.Sprintf("v%d", *joinN)
+	join := []string{opt.Table + " " + v}
+	conds := []string{fmt.Sprintf("%s.%s = %s.%s", v, QuoteIdent(anchorID), u, QuoteIdent(anchorID))}
+	lastSeg := ""
+	for _, s := range p.Steps {
+		if len(s.Preds) > 0 {
+			return "", nil, "", unsupported("universal", "nested predicates")
+		}
+		var seg string
+		switch {
+		case s.Axis == xpath.AxisChild && s.Test.Kind == xpath.TestName:
+			seg = s.Test.Name
+		case s.Axis == xpath.AxisAttribute && s.Test.Kind == xpath.TestName:
+			seg = "@" + s.Test.Name
+		case s.Axis == xpath.AxisChild && s.Test.Kind == xpath.TestText:
+			seg = "#text"
+		default:
+			return "", nil, "", unsupported("universal", "predicate step "+s.Axis.String())
+		}
+		idCol, ok := universalCol(seg, "id", opt)
+		if !ok {
+			return "1 = 0", nil, "NULL", nil
+		}
+		conds = append(conds, fmt.Sprintf("%s.%s IS NOT NULL", v, QuoteIdent(idCol)))
+		lastSeg = seg
+	}
+	if lastSeg == "" {
+		return "", nil, "", unsupported("universal", "empty predicate path")
+	}
+	valCol, ok := universalCol(lastSeg, "val", opt)
+	valExpr := "NULL"
+	if ok {
+		valExpr = v + "." + QuoteIdent(valCol)
+	}
+	return strings.Join(conds, " AND "), join, valExpr, nil
+}

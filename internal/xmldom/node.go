@@ -1,0 +1,296 @@
+// Package xmldom implements the XML data model used throughout xmlrdb: a
+// parsed document is a tree of nodes with stable identities, document
+// order, and pre/post/level numbering (the inputs every shredding scheme
+// consumes).
+//
+// The parser is non-validating XML 1.0 without namespace processing:
+// qualified names are kept verbatim ("ns:name"). The DOCTYPE internal
+// subset is captured raw for the dtd package.
+package xmldom
+
+import "strings"
+
+// NodeKind classifies a node.
+type NodeKind int
+
+// Node kinds, mirroring the XPath data model's seven kinds minus
+// namespace nodes (not needed by the shredding schemes).
+const (
+	DocumentNode NodeKind = iota
+	ElementNode
+	AttributeNode
+	TextNode
+	CommentNode
+	ProcInstNode
+)
+
+// String returns a short name for the kind ("elem", "attr", ...), used
+// as the `kind` column value in shredded tables.
+func (k NodeKind) String() string {
+	switch k {
+	case DocumentNode:
+		return "doc"
+	case ElementNode:
+		return "elem"
+	case AttributeNode:
+		return "attr"
+	case TextNode:
+		return "text"
+	case CommentNode:
+		return "comment"
+	case ProcInstNode:
+		return "pi"
+	default:
+		return "unknown"
+	}
+}
+
+// Node is one node of the document tree. Fields Pre, Post, Size and
+// Level are filled in by Document.Number (the parser calls it).
+type Node struct {
+	Kind   NodeKind
+	Name   string // element/attribute name; PI target
+	Value  string // text content; attribute value; comment text; PI data
+	Parent *Node
+	// Attrs holds attribute nodes of an element, in document order.
+	Attrs []*Node
+	// Children holds element content (elements, text, comments, PIs).
+	Children []*Node
+
+	// Pre is the pre-order rank, which doubles as the node identifier.
+	// Attributes are ranked directly after their owner element.
+	Pre int
+	// Post is the post-order rank.
+	Post int
+	// Size is the number of descendant nodes (attributes included).
+	Size int
+	// Level is the depth (document node = 0).
+	Level int
+	// Ordinal is the 1-based position among the parent's children (for
+	// attributes, among the element's attributes).
+	Ordinal int
+}
+
+// Document is a parsed XML document.
+type Document struct {
+	// Root is the document node; its children include the root element
+	// plus any top-level comments/PIs.
+	Root *Node
+	// DoctypeName is the name in <!DOCTYPE name ...>, if present.
+	DoctypeName string
+	// InternalSubset is the raw text between [ and ] of the DOCTYPE.
+	InternalSubset string
+	// nodes caches document-order traversal (including attributes).
+	nodes []*Node
+}
+
+// RootElement returns the document's root element (nil if absent).
+func (d *Document) RootElement() *Node {
+	for _, c := range d.Root.Children {
+		if c.Kind == ElementNode {
+			return c
+		}
+	}
+	return nil
+}
+
+// Nodes returns every node in document order, attributes following their
+// owner element. The slice is shared; callers must not mutate it.
+func (d *Document) Nodes() []*Node {
+	if d.nodes == nil {
+		d.Number()
+	}
+	return d.nodes
+}
+
+// NodeCount returns the total number of nodes (attributes included).
+func (d *Document) NodeCount() int { return len(d.Nodes()) }
+
+// MaxDepth returns the maximum element nesting level in the document.
+func (d *Document) MaxDepth() int {
+	max := 0
+	for _, n := range d.Nodes() {
+		if n.Level > max {
+			max = n.Level
+		}
+	}
+	return max
+}
+
+// Number assigns Pre/Post/Size/Level/Ordinal to every node. It is
+// idempotent and called by the parser; call it again after mutating the
+// tree in place.
+func (d *Document) Number() {
+	d.nodes = d.nodes[:0]
+	pre, post := 0, 0
+	var walk func(n *Node, level int) int
+	walk = func(n *Node, level int) int {
+		n.Pre = pre
+		n.Level = level
+		pre++
+		d.nodes = append(d.nodes, n)
+		descendants := 0
+		for i, a := range n.Attrs {
+			a.Parent = n
+			a.Ordinal = i + 1
+			a.Pre = pre
+			a.Level = level + 1
+			pre++
+			a.Post = post
+			post++
+			a.Size = 0
+			d.nodes = append(d.nodes, a)
+			descendants++
+		}
+		for i, c := range n.Children {
+			c.Parent = n
+			c.Ordinal = i + 1
+			descendants += walk(c, level+1) + 1
+		}
+		n.Post = post
+		post++
+		n.Size = descendants
+		return descendants
+	}
+	walk(d.Root, 0)
+}
+
+// Copy makes a deep copy of the subtree rooted at n. Parent pointers and
+// numbering are left unset; renumber via Document.Number after grafting.
+func (n *Node) Copy() *Node {
+	out := &Node{Kind: n.Kind, Name: n.Name, Value: n.Value}
+	for _, a := range n.Attrs {
+		ac := a.Copy()
+		ac.Parent = out
+		out.Attrs = append(out.Attrs, ac)
+	}
+	for _, c := range n.Children {
+		cc := c.Copy()
+		cc.Parent = out
+		out.Children = append(out.Children, cc)
+	}
+	return out
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// ChildElements returns the element children of n, optionally filtered
+// by name ("" matches all).
+func (n *Node) ChildElements(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && (name == "" || c.Name == name) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FirstChildElement returns the first element child with the given name
+// ("" matches any), or nil.
+func (n *Node) FirstChildElement(name string) *Node {
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && (name == "" || c.Name == name) {
+			return c
+		}
+	}
+	return nil
+}
+
+// Text returns the concatenated text content of the subtree (the XPath
+// string value of an element), or the node's own value for non-elements.
+func (n *Node) Text() string {
+	switch n.Kind {
+	case TextNode, AttributeNode, CommentNode, ProcInstNode:
+		return n.Value
+	}
+	var b strings.Builder
+	var walk func(*Node)
+	walk = func(m *Node) {
+		for _, c := range m.Children {
+			switch c.Kind {
+			case TextNode:
+				b.WriteString(c.Value)
+			case ElementNode:
+				walk(c)
+			}
+		}
+	}
+	walk(n)
+	return b.String()
+}
+
+// Descendants appends all descendant nodes of n (attributes excluded) in
+// document order.
+func (n *Node) Descendants() []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(m *Node) {
+		for _, c := range m.Children {
+			out = append(out, c)
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Path returns the absolute element path of n, like "/site/people/person".
+func (n *Node) Path() string {
+	var parts []string
+	for m := n; m != nil && m.Kind != DocumentNode; m = m.Parent {
+		switch m.Kind {
+		case ElementNode:
+			parts = append(parts, m.Name)
+		case AttributeNode:
+			parts = append(parts, "@"+m.Name)
+		case TextNode:
+			parts = append(parts, "text()")
+		}
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	if b.Len() == 0 {
+		return "/"
+	}
+	return b.String()
+}
+
+// InsertChild inserts child at position idx (0-based) among n's
+// children, clamping idx into range. Renumber the owning document after
+// structural edits.
+func (n *Node) InsertChild(child *Node, idx int) {
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > len(n.Children) {
+		idx = len(n.Children)
+	}
+	child.Parent = n
+	n.Children = append(n.Children, nil)
+	copy(n.Children[idx+1:], n.Children[idx:])
+	n.Children[idx] = child
+}
+
+// RemoveChild removes the idx-th child and returns it (nil if out of
+// range).
+func (n *Node) RemoveChild(idx int) *Node {
+	if idx < 0 || idx >= len(n.Children) {
+		return nil
+	}
+	c := n.Children[idx]
+	n.Children = append(n.Children[:idx], n.Children[idx+1:]...)
+	c.Parent = nil
+	return c
+}

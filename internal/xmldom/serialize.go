@@ -1,0 +1,88 @@
+package xmldom
+
+import (
+	"io"
+	"strings"
+)
+
+// Serialize writes the subtree rooted at n as XML text. Document nodes
+// emit all their children; reconstruction experiments measure this path.
+func Serialize(w io.Writer, n *Node) error {
+	sw := &errWriter{w: w}
+	serializeNode(sw, n)
+	return sw.err
+}
+
+// SerializeString renders the subtree as a string.
+func SerializeString(n *Node) string {
+	var b strings.Builder
+	_ = Serialize(&b, n)
+	return b.String()
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) writeString(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+func serializeNode(w *errWriter, n *Node) {
+	switch n.Kind {
+	case DocumentNode:
+		for _, c := range n.Children {
+			serializeNode(w, c)
+		}
+	case ElementNode:
+		w.writeString("<")
+		w.writeString(n.Name)
+		for _, a := range n.Attrs {
+			w.writeString(" ")
+			w.writeString(a.Name)
+			w.writeString(`="`)
+			w.writeString(escapeAttr(a.Value))
+			w.writeString(`"`)
+		}
+		if len(n.Children) == 0 {
+			w.writeString("/>")
+			return
+		}
+		w.writeString(">")
+		for _, c := range n.Children {
+			serializeNode(w, c)
+		}
+		w.writeString("</")
+		w.writeString(n.Name)
+		w.writeString(">")
+	case TextNode:
+		w.writeString(escapeText(n.Value))
+	case AttributeNode:
+		w.writeString(escapeAttr(n.Value))
+	case CommentNode:
+		w.writeString("<!--")
+		w.writeString(n.Value)
+		w.writeString("-->")
+	case ProcInstNode:
+		w.writeString("<?")
+		w.writeString(n.Name)
+		if n.Value != "" {
+			w.writeString(" ")
+			w.writeString(n.Value)
+		}
+		w.writeString("?>")
+	}
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+var attrEscaper = strings.NewReplacer(
+	"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "\n", "&#10;", "\t", "&#9;",
+)
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

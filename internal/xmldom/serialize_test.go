@@ -1,0 +1,107 @@
+package xmldom
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestEscaping(t *testing.T) {
+	doc := &Document{Root: &Node{Kind: DocumentNode}}
+	el := &Node{Kind: ElementNode, Name: "a", Parent: doc.Root}
+	el.Attrs = append(el.Attrs, &Node{
+		Kind: AttributeNode, Name: "x", Value: `<>&"'` + "\n\t", Parent: el,
+	})
+	el.Children = append(el.Children, &Node{Kind: TextNode, Value: `a<b>&c"d'e`, Parent: el})
+	doc.Root.Children = []*Node{el}
+	doc.Number()
+	out := SerializeString(doc.Root)
+	want := `<a x="&lt;&gt;&amp;&quot;'&#10;&#9;">a&lt;b&gt;&amp;c"d'e</a>`
+	if out != want {
+		t.Fatalf("escaped output:\n got %s\nwant %s", out, want)
+	}
+	// And it survives a round trip.
+	re, err := ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := re.RootElement().Attr("x"); v != `<>&"'`+"\n\t" {
+		t.Errorf("attr round trip: %q", v)
+	}
+	if re.RootElement().Text() != `a<b>&c"d'e` {
+		t.Errorf("text round trip: %q", re.RootElement().Text())
+	}
+}
+
+type failingWriter struct{ n int }
+
+var errSink = errors.New("sink full")
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.n -= len(p)
+	if f.n < 0 {
+		return 0, errSink
+	}
+	return len(p), nil
+}
+
+func TestSerializePropagatesWriteErrors(t *testing.T) {
+	doc := mustParse(t, `<a><b>some text that will overflow the sink</b><c/></a>`)
+	err := Serialize(&failingWriter{n: 5}, doc.Root)
+	if !errors.Is(err, errSink) {
+		t.Fatalf("expected sink error, got %v", err)
+	}
+}
+
+func TestSerializeSubtree(t *testing.T) {
+	doc := mustParse(t, `<r><a id="1"><b>x</b></a><a id="2"/></r>`)
+	first := doc.RootElement().FirstChildElement("a")
+	if got := SerializeString(first); got != `<a id="1"><b>x</b></a>` {
+		t.Errorf("subtree = %s", got)
+	}
+	// Serializing an attribute node renders its escaped value.
+	if got := SerializeString(first.Attrs[0]); got != "1" {
+		t.Errorf("attr node = %q", got)
+	}
+}
+
+func TestDoctypeWithoutSubset(t *testing.T) {
+	doc := mustParse(t, `<!DOCTYPE r SYSTEM "ext.dtd"><r/>`)
+	if doc.DoctypeName != "r" || doc.InternalSubset != "" {
+		t.Errorf("doctype: %q / %q", doc.DoctypeName, doc.InternalSubset)
+	}
+	doc = mustParse(t, `<!DOCTYPE r PUBLIC "-//X//Y" "ext.dtd"><r/>`)
+	if doc.DoctypeName != "r" {
+		t.Errorf("public doctype: %q", doc.DoctypeName)
+	}
+	// A '>' inside a quoted literal must not terminate the DOCTYPE.
+	doc = mustParse(t, `<!DOCTYPE r SYSTEM "weird>name.dtd"><r/>`)
+	if doc.DoctypeName != "r" {
+		t.Errorf("quoted > doctype: %q", doc.DoctypeName)
+	}
+}
+
+func TestRenumberAfterMutation(t *testing.T) {
+	doc := mustParse(t, `<r><a/><b/></r>`)
+	root := doc.RootElement()
+	sub := &Node{Kind: ElementNode, Name: "mid"}
+	sub.Children = append(sub.Children, &Node{Kind: TextNode, Value: "t", Parent: sub})
+	root.InsertChild(sub, 1)
+	doc.Number()
+	// All invariants restored.
+	nodes := doc.Nodes()
+	for i, n := range nodes {
+		if n.Pre != i {
+			t.Fatalf("pre %d at slice %d", n.Pre, i)
+		}
+	}
+	if root.Children[1].Name != "mid" || root.Children[1].Ordinal != 2 {
+		t.Errorf("inserted position: %s ord %d", root.Children[1].Name, root.Children[1].Ordinal)
+	}
+	if root.Size != 4 {
+		t.Errorf("root size = %d", root.Size)
+	}
+	if !strings.Contains(SerializeString(doc.Root), "<a/><mid>t</mid><b/>") {
+		t.Errorf("order: %s", SerializeString(doc.Root))
+	}
+}

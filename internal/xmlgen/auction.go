@@ -1,0 +1,503 @@
+package xmlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xmldom"
+)
+
+// Config controls the auction document generator. Factor scales every
+// entity count linearly, mirroring XMark's scaling factor; Factor 1.0
+// yields roughly 300k nodes.
+type Config struct {
+	Factor float64
+	Seed   uint64
+}
+
+// counts derived from Factor with XMark-like proportions.
+type counts struct {
+	categories int
+	items      int
+	persons    int
+	open       int
+	closed     int
+}
+
+func (c Config) counts() counts {
+	f := c.Factor
+	if f <= 0 {
+		f = 0.01
+	}
+	atLeast := func(n int, min int) int {
+		if n < min {
+			return min
+		}
+		return n
+	}
+	return counts{
+		categories: atLeast(int(100*f), 4),
+		items:      atLeast(int(2000*f), 12),
+		persons:    atLeast(int(1000*f), 6),
+		open:       atLeast(int(1200*f), 6),
+		closed:     atLeast(int(800*f), 4),
+	}
+}
+
+// Auction generates the auction-site document. The same (Factor, Seed)
+// always produces byte-identical output.
+func Auction(cfg Config) *xmldom.Document {
+	g := &auctionGen{r: newRNG(cfg.Seed + 0xA0C710), n: cfg.counts()}
+	return g.generate()
+}
+
+// AuctionXML renders the generated document as XML text.
+func AuctionXML(cfg Config) string {
+	return xmldom.SerializeString(Auction(cfg).Root)
+}
+
+type auctionGen struct {
+	r *rng
+	n counts
+}
+
+// Small node-building helpers.
+
+func elem(name string, children ...*xmldom.Node) *xmldom.Node {
+	n := &xmldom.Node{Kind: xmldom.ElementNode, Name: name}
+	for _, c := range children {
+		c.Parent = n
+		n.Children = append(n.Children, c)
+	}
+	return n
+}
+
+func textNode(s string) *xmldom.Node {
+	return &xmldom.Node{Kind: xmldom.TextNode, Value: s}
+}
+
+func textElem(name, s string) *xmldom.Node {
+	return elem(name, textNode(s))
+}
+
+func withAttr(n *xmldom.Node, name, value string) *xmldom.Node {
+	a := &xmldom.Node{Kind: xmldom.AttributeNode, Name: name, Value: value, Parent: n}
+	n.Attrs = append(n.Attrs, a)
+	return n
+}
+
+func (g *auctionGen) generate() *xmldom.Document {
+	site := elem("site",
+		g.regions(),
+		g.categories(),
+		g.catgraph(),
+		g.people(),
+		g.openAuctions(),
+		g.closedAuctions(),
+	)
+	doc := &xmldom.Document{Root: &xmldom.Node{Kind: xmldom.DocumentNode}}
+	site.Parent = doc.Root
+	doc.Root.Children = []*xmldom.Node{site}
+	doc.Number()
+	return doc
+}
+
+func (g *auctionGen) sentence(min, max int) string {
+	n := g.r.rangeInt(min, max)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(g.r.pick(fillerWords))
+	}
+	return b.String()
+}
+
+func (g *auctionGen) itemName() string {
+	return g.r.pick(adjectives) + " " + g.r.pick(nouns)
+}
+
+func (g *auctionGen) description() *xmldom.Node {
+	// 20% of descriptions use a parlist (nested structure), the rest a
+	// single text paragraph; keeps mixed-content paths exercised.
+	if g.r.intn(5) == 0 {
+		par := elem("parlist")
+		for i := 0; i < g.r.rangeInt(2, 4); i++ {
+			par.Children = append(par.Children, textElem("listitem", g.sentence(8, 20)))
+			par.Children[len(par.Children)-1].Parent = par
+		}
+		return elem("description", par)
+	}
+	return textElem("description", g.sentence(10, 30))
+}
+
+func (g *auctionGen) date() string {
+	return fmt.Sprintf("%02d/%02d/%04d", g.r.rangeInt(1, 12), g.r.rangeInt(1, 28), g.r.rangeInt(1998, 2003))
+}
+
+func (g *auctionGen) time() string {
+	return fmt.Sprintf("%02d:%02d:%02d", g.r.intn(24), g.r.intn(60), g.r.intn(60))
+}
+
+func (g *auctionGen) regions() *xmldom.Node {
+	regions := elem("regions")
+	// Items are distributed over the six regions round-robin with noise.
+	perRegion := make([][]int, len(regionNames))
+	for i := 0; i < g.n.items; i++ {
+		r := g.r.intn(len(regionNames))
+		perRegion[r] = append(perRegion[r], i)
+	}
+	for ri, name := range regionNames {
+		region := elem(name)
+		for _, id := range perRegion[ri] {
+			region.Children = append(region.Children, g.item(id))
+			region.Children[len(region.Children)-1].Parent = region
+		}
+		region.Parent = regions
+		regions.Children = append(regions.Children, region)
+	}
+	return regions
+}
+
+func (g *auctionGen) item(id int) *xmldom.Node {
+	it := elem("item",
+		textElem("location", g.r.pick(countries)),
+		textElem("quantity", fmt.Sprintf("%d", g.r.rangeInt(1, 5))),
+		textElem("name", g.itemName()),
+		textElem("payment", g.r.pick(paymentKinds)),
+		g.description(),
+		textElem("shipping", g.r.pick(shippingKinds)),
+	)
+	withAttr(it, "id", fmt.Sprintf("item%d", id))
+	for i := 0; i < g.r.rangeInt(1, 3); i++ {
+		inc := elem("incategory")
+		withAttr(inc, "category", fmt.Sprintf("category%d", g.r.intn(g.n.categories)))
+		inc.Parent = it
+		it.Children = append(it.Children, inc)
+	}
+	if g.r.intn(4) == 0 {
+		mb := elem("mailbox")
+		for i := 0; i < g.r.rangeInt(1, 3); i++ {
+			mail := elem("mail",
+				textElem("from", g.r.pick(firstNames)+" "+g.r.pick(lastNames)),
+				textElem("to", g.r.pick(firstNames)+" "+g.r.pick(lastNames)),
+				textElem("date", g.date()),
+				textElem("text", g.sentence(6, 18)),
+			)
+			mail.Parent = mb
+			mb.Children = append(mb.Children, mail)
+		}
+		mb.Parent = it
+		it.Children = append(it.Children, mb)
+	}
+	return it
+}
+
+func (g *auctionGen) categories() *xmldom.Node {
+	cats := elem("categories")
+	for i := 0; i < g.n.categories; i++ {
+		cat := elem("category",
+			textElem("name", g.r.pick(adjectives)+" "+g.r.pick(categoryThemes)),
+			textElem("description", g.sentence(6, 16)),
+		)
+		withAttr(cat, "id", fmt.Sprintf("category%d", i))
+		cat.Parent = cats
+		cats.Children = append(cats.Children, cat)
+	}
+	return cats
+}
+
+func (g *auctionGen) catgraph() *xmldom.Node {
+	graph := elem("catgraph")
+	edges := g.n.categories * 2
+	for i := 0; i < edges; i++ {
+		e := elem("edge")
+		withAttr(e, "from", fmt.Sprintf("category%d", g.r.intn(g.n.categories)))
+		withAttr(e, "to", fmt.Sprintf("category%d", g.r.intn(g.n.categories)))
+		e.Parent = graph
+		graph.Children = append(graph.Children, e)
+	}
+	return graph
+}
+
+func (g *auctionGen) people() *xmldom.Node {
+	people := elem("people")
+	for i := 0; i < g.n.persons; i++ {
+		first := g.r.pick(firstNames)
+		last := g.r.pick(lastNames)
+		p := elem("person",
+			textElem("name", first+" "+last),
+			textElem("emailaddress", fmt.Sprintf("mailto:%s.%s%d@example.com", strings.ToLower(first), strings.ToLower(last), i)),
+		)
+		withAttr(p, "id", fmt.Sprintf("person%d", i))
+		if g.r.intn(2) == 0 {
+			p.Children = append(p.Children, textElem("phone", fmt.Sprintf("+%d (%d) %d", g.r.rangeInt(1, 99), g.r.rangeInt(100, 999), g.r.rangeInt(1000000, 9999999))))
+			p.Children[len(p.Children)-1].Parent = p
+		}
+		if g.r.intn(2) == 0 {
+			addr := elem("address",
+				textElem("street", fmt.Sprintf("%d %s St", g.r.rangeInt(1, 99), g.r.pick(lastNames))),
+				textElem("city", g.r.pick(cities)),
+				textElem("country", g.r.pick(countries)),
+				textElem("zipcode", fmt.Sprintf("%d", g.r.rangeInt(10000, 99999))),
+			)
+			addr.Parent = p
+			p.Children = append(p.Children, addr)
+		}
+		if g.r.intn(3) == 0 {
+			p.Children = append(p.Children, textElem("homepage", fmt.Sprintf("http://www.example.com/~%s%d", strings.ToLower(last), i)))
+			p.Children[len(p.Children)-1].Parent = p
+		}
+		if g.r.intn(3) == 0 {
+			p.Children = append(p.Children, textElem("creditcard", fmt.Sprintf("%04d %04d %04d %04d", g.r.intn(10000), g.r.intn(10000), g.r.intn(10000), g.r.intn(10000))))
+			p.Children[len(p.Children)-1].Parent = p
+		}
+		if g.r.intn(2) == 0 {
+			prof := elem("profile")
+			withAttr(prof, "income", fmt.Sprintf("%d", g.r.rangeInt(9, 100)*1000))
+			for k := 0; k < g.r.rangeInt(0, 3); k++ {
+				in := elem("interest")
+				withAttr(in, "category", fmt.Sprintf("category%d", g.r.intn(g.n.categories)))
+				in.Parent = prof
+				prof.Children = append(prof.Children, in)
+			}
+			if g.r.intn(2) == 0 {
+				prof.Children = append(prof.Children, textElem("education", g.r.pick(educationLevels)))
+				prof.Children[len(prof.Children)-1].Parent = prof
+			}
+			if g.r.intn(2) == 0 {
+				gender := "male"
+				if g.r.intn(2) == 0 {
+					gender = "female"
+				}
+				prof.Children = append(prof.Children, textElem("gender", gender))
+				prof.Children[len(prof.Children)-1].Parent = prof
+			}
+			business := "No"
+			if g.r.intn(4) == 0 {
+				business = "Yes"
+			}
+			prof.Children = append(prof.Children, textElem("business", business))
+			prof.Children[len(prof.Children)-1].Parent = prof
+			if g.r.intn(2) == 0 {
+				prof.Children = append(prof.Children, textElem("age", fmt.Sprintf("%d", g.r.rangeInt(18, 80))))
+				prof.Children[len(prof.Children)-1].Parent = prof
+			}
+			prof.Parent = p
+			p.Children = append(p.Children, prof)
+		}
+		if g.r.intn(3) == 0 {
+			w := elem("watches")
+			for k := 0; k < g.r.rangeInt(1, 3); k++ {
+				watch := elem("watch")
+				withAttr(watch, "open_auction", fmt.Sprintf("open_auction%d", g.r.intn(g.n.open)))
+				watch.Parent = w
+				w.Children = append(w.Children, watch)
+			}
+			w.Parent = p
+			p.Children = append(p.Children, w)
+		}
+		p.Parent = people
+		people.Children = append(people.Children, p)
+	}
+	return people
+}
+
+func (g *auctionGen) openAuctions() *xmldom.Node {
+	oas := elem("open_auctions")
+	for i := 0; i < g.n.open; i++ {
+		initial := float64(g.r.rangeInt(1, 300)) + float64(g.r.intn(100))/100
+		oa := elem("open_auction",
+			textElem("initial", fmt.Sprintf("%.2f", initial)),
+		)
+		withAttr(oa, "id", fmt.Sprintf("open_auction%d", i))
+		if g.r.intn(3) == 0 {
+			oa.Children = append(oa.Children, textElem("reserve", fmt.Sprintf("%.2f", initial*1.5)))
+			oa.Children[len(oa.Children)-1].Parent = oa
+		}
+		nBidders := g.r.exp(4, 20)
+		cur := initial
+		for b := 0; b < nBidders; b++ {
+			incr := float64(g.r.rangeInt(1, 20)) * 1.5
+			cur += incr
+			pr := elem("personref")
+			withAttr(pr, "person", fmt.Sprintf("person%d", g.r.intn(g.n.persons)))
+			bidder := elem("bidder",
+				textElem("date", g.date()),
+				textElem("time", g.time()),
+				pr,
+				textElem("increase", fmt.Sprintf("%.2f", incr)),
+			)
+			pr.Parent = bidder
+			bidder.Parent = oa
+			oa.Children = append(oa.Children, bidder)
+		}
+		cRef := elem("current")
+		cRef.Children = append(cRef.Children, textNode(fmt.Sprintf("%.2f", cur)))
+		cRef.Children[0].Parent = cRef
+		cRef.Parent = oa
+		oa.Children = append(oa.Children, cRef)
+		if g.r.intn(2) == 0 {
+			oa.Children = append(oa.Children, textElem("privacy", "Yes"))
+			oa.Children[len(oa.Children)-1].Parent = oa
+		}
+		ir := elem("itemref")
+		withAttr(ir, "item", fmt.Sprintf("item%d", g.r.intn(g.n.items)))
+		ir.Parent = oa
+		oa.Children = append(oa.Children, ir)
+		sr := elem("seller")
+		withAttr(sr, "person", fmt.Sprintf("person%d", g.r.intn(g.n.persons)))
+		sr.Parent = oa
+		oa.Children = append(oa.Children, sr)
+		ann := elem("annotation",
+			textElem("author", g.r.pick(firstNames)+" "+g.r.pick(lastNames)),
+			textElem("happiness", fmt.Sprintf("%d", g.r.rangeInt(1, 10))),
+		)
+		ann.Parent = oa
+		oa.Children = append(oa.Children, ann)
+		oa.Children = append(oa.Children, textElem("quantity", fmt.Sprintf("%d", g.r.rangeInt(1, 5))))
+		oa.Children[len(oa.Children)-1].Parent = oa
+		typ := "Regular"
+		if g.r.intn(3) == 0 {
+			typ = "Featured"
+		}
+		oa.Children = append(oa.Children, textElem("type", typ))
+		oa.Children[len(oa.Children)-1].Parent = oa
+		iv := elem("interval",
+			textElem("start", g.date()),
+			textElem("end", g.date()),
+		)
+		iv.Parent = oa
+		oa.Children = append(oa.Children, iv)
+
+		oa.Parent = oas
+		oas.Children = append(oas.Children, oa)
+	}
+	return oas
+}
+
+func (g *auctionGen) closedAuctions() *xmldom.Node {
+	cas := elem("closed_auctions")
+	for i := 0; i < g.n.closed; i++ {
+		seller := elem("seller")
+		withAttr(seller, "person", fmt.Sprintf("person%d", g.r.intn(g.n.persons)))
+		buyer := elem("buyer")
+		withAttr(buyer, "person", fmt.Sprintf("person%d", g.r.intn(g.n.persons)))
+		itemref := elem("itemref")
+		withAttr(itemref, "item", fmt.Sprintf("item%d", g.r.intn(g.n.items)))
+		ca := elem("closed_auction",
+			seller,
+			buyer,
+			itemref,
+			textElem("price", fmt.Sprintf("%.2f", float64(g.r.rangeInt(1, 500))+float64(g.r.intn(100))/100)),
+			textElem("date", g.date()),
+			textElem("quantity", fmt.Sprintf("%d", g.r.rangeInt(1, 5))),
+		)
+		typ := "Regular"
+		if g.r.intn(3) == 0 {
+			typ = "Featured"
+		}
+		ca.Children = append(ca.Children, textElem("type", typ))
+		ca.Children[len(ca.Children)-1].Parent = ca
+		if g.r.intn(2) == 0 {
+			ann := elem("annotation",
+				textElem("author", g.r.pick(firstNames)+" "+g.r.pick(lastNames)),
+				textElem("description", g.sentence(6, 14)),
+			)
+			ann.Parent = ca
+			ca.Children = append(ca.Children, ann)
+		}
+		ca.Parent = cas
+		cas.Children = append(cas.Children, ca)
+	}
+	return cas
+}
+
+// AuctionDTD is the document type of the generated auction documents, in
+// the role XMark's auction.dtd plays for the inlining experiments.
+const AuctionDTD = `
+<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT item (location, quantity, name, payment, description, shipping, incategory+, mailbox?)>
+<!ATTLIST item id ID #REQUIRED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT description (#PCDATA | parlist)*>
+<!ELEMENT parlist (listitem*)>
+<!ELEMENT listitem (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category IDREF #REQUIRED>
+<!ELEMENT mailbox (mail*)>
+<!ELEMENT mail (from, to, date, text)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT text (#PCDATA)>
+<!ELEMENT categories (category*)>
+<!ELEMENT category (name, description)>
+<!ATTLIST category id ID #REQUIRED>
+<!ELEMENT catgraph (edge*)>
+<!ELEMENT edge EMPTY>
+<!ATTLIST edge from IDREF #REQUIRED to IDREF #REQUIRED>
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>
+<!ATTLIST person id ID #REQUIRED>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country, zipcode)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT zipcode (#PCDATA)>
+<!ELEMENT homepage (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+<!ELEMENT profile (interest*, education?, gender?, business, age?)>
+<!ATTLIST profile income CDATA #IMPLIED>
+<!ELEMENT interest EMPTY>
+<!ATTLIST interest category IDREF #REQUIRED>
+<!ELEMENT education (#PCDATA)>
+<!ELEMENT gender (#PCDATA)>
+<!ELEMENT business (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT watches (watch*)>
+<!ELEMENT watch EMPTY>
+<!ATTLIST watch open_auction IDREF #REQUIRED>
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval)>
+<!ATTLIST open_auction id ID #REQUIRED>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT reserve (#PCDATA)>
+<!ELEMENT bidder (date, time, personref, increase)>
+<!ELEMENT time (#PCDATA)>
+<!ELEMENT personref EMPTY>
+<!ATTLIST personref person IDREF #REQUIRED>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT privacy (#PCDATA)>
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref item IDREF #REQUIRED>
+<!ELEMENT seller EMPTY>
+<!ATTLIST seller person IDREF #REQUIRED>
+<!ELEMENT annotation (author, (happiness | description)*)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT happiness (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+<!ELEMENT interval (start, end)>
+<!ELEMENT start (#PCDATA)>
+<!ELEMENT end (#PCDATA)>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity, type, annotation?)>
+<!ELEMENT buyer EMPTY>
+<!ATTLIST buyer person IDREF #REQUIRED>
+<!ELEMENT price (#PCDATA)>
+`

@@ -1,0 +1,67 @@
+// Package xmlgen generates synthetic XML workloads: a deterministic
+// reimplementation of the XMark auction-site document (the benchmark
+// used throughout the XML-shredding literature) plus parametric deep and
+// wide document shapes for the axis-evaluation experiments.
+package xmlgen
+
+// rng is a small deterministic PRNG (splitmix64). The generator must be
+// reproducible across runs and platforms, so math/rand's global state is
+// avoided.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed + 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// rangeInt returns a uniform int in [lo, hi].
+func (r *rng) rangeInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// pick returns a random element of words.
+func (r *rng) pick(words []string) string {
+	return words[r.intn(len(words))]
+}
+
+// exp returns an exponentially distributed int with the given mean,
+// clamped to [0, max]. Used for skewed fan-outs (bidders per auction).
+func (r *rng) exp(mean, max int) int {
+	// Inverse CDF with the deterministic uniform source.
+	u := r.float()
+	if u >= 0.999999 {
+		u = 0.999999
+	}
+	// -mean * ln(1-u), via a cheap series-free approximation: use
+	// geometric trials to stay integer-only and deterministic.
+	n := 0
+	p := 1.0 / (1.0 + float64(mean))
+	for n < max {
+		if r.float() < p {
+			break
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,99 @@
+package xmlgen
+
+import (
+	"fmt"
+
+	"repro/internal/xmldom"
+)
+
+// Deep generates a document whose element chains have exactly the given
+// depth: a root <d0> containing `chains` independent branches, each a
+// chain <d1><d2>...<dN> ending in a <leaf> element with a numeric text
+// payload. It drives experiment F2 (descendant-axis cost vs. depth):
+// the Edge scheme must expand `//leaf` into a union of join chains whose
+// length grows with depth, while the interval scheme answers it with one
+// range scan regardless of depth.
+func Deep(depth, chains int, seed uint64) *xmldom.Document {
+	r := newRNG(seed + 0xDEEB)
+	root := elem("d0")
+	for c := 0; c < chains; c++ {
+		cur := root
+		for lvl := 1; lvl < depth; lvl++ {
+			next := elem(fmt.Sprintf("d%d", lvl))
+			next.Parent = cur
+			cur.Children = append(cur.Children, next)
+			cur = next
+		}
+		leaf := textElem("leaf", fmt.Sprintf("%d", r.intn(1000)))
+		leaf.Parent = cur
+		cur.Children = append(cur.Children, leaf)
+	}
+	doc := &xmldom.Document{Root: &xmldom.Node{Kind: xmldom.DocumentNode}}
+	root.Parent = doc.Root
+	doc.Root.Children = []*xmldom.Node{root}
+	doc.Number()
+	return doc
+}
+
+// Wide generates a flat document: a root with n <row> children, each
+// carrying a numeric <key> and a textual <val>. It isolates selection
+// and index experiments from navigation costs (experiment F5).
+func Wide(n int, seed uint64) *xmldom.Document {
+	r := newRNG(seed + 0x31DE)
+	root := elem("table")
+	for i := 0; i < n; i++ {
+		row := elem("row",
+			textElem("key", fmt.Sprintf("%d", i)),
+			textElem("val", r.pick(nouns)+" "+r.pick(adjectives)),
+		)
+		withAttr(row, "id", fmt.Sprintf("r%d", i))
+		row.Parent = root
+		root.Children = append(root.Children, row)
+	}
+	doc := &xmldom.Document{Root: &xmldom.Node{Kind: xmldom.DocumentNode}}
+	root.Parent = doc.Root
+	doc.Root.Children = []*xmldom.Node{root}
+	doc.Number()
+	return doc
+}
+
+// Recursive generates a document of nested <part> elements with random
+// branching, exercising the recursive-DTD handling of the inlining
+// scheme: each part has a <partname> and zero or more sub-parts.
+func Recursive(levels, fanout int, seed uint64) *xmldom.Document {
+	r := newRNG(seed + 0x4EC5)
+	var build func(level int) *xmldom.Node
+	id := 0
+	build = func(level int) *xmldom.Node {
+		p := elem("part", textElem("partname", fmt.Sprintf("P-%d", id)))
+		withAttr(p, "id", fmt.Sprintf("part%d", id))
+		id++
+		if level < levels {
+			n := r.rangeInt(0, fanout)
+			if level == 0 && n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				c := build(level + 1)
+				c.Parent = p
+				p.Children = append(p.Children, c)
+			}
+		}
+		return p
+	}
+	root := elem("assembly", build(0))
+	root.Children[0].Parent = root
+	doc := &xmldom.Document{Root: &xmldom.Node{Kind: xmldom.DocumentNode}}
+	root.Parent = doc.Root
+	doc.Root.Children = []*xmldom.Node{root}
+	doc.Number()
+	return doc
+}
+
+// RecursiveDTD is the part/assembly DTD matching Recursive documents.
+const RecursiveDTD = `
+<!ELEMENT assembly (part)>
+<!ELEMENT part (partname, part*)>
+<!ATTLIST part id ID #REQUIRED>
+<!ELEMENT partname (#PCDATA)>
+`

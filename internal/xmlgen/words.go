@@ -1,0 +1,109 @@
+package xmlgen
+
+// Word pools for the auction generator. XMark draws its text from
+// Shakespeare; a fixed vocabulary with the same role (repeatable,
+// skew-free filler words) preserves the size and selectivity properties
+// the experiments depend on.
+
+var firstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+	"Linda", "David", "Elizabeth", "William", "Barbara", "Richard",
+	"Susan", "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen",
+	"Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Betty",
+	"Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley",
+	"Steven", "Kimberly", "Paul", "Emily", "Andrew", "Donna", "Joshua",
+	"Michelle", "Kenneth", "Dorothy", "Kevin", "Carol", "Brian",
+	"Amanda", "George", "Melissa", "Edward", "Deborah",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson",
+	"Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+	"Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen",
+	"King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+	"Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell",
+	"Mitchell", "Carter", "Roberts",
+}
+
+var cities = []string{
+	"Berlin", "Paris", "London", "Madrid", "Rome", "Vienna", "Prague",
+	"Amsterdam", "Brussels", "Lisbon", "Dublin", "Warsaw", "Budapest",
+	"Athens", "Helsinki", "Oslo", "Stockholm", "Copenhagen", "Zurich",
+	"Geneva", "Tokyo", "Osaka", "Seoul", "Beijing", "Shanghai", "Delhi",
+	"Mumbai", "Sydney", "Melbourne", "Auckland", "Toronto", "Montreal",
+	"Chicago", "Boston", "Seattle", "Denver", "Austin", "Portland",
+	"Atlanta", "Miami", "Lima", "Bogota", "Santiago", "Buenos Aires",
+	"Sao Paulo", "Cairo", "Lagos", "Nairobi", "Accra", "Casablanca",
+}
+
+var countries = []string{
+	"Germany", "France", "United Kingdom", "Spain", "Italy", "Austria",
+	"Czechia", "Netherlands", "Belgium", "Portugal", "Ireland", "Poland",
+	"Hungary", "Greece", "Finland", "Norway", "Sweden", "Denmark",
+	"Switzerland", "Japan", "Korea", "China", "India", "Australia",
+	"New Zealand", "Canada", "United States", "Peru", "Colombia",
+	"Chile", "Argentina", "Brazil", "Egypt", "Nigeria", "Kenya",
+	"Ghana", "Morocco",
+}
+
+var nouns = []string{
+	"lamp", "clock", "violin", "painting", "carpet", "mirror", "vase",
+	"camera", "bicycle", "typewriter", "radio", "gramophone", "compass",
+	"telescope", "globe", "atlas", "chess", "cabinet", "desk", "chair",
+	"teapot", "kettle", "medal", "coin", "stamp", "poster", "banner",
+	"guitar", "flute", "drum", "anvil", "lantern", "sextant", "barometer",
+	"microscope", "engine", "propeller", "saddle", "helmet", "shield",
+}
+
+var adjectives = []string{
+	"antique", "rare", "vintage", "pristine", "restored", "original",
+	"ornate", "gilded", "enameled", "engraved", "handmade", "painted",
+	"polished", "weathered", "miniature", "oversized", "ceremonial",
+	"nautical", "military", "victorian", "baroque", "art-deco",
+	"scientific", "musical", "mechanical", "electric", "wooden",
+	"brass", "copper", "silver", "golden", "ivory", "marble", "crystal",
+}
+
+var fillerWords = []string{
+	"the", "quick", "auction", "features", "a", "remarkable", "piece",
+	"with", "provenance", "documented", "since", "its", "creation",
+	"collectors", "will", "appreciate", "the", "fine", "condition",
+	"and", "unusual", "history", "of", "this", "lot", "shipping",
+	"worldwide", "is", "available", "upon", "request", "buyer",
+	"assumes", "all", "responsibility", "for", "customs", "duties",
+	"payment", "due", "within", "seven", "days", "of", "close",
+	"inspection", "welcome", "by", "appointment", "only",
+}
+
+var categoryThemes = []string{
+	"Instruments", "Maps", "Furniture", "Ceramics", "Books", "Toys",
+	"Tools", "Jewelry", "Textiles", "Prints", "Clocks", "Cameras",
+	"Coins", "Stamps", "Militaria", "Glassware", "Silverware",
+	"Automobilia", "Scientifica", "Ephemera",
+}
+
+var regionNames = []string{
+	"africa", "asia", "australia", "europe", "namerica", "samerica",
+}
+
+var interests = []string{
+	"music", "travel", "history", "sports", "photography", "gardening",
+	"sailing", "cooking", "chess", "astronomy", "painting", "hiking",
+}
+
+var educationLevels = []string{
+	"High School", "College", "Graduate School", "Other",
+}
+
+var currencies = []string{"USD", "EUR", "GBP", "JPY", "CHF"}
+
+var paymentKinds = []string{
+	"Creditcard", "Money order", "Personal Check", "Cash",
+}
+
+var shippingKinds = []string{
+	"Will ship internationally", "Will ship only within country",
+	"Buyer pays fixed shipping charges", "See description for charges",
+}

@@ -1,0 +1,144 @@
+package xmlgen
+
+import (
+	"testing"
+
+	"repro/internal/xmldom"
+)
+
+func TestAuctionDeterminism(t *testing.T) {
+	a := xmldom.SerializeString(Auction(Config{Factor: 0.02, Seed: 5}).Root)
+	b := xmldom.SerializeString(Auction(Config{Factor: 0.02, Seed: 5}).Root)
+	if a != b {
+		t.Fatal("same config must generate identical documents")
+	}
+	c := xmldom.SerializeString(Auction(Config{Factor: 0.02, Seed: 6}).Root)
+	if a == c {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestAuctionStructure(t *testing.T) {
+	doc := Auction(Config{Factor: 0.05, Seed: 1})
+	site := doc.RootElement()
+	if site.Name != "site" {
+		t.Fatalf("root = %s", site.Name)
+	}
+	want := []string{"regions", "categories", "catgraph", "people", "open_auctions", "closed_auctions"}
+	kids := site.ChildElements("")
+	if len(kids) != len(want) {
+		t.Fatalf("site children = %d", len(kids))
+	}
+	for i, k := range kids {
+		if k.Name != want[i] {
+			t.Errorf("child %d = %s, want %s", i, k.Name, want[i])
+		}
+	}
+	regions := kids[0]
+	if len(regions.ChildElements("")) != 6 {
+		t.Errorf("regions = %d", len(regions.ChildElements("")))
+	}
+	// Every person has a name and emailaddress as first children.
+	for _, p := range kids[3].ChildElements("person") {
+		if p.FirstChildElement("name") == nil || p.FirstChildElement("emailaddress") == nil {
+			t.Fatalf("person %v missing required children", p.Attrs)
+		}
+		if _, ok := p.Attr("id"); !ok {
+			t.Fatal("person missing id")
+		}
+	}
+}
+
+func TestAuctionScaling(t *testing.T) {
+	small := Auction(Config{Factor: 0.05, Seed: 1}).NodeCount()
+	big := Auction(Config{Factor: 0.2, Seed: 1}).NodeCount()
+	ratio := float64(big) / float64(small)
+	if ratio < 3 || ratio > 5.5 {
+		t.Errorf("scaling 0.05 -> 0.2 changed nodes by %.1fx, want ~4x", ratio)
+	}
+}
+
+func TestAuctionConformsToDTD(t *testing.T) {
+	// Every element and attribute in a generated document must be
+	// declared in AuctionDTD (the inline scheme depends on it; its
+	// loader re-validates, but catch drift here early).
+	doc := Auction(Config{Factor: 0.05, Seed: 9})
+	declared := map[string]bool{}
+	// Cheap scan of the DTD text for element names.
+	dtdSrc := AuctionDTD
+	for i := 0; i+9 < len(dtdSrc); i++ {
+		if dtdSrc[i:i+9] == "<!ELEMENT" {
+			j := i + 10
+			k := j
+			for k < len(dtdSrc) && dtdSrc[k] != ' ' {
+				k++
+			}
+			declared[dtdSrc[j:k]] = true
+		}
+	}
+	for _, n := range doc.Nodes() {
+		if n.Kind == xmldom.ElementNode && !declared[n.Name] {
+			t.Fatalf("element <%s> not declared in AuctionDTD", n.Name)
+		}
+	}
+}
+
+func TestDeepShape(t *testing.T) {
+	doc := Deep(7, 40, 3)
+	if doc.MaxDepth() != 9 { // d0..d6 + leaf + its text node
+		t.Errorf("depth = %d", doc.MaxDepth())
+	}
+	leaves := 0
+	for _, n := range doc.Nodes() {
+		if n.Kind == xmldom.ElementNode && n.Name == "leaf" {
+			leaves++
+		}
+	}
+	if leaves != 40 {
+		t.Errorf("leaves = %d", leaves)
+	}
+}
+
+func TestWideShape(t *testing.T) {
+	doc := Wide(123, 3)
+	rows := doc.RootElement().ChildElements("row")
+	if len(rows) != 123 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows[:5] {
+		if r.FirstChildElement("key") == nil || r.FirstChildElement("val") == nil {
+			t.Fatal("row missing key/val")
+		}
+	}
+}
+
+func TestRecursiveShape(t *testing.T) {
+	doc := Recursive(5, 3, 3)
+	deepest := 0
+	for _, n := range doc.Nodes() {
+		if n.Kind == xmldom.ElementNode && n.Name == "part" && n.Level > deepest {
+			deepest = n.Level
+		}
+	}
+	if deepest < 3 {
+		t.Errorf("recursion depth = %d, want >= 3", deepest)
+	}
+}
+
+func TestGeneratedXMLParses(t *testing.T) {
+	for _, doc := range []*xmldom.Document{
+		Auction(Config{Factor: 0.02, Seed: 4}),
+		Deep(5, 10, 4),
+		Wide(50, 4),
+		Recursive(4, 2, 4),
+	} {
+		out := xmldom.SerializeString(doc.Root)
+		re, err := xmldom.ParseString(out)
+		if err != nil {
+			t.Fatalf("generated XML does not re-parse: %v", err)
+		}
+		if re.NodeCount() != doc.NodeCount() {
+			t.Fatalf("round trip node count %d != %d", re.NodeCount(), doc.NodeCount())
+		}
+	}
+}

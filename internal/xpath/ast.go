@@ -1,0 +1,214 @@
+// Package xpath implements the XPath 1.0 navigational subset used by the
+// paper's query workloads: child/descendant/attribute/parent and sibling
+// axes, name and kind tests, and predicates over paths, positions and
+// values.
+//
+// The same AST feeds two consumers: the direct DOM evaluator in this
+// package (the "native" baseline of experiment T5) and the per-scheme
+// SQL translators in internal/translate.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis enumerates the supported XPath axes.
+type Axis int
+
+// Supported axes.
+const (
+	AxisChild Axis = iota
+	AxisDescendant
+	AxisDescendantOrSelf
+	AxisAttribute
+	AxisSelf
+	AxisParent
+	AxisAncestor
+	AxisFollowingSibling
+	AxisPrecedingSibling
+)
+
+// String returns the XPath spelling of the axis.
+func (a Axis) String() string {
+	switch a {
+	case AxisChild:
+		return "child"
+	case AxisDescendant:
+		return "descendant"
+	case AxisDescendantOrSelf:
+		return "descendant-or-self"
+	case AxisAttribute:
+		return "attribute"
+	case AxisSelf:
+		return "self"
+	case AxisParent:
+		return "parent"
+	case AxisAncestor:
+		return "ancestor"
+	case AxisFollowingSibling:
+		return "following-sibling"
+	case AxisPrecedingSibling:
+		return "preceding-sibling"
+	default:
+		return fmt.Sprintf("axis(%d)", int(a))
+	}
+}
+
+// TestKind classifies node tests.
+type TestKind int
+
+// Node test kinds.
+const (
+	TestName     TestKind = iota // element or attribute by name
+	TestWildcard                 // *
+	TestText                     // text()
+	TestNode                     // node()
+	TestComment                  // comment()
+)
+
+// NodeTest is the node test of a step.
+type NodeTest struct {
+	Kind TestKind
+	Name string
+}
+
+// Step is one location step: axis :: test [pred]*.
+type Step struct {
+	Axis  Axis
+	Test  NodeTest
+	Preds []Expr
+}
+
+// Path is a location path.
+type Path struct {
+	// Absolute paths start at the document root.
+	Absolute bool
+	Steps    []Step
+}
+
+// Expr is a predicate expression.
+type Expr interface{ xpexpr() }
+
+// BinaryExpr covers and/or and comparisons (= != < <= > >=) with XPath's
+// existential node-set semantics.
+type BinaryExpr struct {
+	Op string
+	L  Expr
+	R  Expr
+}
+
+// PathOperand is a relative path used as a predicate operand.
+type PathOperand struct{ Path *Path }
+
+// StringLit is a string literal.
+type StringLit struct{ Val string }
+
+// NumberLit is a numeric literal. A bare number predicate [N] is
+// shorthand for [position() = N].
+type NumberLit struct{ Val float64 }
+
+// FuncCall is one of the supported predicate functions: position, last,
+// count, contains, starts-with, not, true, false, string-length.
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+func (*BinaryExpr) xpexpr()  {}
+func (*PathOperand) xpexpr() {}
+func (*StringLit) xpexpr()   {}
+func (*NumberLit) xpexpr()   {}
+func (*FuncCall) xpexpr()    {}
+
+// String renders the path in normalized XPath syntax.
+func (p *Path) String() string {
+	var b strings.Builder
+	if p.Absolute && len(p.Steps) == 0 {
+		return "/"
+	}
+	for i, s := range p.Steps {
+		if i > 0 || p.Absolute {
+			if s.Axis == AxisDescendant || s.Axis == AxisDescendantOrSelf {
+				b.WriteString("//")
+			} else {
+				b.WriteString("/")
+			}
+		}
+		b.WriteString(stepString(s))
+	}
+	return b.String()
+}
+
+func stepString(s Step) string {
+	var b strings.Builder
+	switch s.Axis {
+	case AxisAttribute:
+		b.WriteString("@")
+	case AxisParent:
+		if s.Test.Kind == TestNode {
+			b.WriteString("..")
+			for _, p := range s.Preds {
+				b.WriteString("[" + exprText(p) + "]")
+			}
+			return b.String()
+		}
+		b.WriteString("parent::")
+	case AxisSelf:
+		if s.Test.Kind == TestNode {
+			b.WriteString(".")
+			for _, p := range s.Preds {
+				b.WriteString("[" + exprText(p) + "]")
+			}
+			return b.String()
+		}
+		b.WriteString("self::")
+	case AxisAncestor:
+		b.WriteString("ancestor::")
+	case AxisFollowingSibling:
+		b.WriteString("following-sibling::")
+	case AxisPrecedingSibling:
+		b.WriteString("preceding-sibling::")
+	}
+	switch s.Test.Kind {
+	case TestName:
+		b.WriteString(s.Test.Name)
+	case TestWildcard:
+		b.WriteString("*")
+	case TestText:
+		b.WriteString("text()")
+	case TestNode:
+		b.WriteString("node()")
+	case TestComment:
+		b.WriteString("comment()")
+	}
+	for _, p := range s.Preds {
+		b.WriteString("[" + exprText(p) + "]")
+	}
+	return b.String()
+}
+
+func exprText(e Expr) string {
+	switch e := e.(type) {
+	case *BinaryExpr:
+		return exprText(e.L) + " " + e.Op + " " + exprText(e.R)
+	case *PathOperand:
+		return e.Path.String()
+	case *StringLit:
+		return "'" + e.Val + "'"
+	case *NumberLit:
+		return trimFloat(e.Val)
+	case *FuncCall:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, exprText(a))
+		}
+		return e.Name + "(" + strings.Join(args, ", ") + ")"
+	}
+	return "?"
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}

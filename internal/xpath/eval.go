@@ -1,0 +1,469 @@
+package xpath
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmldom"
+)
+
+// Eval evaluates a path against a document and returns the result node
+// set in document order without duplicates. This is the "native"
+// main-memory baseline the relational translations are compared against.
+func Eval(doc *xmldom.Document, p *Path) []*xmldom.Node {
+	ctx := []*xmldom.Node{doc.Root}
+	if !p.Absolute {
+		ctx = []*xmldom.Node{doc.Root}
+	}
+	out := evalSteps(ctx, p.Steps)
+	return sortUnique(out)
+}
+
+// EvalFrom evaluates a relative path from the given context nodes.
+func EvalFrom(ctx []*xmldom.Node, p *Path) []*xmldom.Node {
+	return sortUnique(evalSteps(ctx, p.Steps))
+}
+
+func evalSteps(ctx []*xmldom.Node, steps []Step) []*xmldom.Node {
+	cur := ctx
+	for i := range steps {
+		cur = evalStep(cur, &steps[i])
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// evalStep applies one step to every context node, preserving XPath's
+// per-context-node position semantics for predicates. For the
+// descendant axis (the // abbreviation, which expands to
+// descendant-or-self::node()/child::test), positional predicates apply
+// per parent group — //author[1] selects the first author under each
+// parent, matching both the standard and the relational translations.
+func evalStep(ctx []*xmldom.Node, s *Step) []*xmldom.Node {
+	var out []*xmldom.Node
+	seen := map[*xmldom.Node]bool{}
+	add := func(cands []*xmldom.Node) {
+		for _, c := range cands {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	for _, n := range ctx {
+		cands := axisNodes(n, s.Axis, &s.Test)
+		if s.Axis == xpathDescendantAxis(s.Axis) && len(s.Preds) > 0 {
+			// Group by parent, preserving document order of groups.
+			var order []*xmldom.Node
+			groups := map[*xmldom.Node][]*xmldom.Node{}
+			for _, c := range cands {
+				if _, ok := groups[c.Parent]; !ok {
+					order = append(order, c.Parent)
+				}
+				groups[c.Parent] = append(groups[c.Parent], c)
+			}
+			for _, p := range order {
+				add(applyPreds(groups[p], s.Preds))
+			}
+			continue
+		}
+		add(applyPreds(cands, s.Preds))
+	}
+	return out
+}
+
+// xpathDescendantAxis returns its argument when it is a descendant-kind
+// axis (used as a readable membership test).
+func xpathDescendantAxis(a Axis) Axis {
+	if a == AxisDescendant || a == AxisDescendantOrSelf {
+		return a
+	}
+	return -1
+}
+
+func axisNodes(n *xmldom.Node, axis Axis, test *NodeTest) []*xmldom.Node {
+	var out []*xmldom.Node
+	add := func(c *xmldom.Node) {
+		if matchTest(c, test) {
+			out = append(out, c)
+		}
+	}
+	switch axis {
+	case AxisChild:
+		for _, c := range n.Children {
+			add(c)
+		}
+	case AxisDescendant:
+		var walk func(*xmldom.Node)
+		walk = func(m *xmldom.Node) {
+			for _, c := range m.Children {
+				add(c)
+				walk(c)
+			}
+		}
+		walk(n)
+	case AxisDescendantOrSelf:
+		add(n)
+		var walk func(*xmldom.Node)
+		walk = func(m *xmldom.Node) {
+			for _, c := range m.Children {
+				add(c)
+				walk(c)
+			}
+		}
+		walk(n)
+	case AxisAttribute:
+		for _, a := range n.Attrs {
+			add(a)
+		}
+	case AxisSelf:
+		add(n)
+	case AxisParent:
+		if n.Parent != nil {
+			add(n.Parent)
+		}
+	case AxisAncestor:
+		for m := n.Parent; m != nil; m = m.Parent {
+			add(m)
+		}
+	case AxisFollowingSibling:
+		if n.Parent != nil {
+			after := false
+			for _, c := range n.Parent.Children {
+				if c == n {
+					after = true
+					continue
+				}
+				if after {
+					add(c)
+				}
+			}
+		}
+	case AxisPrecedingSibling:
+		if n.Parent != nil {
+			for _, c := range n.Parent.Children {
+				if c == n {
+					break
+				}
+				add(c)
+			}
+		}
+	}
+	return out
+}
+
+func matchTest(n *xmldom.Node, t *NodeTest) bool {
+	switch t.Kind {
+	case TestName:
+		return (n.Kind == xmldom.ElementNode || n.Kind == xmldom.AttributeNode) && n.Name == t.Name
+	case TestWildcard:
+		return n.Kind == xmldom.ElementNode || n.Kind == xmldom.AttributeNode
+	case TestText:
+		return n.Kind == xmldom.TextNode
+	case TestComment:
+		return n.Kind == xmldom.CommentNode
+	case TestNode:
+		return true
+	}
+	return false
+}
+
+func applyPreds(cands []*xmldom.Node, preds []Expr) []*xmldom.Node {
+	for _, p := range preds {
+		if len(cands) == 0 {
+			return nil
+		}
+		var kept []*xmldom.Node
+		size := len(cands)
+		for i, c := range cands {
+			v := evalExpr(c, i+1, size, p)
+			// Numeric predicate values are positional shorthand
+			// ([last()] means [position() = last()]).
+			if predTruthGeneral(v, i+1) {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+	}
+	return cands
+}
+
+// value is the XPath 1.0 value space: node-set, string, number, boolean.
+type value struct {
+	nodes   []*xmldom.Node
+	str     string
+	num     float64
+	boolean bool
+	kind    byte // 'n' nodeset, 's' string, 'f' number, 'b' bool
+}
+
+func nodesVal(ns []*xmldom.Node) value { return value{nodes: ns, kind: 'n'} }
+func strVal(s string) value            { return value{str: s, kind: 's'} }
+func numVal(f float64) value           { return value{num: f, kind: 'f'} }
+func boolVal(b bool) value             { return value{boolean: b, kind: 'b'} }
+
+// predTruth applies the predicate truth rule: numbers compare against
+// position (handled by the caller passing position as equality), here a
+// bare number is never reached because evalExpr rewrites it; node-sets
+// are true when non-empty.
+func predTruth(v value) bool {
+	switch v.kind {
+	case 'n':
+		return len(v.nodes) > 0
+	case 's':
+		return v.str != ""
+	case 'f':
+		return v.num != 0 // positional case handled in evalExpr
+	case 'b':
+		return v.boolean
+	}
+	return false
+}
+
+func (v value) toString() string {
+	switch v.kind {
+	case 's':
+		return v.str
+	case 'f':
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	case 'b':
+		if v.boolean {
+			return "true"
+		}
+		return "false"
+	case 'n':
+		if len(v.nodes) == 0 {
+			return ""
+		}
+		return v.nodes[0].Text()
+	}
+	return ""
+}
+
+func (v value) toNumber() float64 {
+	switch v.kind {
+	case 'f':
+		return v.num
+	case 's':
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.str), 64)
+		if err != nil {
+			return nan()
+		}
+		return f
+	case 'b':
+		if v.boolean {
+			return 1
+		}
+		return 0
+	case 'n':
+		return strVal(v.toString()).toNumber()
+	}
+	return nan()
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}
+
+func evalExpr(ctx *xmldom.Node, pos, size int, e Expr) value {
+	switch e := e.(type) {
+	case *NumberLit:
+		// Bare numeric predicate: position() = N.
+		return boolVal(float64(pos) == e.Val)
+	case *StringLit:
+		return strVal(e.Val)
+	case *PathOperand:
+		return nodesVal(evalSteps([]*xmldom.Node{ctx}, e.Path.Steps))
+	case *FuncCall:
+		return evalFunc(ctx, pos, size, e)
+	case *BinaryExpr:
+		switch e.Op {
+		case "and":
+			l := evalExpr(ctx, pos, size, e.L)
+			if !predTruthGeneral(l, pos) {
+				return boolVal(false)
+			}
+			r := evalExpr(ctx, pos, size, e.R)
+			return boolVal(predTruthGeneral(r, pos))
+		case "or":
+			l := evalExpr(ctx, pos, size, e.L)
+			if predTruthGeneral(l, pos) {
+				return boolVal(true)
+			}
+			r := evalExpr(ctx, pos, size, e.R)
+			return boolVal(predTruthGeneral(r, pos))
+		default:
+			return boolVal(compare(ctx, pos, size, e))
+		}
+	}
+	return boolVal(false)
+}
+
+// predTruthGeneral treats a raw number as positional shorthand.
+func predTruthGeneral(v value, pos int) bool {
+	if v.kind == 'f' {
+		return float64(pos) == v.num
+	}
+	return predTruth(v)
+}
+
+// compare implements XPath comparison semantics including existential
+// node-set comparison.
+func compare(ctx *xmldom.Node, pos, size int, e *BinaryExpr) bool {
+	l := evalOperand(ctx, pos, size, e.L)
+	r := evalOperand(ctx, pos, size, e.R)
+
+	// Node-set vs node-set or scalar: existential.
+	if l.kind == 'n' || r.kind == 'n' {
+		ls := operandStrings(l)
+		rs := operandStrings(r)
+		for _, a := range ls {
+			for _, b := range rs {
+				if cmpStrings(a, b, e.Op, l.kind == 'n' && r.kind == 'f' || l.kind == 'f' && r.kind == 'n' || bothNumeric(a, b)) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	numeric := l.kind == 'f' || r.kind == 'f' || bothNumeric(l.toString(), r.toString())
+	return cmpStrings(l.toString(), r.toString(), e.Op, numeric)
+}
+
+func evalOperand(ctx *xmldom.Node, pos, size int, e Expr) value {
+	switch e := e.(type) {
+	case *NumberLit:
+		return numVal(e.Val)
+	default:
+		return evalExpr(ctx, pos, size, e)
+	}
+}
+
+func operandStrings(v value) []string {
+	if v.kind == 'n' {
+		out := make([]string, len(v.nodes))
+		for i, n := range v.nodes {
+			out[i] = n.Text()
+		}
+		return out
+	}
+	return []string{v.toString()}
+}
+
+func bothNumeric(a, b string) bool {
+	_, err1 := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	_, err2 := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	return err1 == nil && err2 == nil
+}
+
+func cmpStrings(a, b, op string, numeric bool) bool {
+	if numeric {
+		fa, err1 := strconv.ParseFloat(strings.TrimSpace(a), 64)
+		fb, err2 := strconv.ParseFloat(strings.TrimSpace(b), 64)
+		if err1 == nil && err2 == nil {
+			switch op {
+			case "=":
+				return fa == fb
+			case "!=":
+				return fa != fb
+			case "<":
+				return fa < fb
+			case "<=":
+				return fa <= fb
+			case ">":
+				return fa > fb
+			case ">=":
+				return fa >= fb
+			}
+			return false
+		}
+	}
+	switch op {
+	case "=":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+func evalFunc(ctx *xmldom.Node, pos, size int, f *FuncCall) value {
+	switch f.Name {
+	case "position":
+		return numVal(float64(pos))
+	case "last":
+		return numVal(float64(size))
+	case "true":
+		return boolVal(true)
+	case "false":
+		return boolVal(false)
+	case "count":
+		if len(f.Args) != 1 {
+			return numVal(0)
+		}
+		v := evalExpr(ctx, pos, size, f.Args[0])
+		return numVal(float64(len(v.nodes)))
+	case "not":
+		if len(f.Args) != 1 {
+			return boolVal(false)
+		}
+		v := evalExpr(ctx, pos, size, f.Args[0])
+		return boolVal(!predTruthGeneral(v, pos))
+	case "contains":
+		if len(f.Args) != 2 {
+			return boolVal(false)
+		}
+		a := evalOperand(ctx, pos, size, f.Args[0]).toString()
+		b := evalOperand(ctx, pos, size, f.Args[1]).toString()
+		return boolVal(strings.Contains(a, b))
+	case "starts-with":
+		if len(f.Args) != 2 {
+			return boolVal(false)
+		}
+		a := evalOperand(ctx, pos, size, f.Args[0]).toString()
+		b := evalOperand(ctx, pos, size, f.Args[1]).toString()
+		return boolVal(strings.HasPrefix(a, b))
+	case "string-length":
+		if len(f.Args) != 1 {
+			return numVal(float64(len(ctx.Text())))
+		}
+		return numVal(float64(len(evalOperand(ctx, pos, size, f.Args[0]).toString())))
+	case "string":
+		if len(f.Args) == 0 {
+			return strVal(ctx.Text())
+		}
+		return strVal(evalOperand(ctx, pos, size, f.Args[0]).toString())
+	case "number":
+		if len(f.Args) == 0 {
+			return numVal(strVal(ctx.Text()).toNumber())
+		}
+		return numVal(evalOperand(ctx, pos, size, f.Args[0]).toNumber())
+	}
+	return boolVal(false)
+}
+
+func sortUnique(ns []*xmldom.Node) []*xmldom.Node {
+	if len(ns) <= 1 {
+		return ns
+	}
+	sort.SliceStable(ns, func(i, j int) bool { return ns[i].Pre < ns[j].Pre })
+	out := ns[:1]
+	for _, n := range ns[1:] {
+		if n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/xmldom"
+)
+
+func TestExplicitAxes(t *testing.T) {
+	doc, err := xmldom.ParseString(`<r><a><b id="1"/><b id="2"/><c/></a><a><b id="3"/></a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"/r/child::a", 2},
+		{"/r/descendant::b", 3},
+		{"/r/a/b/parent::a", 2},
+		{"/r/a/b/ancestor::r", 1},
+		{"/r/a/b[@id='1']/following-sibling::b", 1},
+		{"/r/a/b[@id='1']/following-sibling::c", 1},
+		{"/r/a/c/preceding-sibling::b", 2},
+		{"/r/a/self::a", 2},
+		{"/r/descendant-or-self::a", 2},
+		{"/r/a/node()", 4},
+	}
+	for _, c := range cases {
+		got := len(Eval(doc, MustParse(c.q)))
+		if got != c.want {
+			t.Errorf("%s = %d nodes, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestCommentAndNodeTests(t *testing.T) {
+	doc, err := xmldom.ParseString(`<r><!--one--><a/><!--two--></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(Eval(doc, MustParse("/r/comment()"))); got != 2 {
+		t.Errorf("comment() = %d", got)
+	}
+	if got := len(Eval(doc, MustParse("//comment()"))); got != 2 {
+		t.Errorf("//comment() = %d", got)
+	}
+}
+
+func TestNumericStringFunctions(t *testing.T) {
+	doc, err := xmldom.ParseString(`<r><v>abc</v><v>abcdef</v><v>5</v></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"//v[string-length() > 3]", 1},
+		{"//v[string-length(.) = 3]", 1},
+		{"//v[number(.) = 5]", 1},
+		{"//v[string(.) = 'abc']", 1},
+		{"//v[true()]", 3},
+		{"//v[false()]", 0},
+	}
+	for _, c := range cases {
+		if got := len(Eval(doc, MustParse(c.q))); got != c.want {
+			t.Errorf("%s = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPredicateChaining(t *testing.T) {
+	doc, err := xmldom.ParseString(`<r><a k="x">1</a><a k="x">2</a><a k="y">3</a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predicates apply left to right: filter by @k, then position.
+	nodes := Eval(doc, MustParse(`/r/a[@k='x'][2]`))
+	if len(nodes) != 1 || nodes[0].Text() != "2" {
+		t.Fatalf("[@k][2] = %v", texts(nodes))
+	}
+	// The reverse order means: second a overall, which has k=x.
+	nodes = Eval(doc, MustParse(`/r/a[2][@k='x']`))
+	if len(nodes) != 1 || nodes[0].Text() != "2" {
+		t.Fatalf("[2][@k] = %v", texts(nodes))
+	}
+	nodes = Eval(doc, MustParse(`/r/a[3][@k='x']`))
+	if len(nodes) != 0 {
+		t.Fatalf("[3][@k='x'] = %v", texts(nodes))
+	}
+}
+
+func texts(ns []*xmldom.Node) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = n.Text()
+	}
+	return out
+}
+
+func TestAttributeWildcard(t *testing.T) {
+	doc, err := xmldom.ParseString(`<r a="1" b="2"><c d="3"/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(Eval(doc, MustParse("/r/@*"))); got != 2 {
+		t.Errorf("/r/@* = %d", got)
+	}
+	if got := len(Eval(doc, MustParse("//@*"))); got != 3 {
+		t.Errorf("//@* = %d", got)
+	}
+	if got := len(Eval(doc, MustParse("/r/attribute::a"))); got != 1 {
+		t.Errorf("attribute::a = %d", got)
+	}
+}

@@ -1,0 +1,436 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+type xpParser struct {
+	src string
+	pos int
+}
+
+func (p *xpParser) errf(format string, args ...any) error {
+	return fmt.Errorf("xpath: %s at offset %d in %q", fmt.Sprintf(format, args...), p.pos, p.src)
+}
+
+// Parse parses an XPath expression of the supported subset.
+func Parse(src string) (*Path, error) {
+	p := &xpParser{src: src}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.pos != len(p.src) {
+		return nil, p.errf("unexpected trailing input %q", p.src[p.pos:])
+	}
+	return path, nil
+}
+
+// MustParse parses or panics; for tests and fixed workload tables.
+func MustParse(src string) *Path {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *xpParser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return
+		}
+		p.pos++
+	}
+}
+
+func (p *xpParser) hasPrefix(s string) bool {
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+func (p *xpParser) accept(s string) bool {
+	if p.hasPrefix(s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r >= 0x80
+}
+
+func isNameChar(r rune) bool {
+	return isNameStart(r) || r == '-' || r == '.' || r == ':' || (r >= '0' && r <= '9')
+}
+
+func (p *xpParser) peekName() string {
+	pos := p.pos
+	r, size := utf8.DecodeRuneInString(p.src[pos:])
+	if !isNameStart(r) {
+		return ""
+	}
+	pos += size
+	for pos < len(p.src) {
+		r, size = utf8.DecodeRuneInString(p.src[pos:])
+		if !isNameChar(r) {
+			break
+		}
+		// "::" is the axis separator, never part of a QName.
+		if r == ':' && pos+1 < len(p.src) && p.src[pos+1] == ':' {
+			break
+		}
+		pos += size
+	}
+	return p.src[p.pos:pos]
+}
+
+func (p *xpParser) parsePath() (*Path, error) {
+	p.skipWS()
+	path := &Path{}
+	switch {
+	case p.accept("//"):
+		path.Absolute = true
+		if p.hasPrefix("@") {
+			// //@x expands to descendant-or-self::node()/attribute::x.
+			path.Steps = append(path.Steps, Step{Axis: AxisDescendant, Test: NodeTest{Kind: TestNode}})
+			step, err := p.parseStep(false)
+			if err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, step)
+			break
+		}
+		step, err := p.parseStep(true)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+	case p.accept("/"):
+		path.Absolute = true
+		p.skipWS()
+		if p.pos == len(p.src) {
+			return path, nil // bare "/"
+		}
+		step, err := p.parseStep(false)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+	default:
+		step, err := p.parseStep(false)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+	}
+	for {
+		p.skipWS()
+		switch {
+		case p.accept("//"):
+			if p.hasPrefix("@") {
+				path.Steps = append(path.Steps, Step{Axis: AxisDescendant, Test: NodeTest{Kind: TestNode}})
+				step, err := p.parseStep(false)
+				if err != nil {
+					return nil, err
+				}
+				path.Steps = append(path.Steps, step)
+				continue
+			}
+			step, err := p.parseStep(true)
+			if err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, step)
+		case p.accept("/"):
+			step, err := p.parseStep(false)
+			if err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, step)
+		default:
+			return path, nil
+		}
+	}
+}
+
+// parseStep parses one location step. descendant toggles the // form:
+// the step's default axis becomes descendant instead of child.
+func (p *xpParser) parseStep(descendant bool) (Step, error) {
+	p.skipWS()
+	step := Step{Axis: AxisChild}
+	if descendant {
+		step.Axis = AxisDescendant
+	}
+
+	switch {
+	case p.accept(".."):
+		step.Axis = AxisParent
+		step.Test = NodeTest{Kind: TestNode}
+		return p.parsePreds(step)
+	case p.accept("."):
+		step.Axis = AxisSelf
+		step.Test = NodeTest{Kind: TestNode}
+		return p.parsePreds(step)
+	case p.accept("@"):
+		step.Axis = AxisAttribute
+	}
+
+	// Explicit axis?
+	if step.Axis != AxisAttribute {
+		name := p.peekName()
+		if name != "" && strings.HasPrefix(p.src[p.pos+len(name):], "::") {
+			ax, err := axisByName(name)
+			if err != nil {
+				return step, p.errf("%v", err)
+			}
+			if descendant {
+				return step, p.errf("cannot combine // with an explicit axis")
+			}
+			step.Axis = ax
+			p.pos += len(name) + 2
+			if step.Axis == AxisAttribute {
+				// fall through to name test below
+			}
+		}
+	}
+
+	// Node test.
+	switch {
+	case p.accept("*"):
+		step.Test = NodeTest{Kind: TestWildcard}
+	case p.hasPrefix("text()"):
+		p.pos += len("text()")
+		step.Test = NodeTest{Kind: TestText}
+	case p.hasPrefix("node()"):
+		p.pos += len("node()")
+		step.Test = NodeTest{Kind: TestNode}
+	case p.hasPrefix("comment()"):
+		p.pos += len("comment()")
+		step.Test = NodeTest{Kind: TestComment}
+	default:
+		name := p.peekName()
+		if name == "" {
+			return step, p.errf("expected node test")
+		}
+		p.pos += len(name)
+		step.Test = NodeTest{Kind: TestName, Name: name}
+	}
+	return p.parsePreds(step)
+}
+
+func axisByName(name string) (Axis, error) {
+	switch name {
+	case "child":
+		return AxisChild, nil
+	case "descendant":
+		return AxisDescendant, nil
+	case "descendant-or-self":
+		return AxisDescendantOrSelf, nil
+	case "attribute":
+		return AxisAttribute, nil
+	case "self":
+		return AxisSelf, nil
+	case "parent":
+		return AxisParent, nil
+	case "ancestor":
+		return AxisAncestor, nil
+	case "following-sibling":
+		return AxisFollowingSibling, nil
+	case "preceding-sibling":
+		return AxisPrecedingSibling, nil
+	}
+	return 0, fmt.Errorf("unsupported axis %q", name)
+}
+
+func (p *xpParser) parsePreds(step Step) (Step, error) {
+	for {
+		p.skipWS()
+		if !p.accept("[") {
+			return step, nil
+		}
+		e, err := p.parseOr()
+		if err != nil {
+			return step, err
+		}
+		p.skipWS()
+		if !p.accept("]") {
+			return step, p.errf("expected ']'")
+		}
+		step.Preds = append(step.Preds, e)
+	}
+}
+
+func (p *xpParser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipWS()
+		if p.acceptWord("or") {
+			right, err := p.parseAnd()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "or", L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *xpParser) parseAnd() (Expr, error) {
+	left, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipWS()
+		if p.acceptWord("and") {
+			right, err := p.parseComparison()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "and", L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+// acceptWord consumes an identifier-like keyword only when followed by a
+// non-name character (so "and" doesn't eat the path step "android").
+func (p *xpParser) acceptWord(w string) bool {
+	if !p.hasPrefix(w) {
+		return false
+	}
+	rest := p.src[p.pos+len(w):]
+	if rest != "" {
+		r, _ := utf8.DecodeRuneInString(rest)
+		if isNameChar(r) {
+			return false
+		}
+	}
+	p.pos += len(w)
+	return true
+}
+
+func (p *xpParser) parseComparison() (Expr, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if p.accept(op) {
+			right, err := p.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *xpParser) parseOperand() (Expr, error) {
+	p.skipWS()
+	if p.pos >= len(p.src) {
+		return nil, p.errf("expected expression")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '\'' || c == '"':
+		q := c
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != q {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated string literal")
+		}
+		s := p.src[start:p.pos]
+		p.pos++
+		return &StringLit{Val: s}, nil
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if (c < '0' || c > '9') && c != '.' {
+				break
+			}
+			p.pos++
+		}
+		f, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+		if err != nil {
+			return nil, p.errf("bad number: %v", err)
+		}
+		return &NumberLit{Val: f}, nil
+	case c == '(':
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		if !p.accept(")") {
+			return nil, p.errf("expected ')'")
+		}
+		return e, nil
+	}
+	// Function call?
+	name := p.peekName()
+	if name != "" && !strings.Contains(name, ":") {
+		after := p.src[p.pos+len(name):]
+		trimmed := strings.TrimLeft(after, " \t\r\n")
+		if strings.HasPrefix(trimmed, "(") && isFuncName(name) {
+			p.pos += len(name)
+			p.skipWS()
+			p.accept("(")
+			fc := &FuncCall{Name: name}
+			p.skipWS()
+			if !p.accept(")") {
+				for {
+					arg, err := p.parseOr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, arg)
+					p.skipWS()
+					if p.accept(",") {
+						continue
+					}
+					if p.accept(")") {
+						break
+					}
+					return nil, p.errf("expected ',' or ')' in %s()", name)
+				}
+			}
+			return fc, nil
+		}
+	}
+	// Relative path operand.
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	return &PathOperand{Path: path}, nil
+}
+
+func isFuncName(name string) bool {
+	switch name {
+	// Note: "text" is absent so that [text() = 'x'] parses as a path
+	// step, per XPath, not as a function call.
+	case "position", "last", "count", "contains", "starts-with", "not",
+		"true", "false", "string-length", "string", "number":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmldom"
+)
+
+const testDoc = `<bib>
+  <book year="1994" id="b1">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <price>65.95</price>
+  </book>
+  <book year="2000" id="b2">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <price>39.95</price>
+  </book>
+  <article id="a1">
+    <title>On Views</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+  </article>
+</bib>`
+
+func evalStrings(t *testing.T, doc *xmldom.Document, q string) []string {
+	t.Helper()
+	p, err := Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	nodes := Eval(doc, p)
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Text()
+	}
+	return out
+}
+
+func TestEvalBasics(t *testing.T) {
+	doc, err := xmldom.ParseString(testDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		q    string
+		want []string
+	}{
+		{"/bib/book/title", []string{"TCP/IP Illustrated", "Data on the Web"}},
+		{"//title", []string{"TCP/IP Illustrated", "Data on the Web", "On Views"}},
+		{"/bib/book[@year='1994']/title", []string{"TCP/IP Illustrated"}},
+		{"/bib/book[price < 50]/title", []string{"Data on the Web"}},
+		{"/bib/book[price > 50]/title", []string{"TCP/IP Illustrated"}},
+		{"//book[author/last='Suciu']/@id", []string{"b2"}},
+		{"/bib/*/title", []string{"TCP/IP Illustrated", "Data on the Web", "On Views"}},
+		{"//author[1]/last", []string{"Stevens", "Abiteboul", "Abiteboul"}},
+		{"//author[2]/last", []string{"Buneman"}},
+		{"//author[last()]/last", []string{"Stevens", "Suciu", "Abiteboul"}},
+		{"//book[count(author) > 1]/@id", []string{"b2"}},
+		{"//book[contains(title, 'Web')]/@id", []string{"b2"}},
+		{"//book[starts-with(title, 'TCP')]/@id", []string{"b1"}},
+		{"//book[not(author/last='Stevens')]/@id", []string{"b2"}},
+		{"/bib/book/title/text()", []string{"TCP/IP Illustrated", "Data on the Web"}},
+		{"//last[. = 'Dan']", nil},
+		{"//first[. = 'Dan']", []string{"Dan"}},
+		{"//book[@year > 1995 and price < 50]/@id", []string{"b2"}},
+		{"//book[@year < 1990 or @year > 1999]/@id", []string{"b2"}},
+		{"//author/last[../first='Serge']", []string{"Abiteboul", "Abiteboul"}},
+		{"/bib/book[2]/author[position() = 3]/last", []string{"Suciu"}},
+		{"//article/ancestor::bib/book[1]/@id", []string{"b1"}},
+		{"/bib/book[1]/following-sibling::book/@id", []string{"b2"}},
+		{"/bib/book[2]/preceding-sibling::book/@id", []string{"b1"}},
+		{"//author[first='Peter']/parent::book/@id", []string{"b2"}},
+	}
+	for _, c := range cases {
+		got := evalStrings(t, doc, c.q)
+		if strings.Join(got, "|") != strings.Join(c.want, "|") {
+			t.Errorf("%s = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestEvalDocumentOrderAndDedup(t *testing.T) {
+	doc, err := xmldom.ParseString(`<r><a><b/><b/></a><a><b/></a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// //a//b and //b must agree (dedup across overlapping contexts).
+	p1 := MustParse("//a//b")
+	p2 := MustParse("//b")
+	n1, n2 := Eval(doc, p1), Eval(doc, p2)
+	if len(n1) != 3 || len(n2) != 3 {
+		t.Fatalf("counts: %d, %d", len(n1), len(n2))
+	}
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatalf("order mismatch at %d", i)
+		}
+		if i > 0 && n1[i-1].Pre >= n1[i].Pre {
+			t.Fatal("not in document order")
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []string{
+		"",
+		"/bib/",
+		"//",
+		"/bib/book[",
+		"/bib/book[]",
+		"/bib/book[@]",
+		"bib/book[price <]",
+		"/bib/bogus-axis::x",
+		"/bib/book[1",
+	}
+	for _, q := range cases {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("parse %q: expected error", q)
+		}
+	}
+}
+
+func TestPathString(t *testing.T) {
+	cases := []string{
+		"/site/people/person",
+		"//item",
+		"/a//b",
+		"/a/@id",
+		"/a/text()",
+		"/a/*",
+	}
+	for _, q := range cases {
+		p := MustParse(q)
+		if p.String() != q {
+			t.Errorf("String(%q) = %q", q, p.String())
+		}
+	}
+	// Round-trip: parse(String(p)) is structurally identical.
+	for _, q := range append(cases, "/a/b[c='x'][2]", "//a[contains(b, 'z')]") {
+		p := MustParse(q)
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Errorf("re-parse %q (from %q): %v", p.String(), q, err)
+			continue
+		}
+		if p2.String() != p.String() {
+			t.Errorf("unstable rendering: %q vs %q", p.String(), p2.String())
+		}
+	}
+}
+
+func TestExistentialComparison(t *testing.T) {
+	doc, err := xmldom.ParseString(`<r><p><v>1</v><v>5</v></p><p><v>2</v></p></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Existential: p qualifies if ANY v matches.
+	if got := len(Eval(doc, MustParse("//p[v = 5]"))); got != 1 {
+		t.Errorf("[v = 5]: %d", got)
+	}
+	if got := len(Eval(doc, MustParse("//p[v > 0]"))); got != 2 {
+		t.Errorf("[v > 0]: %d", got)
+	}
+	// != is existential too: p with v=1,v=5 has a v != 1.
+	if got := len(Eval(doc, MustParse("//p[v != 1]"))); got != 2 {
+		t.Errorf("[v != 1]: %d", got)
+	}
+}
+
+func TestEvalFromRelative(t *testing.T) {
+	doc, err := xmldom.ParseString(testDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	books := Eval(doc, MustParse("/bib/book"))
+	if len(books) != 2 {
+		t.Fatal("setup")
+	}
+	rel := MustParse("author/last")
+	got := EvalFrom(books[1:], rel)
+	if len(got) != 3 {
+		t.Errorf("relative eval = %d nodes", len(got))
+	}
+}
