@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench
+
+## check: the full CI gate — vet, build, tests (race-enabled where it
+## matters), and a one-shot run of the query-cache benchmark.
+check: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: the data-race gate for the concurrent query/DDL paths (the
+## full suite under -race is covered by `test` + these two packages,
+## which hold all shared mutable state).
+race:
+	$(GO) test -race ./internal/sqldb ./internal/core ./internal/lru
+
+## bench-smoke: executes BenchmarkQueryCache once to keep it compiling
+## and running; use `make bench` for real numbers.
+bench-smoke:
+	$(GO) test ./internal/bench -run '^$$' -bench QueryCache -benchtime 1x
+
+bench:
+	$(GO) test ./internal/bench -run '^$$' -bench QueryCache -benchtime 2s

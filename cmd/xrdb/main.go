@@ -97,11 +97,18 @@ func main() {
 	if *stats {
 		did = true
 		fmt.Printf("scheme=%s\n", st.Kind())
-		for _, ts := range st.DB().Stats() {
+		dbStats := st.DB().Stats()
+		for _, ts := range dbStats.Tables {
 			fmt.Printf("  %-24s %8d rows  %10d bytes  %d indexes\n", ts.Name, ts.Rows, ts.Bytes, ts.Indexes)
 		}
 		s := st.Stats()
 		fmt.Printf("  total: %d tables, %d rows, %d bytes\n", s.Tables, s.Rows, s.Bytes)
+		trans, plans := st.CacheStats()
+		fmt.Printf("  schema epoch: %d\n", dbStats.SchemaEpoch)
+		fmt.Printf("  plan cache:        %d/%d entries  %d hits  %d misses  %d evictions  %d invalidations\n",
+			plans.Entries, plans.Capacity, plans.Hits, plans.Misses, plans.Evictions, plans.Invalidations)
+		fmt.Printf("  translation cache: %d/%d entries  %d hits  %d misses  %d evictions  %d invalidations\n",
+			trans.Entries, trans.Capacity, trans.Hits, trans.Misses, trans.Evictions, trans.Invalidations)
 	}
 	if *query != "" {
 		did = true

@@ -19,7 +19,9 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
+	"repro/internal/lru"
 	"repro/internal/shred"
 	"repro/internal/sqldb"
 	"repro/internal/xmldom"
@@ -60,12 +62,26 @@ type Options struct {
 	Root string
 }
 
+// defaultTransCacheCap bounds the per-Store XPath→SQL translation
+// cache. Entries are just strings, so the cap is generous relative to
+// realistic query-template counts.
+const defaultTransCacheCap = 512
+
 // Store is one XML document stored relationally under a mapping scheme.
 type Store struct {
 	kind   SchemeKind
 	scheme shred.Scheme
 	db     *sqldb.Database
 	loaded bool
+
+	// trans caches XPath query text → generated SQL. Translation is a
+	// pure function of the scheme and its catalogs, so the cache is
+	// invalidated (purged) whenever scheme state may change: document
+	// load and subtree insertion. Relational DDL is covered one layer
+	// down by the sqldb plan cache's schema epoch.
+	trans                  *lru.Cache[string]
+	transHits, transMisses atomic.Uint64
+	transInvalidations     atomic.Uint64
 }
 
 // Open creates an empty Store with default options.
@@ -103,7 +119,7 @@ func OpenWith(kind SchemeKind, opts Options) (*Store, error) {
 	if err := s.Setup(db); err != nil {
 		return nil, err
 	}
-	return &Store{kind: kind, scheme: s, db: db}, nil
+	return &Store{kind: kind, scheme: s, db: db, trans: lru.New[string](defaultTransCacheCap)}, nil
 }
 
 // Kind returns the store's scheme.
@@ -132,7 +148,18 @@ func (st *Store) LoadDocument(doc *xmldom.Document) error {
 		return err
 	}
 	st.loaded = true
+	st.invalidateTranslations()
 	return nil
+}
+
+// invalidateTranslations purges the translation cache after an
+// operation that may change scheme state (path catalogs, element
+// numbering) and with it the SQL a given XPath translates to.
+func (st *Store) invalidateTranslations() {
+	if n := st.trans.Len(); n > 0 {
+		st.transInvalidations.Add(uint64(n))
+	}
+	st.trans.Purge()
 }
 
 // Match is one query result: the matched node's id (pre-order rank in
@@ -153,13 +180,26 @@ type Result struct {
 }
 
 // Translate compiles an XPath query to this store's SQL without running
-// it.
+// it. Translations are served from a bounded per-Store cache: the
+// XPath→SQL mapping is pure for a fixed scheme state, so repeated query
+// templates skip XPath parsing and SQL generation entirely. The cache
+// is purged when scheme state changes (document load, subtree insert).
 func (st *Store) Translate(query string) (string, error) {
+	if sql, ok := st.trans.Get(query); ok {
+		st.transHits.Add(1)
+		return sql, nil
+	}
+	st.transMisses.Add(1)
 	p, err := xpath.Parse(query)
 	if err != nil {
 		return "", err
 	}
-	return st.scheme.Translate(p)
+	sql, err := st.scheme.Translate(p)
+	if err != nil {
+		return "", err
+	}
+	st.trans.Put(query, sql)
+	return sql, nil
 }
 
 // Query compiles and executes an XPath query.
@@ -219,7 +259,11 @@ func (st *Store) InsertXML(parentID int64, position int, fragment []byte) error 
 	if root == nil {
 		return fmt.Errorf("core: fragment has no element")
 	}
-	return st.scheme.InsertSubtree(st.db, parentID, position, root.Copy())
+	if err := st.scheme.InsertSubtree(st.db, parentID, position, root.Copy()); err != nil {
+		return err
+	}
+	st.invalidateTranslations()
+	return nil
 }
 
 // SaveDB writes a snapshot of the store's relational database. Reopen
@@ -247,7 +291,7 @@ func OpenSaved(kind SchemeKind, r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{kind: kind, scheme: s, db: db, loaded: true}, nil
+	return &Store{kind: kind, scheme: s, db: db, loaded: true, trans: lru.New[string](defaultTransCacheCap)}, nil
 }
 
 // StorageStats summarizes the relational footprint of the store.
@@ -266,6 +310,27 @@ func (st *Store) Stats() StorageStats {
 		Rows:   st.db.TotalRows(),
 		Bytes:  st.db.TotalBytes(),
 	}
+}
+
+// CacheStats reports the store's two query-acceleration caches: the
+// XPath→SQL translation cache (this layer) and the SQL plan cache
+// (inside sqldb, epoch-invalidated on DDL).
+func (st *Store) CacheStats() (translation, plan sqldb.CacheStats) {
+	translation = sqldb.CacheStats{
+		Capacity:      st.trans.Cap(),
+		Entries:       st.trans.Len(),
+		Hits:          st.transHits.Load(),
+		Misses:        st.transMisses.Load(),
+		Evictions:     st.trans.Evictions(),
+		Invalidations: st.transInvalidations.Load(),
+	}
+	return translation, st.db.PlanCacheStats()
+}
+
+// SetTranslationCacheCapacity resizes the XPath→SQL cache; zero
+// disables it (every query re-translates).
+func (st *Store) SetTranslationCacheCapacity(n int) {
+	st.trans.Resize(n)
 }
 
 // Scheme exposes the underlying shred.Scheme for advanced use (the

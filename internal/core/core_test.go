@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/xmlgen"
@@ -177,6 +179,132 @@ func TestResultsInDocumentOrder(t *testing.T) {
 		if res.Matches[0].Value != "TCP" || res.Matches[1].Value != "Web" {
 			t.Errorf("%s: values = %v", kind, res.Matches)
 		}
+	}
+}
+
+func TestTranslationCacheCounters(t *testing.T) {
+	st, _ := Open(Interval)
+	if err := st.LoadXML([]byte(smallDoc)); err != nil {
+		t.Fatal(err)
+	}
+	const q = `/bib/book/title`
+	for i := 0; i < 3; i++ {
+		if _, err := st.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trans, plans := st.CacheStats()
+	if trans.Misses != 1 || trans.Hits != 2 {
+		t.Errorf("translation hits=%d misses=%d, want 2/1", trans.Hits, trans.Misses)
+	}
+	if plans.Hits == 0 {
+		t.Errorf("plan cache saw no hits: %+v", plans)
+	}
+	// Identical results from cached and uncached paths.
+	cached, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetTranslationCacheCapacity(0)
+	st.DB().SetPlanCacheCapacity(0)
+	fresh, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cached.Matches) != len(fresh.Matches) || cached.SQL != fresh.SQL {
+		t.Errorf("cached and fresh paths disagree: %d vs %d matches", len(cached.Matches), len(fresh.Matches))
+	}
+}
+
+func TestTranslationCacheInvalidatedByInsert(t *testing.T) {
+	// The edge scheme's descendant translation depends on its path
+	// catalog, which grows when new element names arrive: a cached
+	// translation from before the insert would miss the new paths.
+	st, _ := Open(Edge)
+	if err := st.LoadXML([]byte(smallDoc)); err != nil {
+		t.Fatal(err)
+	}
+	const q = `//title`
+	n, err := st.Count(q)
+	if err != nil || n != 2 {
+		t.Fatalf("before insert: %d %v", n, err)
+	}
+	res, err := st.Query(`/bib`)
+	if err != nil || len(res.Matches) != 1 {
+		t.Fatalf("locate bib: %v", err)
+	}
+	if err := st.InsertXML(res.Matches[0].ID, 2, []byte(`<article><title>New</title></article>`)); err != nil {
+		t.Fatal(err)
+	}
+	n, err = st.Count(q)
+	if err != nil || n != 3 {
+		t.Fatalf("after insert: count = %d, %v (stale cached translation?)", n, err)
+	}
+}
+
+// TestConcurrentQueriesWithWrites races cached Store queries against
+// relational DML/DDL on the underlying database. Run under -race.
+func TestConcurrentQueriesWithWrites(t *testing.T) {
+	st, _ := Open(Interval)
+	doc := xmlgen.Auction(xmlgen.Config{Factor: 0.02, Seed: 5})
+	if err := st.LoadDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`/site/people/person/name`,
+		`//item/name`,
+		`/site/regions`,
+	}
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		n, err := st.Count(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		want[i] = n
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 6)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				qi := (r + i) % len(queries)
+				n, err := st.Count(queries[qi])
+				if err != nil {
+					errc <- err
+					return
+				}
+				if n != want[qi] {
+					errc <- fmt.Errorf("count %q = %d, want %d", queries[qi], n, want[qi])
+					return
+				}
+			}
+		}(r)
+	}
+	// Writer: DDL churn (epoch bumps) on an unrelated table plus index
+	// create/drop on the store's own node table.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		db := st.DB()
+		for i := 0; i < 30; i++ {
+			if _, err := db.Exec(`CREATE TABLE scratch (x INTEGER)`); err != nil {
+				errc <- err
+				return
+			}
+			if _, err := db.Exec(`DROP TABLE scratch`); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Errorf("concurrent worker: %v", err)
 	}
 }
 

@@ -1,0 +1,117 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBasicPutGet(t *testing.T) {
+	c := New[int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d, %v", v, ok)
+	}
+	// Replacement keeps size.
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("replaced a = %d", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a")    // a is now most recent
+	c.Put("c", 3) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted out of order")
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d", c.Evictions())
+	}
+}
+
+func TestRemoveAndPurge(t *testing.T) {
+	c := New[string](4)
+	c.Put("x", "1")
+	c.Remove("x")
+	c.Remove("missing") // no-op
+	if _, ok := c.Get("x"); ok {
+		t.Fatal("removed key hit")
+	}
+	c.Put("y", "2")
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after purge = %d", c.Len())
+	}
+	if c.Evictions() != 0 {
+		t.Fatal("remove/purge counted as eviction")
+	}
+}
+
+func TestResize(t *testing.T) {
+	c := New[int](4)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	c.Resize(2)
+	if c.Len() != 2 || c.Cap() != 2 {
+		t.Fatalf("len=%d cap=%d", c.Len(), c.Cap())
+	}
+	// The two most recent survive.
+	if _, ok := c.Get("k3"); !ok {
+		t.Fatal("most recent evicted by resize")
+	}
+	// Zero capacity disables the cache.
+	c.Resize(0)
+	c.Put("z", 9)
+	if _, ok := c.Get("z"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("disabled len = %d", c.Len())
+	}
+}
+
+func TestZeroCapacityNew(t *testing.T) {
+	c := New[int](0)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%32)
+				c.Put(k, i)
+				c.Get(k)
+				if i%50 == 0 {
+					c.Remove(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("len %d exceeds capacity", c.Len())
+	}
+}

@@ -1,0 +1,122 @@
+package sqldb
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCachedQueriesWithDDL is the cache's race smoke test: N
+// reader goroutines hammer cached queries while a writer interleaves
+// DML and DDL (which bumps the schema epoch and invalidates plans).
+// Queries against the stable table must always succeed; a prepared
+// statement against the churned table must eventually report staleness.
+// Run under `go test -race`.
+func TestConcurrentCachedQueriesWithDDL(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE stable (n INTEGER PRIMARY KEY, grp TEXT)`)
+	for i := 0; i < 200; i++ {
+		grp := "a"
+		if i%3 == 0 {
+			grp = "b"
+		}
+		db.MustExec(`INSERT INTO stable VALUES (?, ?)`, NewInt(int64(i)), NewText(grp))
+	}
+	db.MustExec(`CREATE TABLE churn (n INTEGER)`)
+	db.MustExec(`INSERT INTO churn VALUES (1)`)
+
+	prep, err := db.Prepare(`SELECT COUNT(*) FROM churn`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		`SELECT COUNT(*) FROM stable`,
+		`SELECT grp, COUNT(*) FROM stable GROUP BY grp ORDER BY 1`,
+		`SELECT n FROM stable WHERE n < 25 ORDER BY n DESC`,
+		`SELECT COUNT(*) FROM stable WHERE grp = ?`,
+	}
+
+	const readers = 4
+	const iters = 250
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+2)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := queries[(r+i)%len(queries)]
+				var err error
+				if strings.Contains(q, "?") {
+					_, err = db.Query(q, NewText("a"))
+				} else {
+					_, err = db.Query(q)
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Writer 1: DML + index DDL churn on the stable table (the data
+	// changes; the table never goes away, so readers must not fail).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if _, err := db.Exec(`INSERT INTO stable VALUES (?, 'c')`, NewInt(int64(1000+i))); err != nil {
+				errc <- err
+				return
+			}
+			if _, err := db.Exec(`CREATE INDEX stable_grp ON stable (grp)`); err != nil {
+				errc <- err
+				return
+			}
+			if _, err := db.Exec(`DROP INDEX stable_grp`); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	// Writer 2: drop and recreate the churn table.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if _, err := db.Exec(`DROP TABLE churn`); err != nil {
+				errc <- err
+				return
+			}
+			if _, err := db.Exec(`CREATE TABLE churn (n INTEGER)`); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Errorf("concurrent worker failed: %v", err)
+	}
+
+	// The prepared statement was compiled before the DDL storm; it must
+	// refuse to run, not read an orphaned table.
+	if _, err := prep.Query(); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Errorf("prepared statement after concurrent DDL: %v", err)
+	}
+
+	// Counter sanity: the readers produced far more lookups than plans.
+	s := db.PlanCacheStats()
+	if s.Hits == 0 {
+		t.Error("no cache hits under concurrent load")
+	}
+	if s.Hits+s.Misses < readers*iters {
+		t.Errorf("accounting lost lookups: hits=%d misses=%d", s.Hits, s.Misses)
+	}
+}

@@ -12,6 +12,11 @@ type Database struct {
 	mu      sync.RWMutex
 	tables  map[string]*table
 	indexes map[string]*IndexDef // index name -> def (table lookup)
+	// epoch is the schema version, bumped (under mu) by every DDL
+	// statement. Compiled plans — cached or prepared — are valid only
+	// for the epoch they were planned at (see plancache.go).
+	epoch uint64
+	plans *planCache
 }
 
 // New creates an empty database.
@@ -19,8 +24,12 @@ func New() *Database {
 	return &Database{
 		tables:  map[string]*table{},
 		indexes: map[string]*IndexDef{},
+		plans:   newPlanCache(defaultPlanCacheCap),
 	}
 }
+
+// bumpEpoch advances the schema version. Caller holds the write lock.
+func (db *Database) bumpEpoch() { db.epoch++ }
 
 func (db *Database) table(name string) *table {
 	return db.tables[strings.ToLower(name)]
@@ -75,19 +84,22 @@ func (db *Database) MustExec(sql string, args ...Value) {
 	}
 }
 
-// Query runs a SELECT and returns the materialized result.
+// Query runs a SELECT and returns the materialized result. Plans are
+// served from the epoch-validated plan cache: repeated statements skip
+// parsing and planning entirely.
 func (db *Database) Query(sql string, args ...Value) (*Rows, error) {
-	stmt, err := Parse(sql)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, _, err := db.cachedPlanFor(sql, "Query")
 	if err != nil {
 		return nil, err
 	}
-	sel, ok := stmt.(*SelectStmt)
-	if !ok {
-		return nil, errorf("Query requires a SELECT statement")
+	ctx := &evalCtx{db: db, params: args}
+	data, err := materialize(ctx, e.p.root)
+	if err != nil {
+		return nil, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.runSelect(sel, args)
+	return &Rows{Columns: e.cols, Data: data}, nil
 }
 
 // QueryScalar runs a SELECT expected to return a single value; it
@@ -103,29 +115,17 @@ func (db *Database) QueryScalar(sql string, args ...Value) (Value, error) {
 	return rows.Data[0][0], nil
 }
 
-func (db *Database) runSelect(sel *SelectStmt, args []Value) (*Rows, error) {
-	p, sch, err := planSelect(db, sel, nil)
-	if err != nil {
-		return nil, err
-	}
-	ctx := &evalCtx{db: db, params: args}
-	data, err := materialize(ctx, p.root)
-	if err != nil {
-		return nil, err
-	}
-	cols := make([]string, len(sch))
-	for i, c := range sch {
-		cols[i] = c.name
-	}
-	return &Rows{Columns: cols, Data: data}, nil
-}
-
-// Prepared is a compiled SELECT that can be executed repeatedly. It
-// becomes invalid if the referenced tables are dropped.
+// Prepared is a compiled SELECT that can be executed repeatedly. The
+// plan is pinned to the schema epoch it was compiled at: any DDL —
+// dropping or recreating a referenced table, creating or dropping an
+// index — makes the statement stale, and Query then returns an error
+// instead of executing against orphaned storage. Re-Prepare after DDL.
 type Prepared struct {
-	db   *Database
-	plan *plan
-	cols []string
+	db    *Database
+	sql   string
+	plan  *plan
+	cols  []string
+	epoch uint64
 }
 
 // Prepare compiles a SELECT statement once for repeated execution.
@@ -148,13 +148,20 @@ func (db *Database) Prepare(sql string) (*Prepared, error) {
 	for i, c := range sch {
 		cols[i] = c.name
 	}
-	return &Prepared{db: db, plan: p, cols: cols}, nil
+	return &Prepared{db: db, sql: sql, plan: p, cols: cols, epoch: db.epoch}, nil
 }
 
-// Query executes the prepared statement.
+// Query executes the prepared statement. It fails with a "prepared
+// statement is stale" error if any DDL ran since Prepare: the compiled
+// plan references the exact tables and indexes that existed at prepare
+// time, and executing it after a schema change would silently read
+// orphaned storage.
 func (p *Prepared) Query(args ...Value) (*Rows, error) {
 	p.db.mu.RLock()
 	defer p.db.mu.RUnlock()
+	if p.epoch != p.db.epoch {
+		return nil, errorf("prepared statement is stale: schema changed since Prepare (%s)", p.sql)
+	}
 	ctx := &evalCtx{db: p.db, params: args}
 	data, err := materialize(ctx, p.plan.root)
 	if err != nil {
@@ -171,7 +178,9 @@ func (db *Database) createTable(s *CreateTableStmt) error {
 		return errorf("table %s already exists", s.Def.Name)
 	}
 	def := s.Def
+	db.purgeStaleIndexDefs(def.Name)
 	db.tables[key] = newTable(&def)
+	db.bumpEpoch()
 	return nil
 }
 
@@ -184,8 +193,23 @@ func (db *Database) CreateTableDef(def TableDef) error {
 	if _, ok := db.tables[key]; ok {
 		return errorf("table %s already exists", def.Name)
 	}
+	db.purgeStaleIndexDefs(def.Name)
 	db.tables[key] = newTable(&def)
+	db.bumpEpoch()
 	return nil
+}
+
+// purgeStaleIndexDefs drops catalog index definitions claiming a table
+// that is about to be (re)created. The table does not exist at this
+// point, so any such definition is a leftover from a dropped
+// incarnation; keeping it would let a recreated table resurrect or
+// collide with indexes it never defined. Caller holds the write lock.
+func (db *Database) purgeStaleIndexDefs(tableName string) {
+	for k, def := range db.indexes {
+		if strings.EqualFold(def.Table, tableName) {
+			delete(db.indexes, k)
+		}
+	}
 }
 
 func (db *Database) createIndex(s *CreateIndexStmt) error {
@@ -211,6 +235,7 @@ func (db *Database) createIndex(s *CreateIndexStmt) error {
 		return err
 	}
 	db.indexes[key] = &def
+	db.bumpEpoch()
 	return nil
 }
 
@@ -226,6 +251,7 @@ func (db *Database) dropTable(name string) error {
 		delete(db.indexes, strings.ToLower(idx.def.Name))
 	}
 	delete(db.tables, key)
+	db.bumpEpoch()
 	return nil
 }
 
@@ -247,6 +273,7 @@ func (db *Database) dropIndex(name string) error {
 		}
 	}
 	delete(db.indexes, key)
+	db.bumpEpoch()
 	return nil
 }
 
@@ -343,7 +370,10 @@ func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
 }
 
 // BulkInsert appends rows to a table without SQL parsing, for loaders.
-// Values are coerced to the declared column types.
+// Values are coerced to the declared column types. The batch is atomic:
+// every row is validated before any is stored, and a constraint failure
+// mid-batch (duplicate key, unique index) rolls back the rows already
+// inserted, leaving the table and its indexes unchanged.
 func (db *Database) BulkInsert(tableName string, rows [][]Value) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -351,24 +381,34 @@ func (db *Database) BulkInsert(tableName string, rows [][]Value) (int, error) {
 	if tbl == nil {
 		return 0, errorf("no such table: %s", tableName)
 	}
-	n := 0
-	for _, vals := range rows {
+	// Phase 1: coerce and validate every row before touching storage.
+	coerced := make([][]Value, len(rows))
+	for ri, vals := range rows {
 		if len(vals) != len(tbl.def.Columns) {
-			return n, errorf("table %s: expected %d values, got %d", tableName, len(tbl.def.Columns), len(vals))
+			return 0, errorf("table %s: expected %d values, got %d", tableName, len(tbl.def.Columns), len(vals))
 		}
 		row := make([]Value, len(vals))
 		for i, v := range vals {
 			row[i] = coerceTo(v, tbl.def.Columns[i].Type)
 			if tbl.def.Columns[i].NotNull && row[i].IsNull() {
-				return n, errorf("table %s: column %s is NOT NULL", tableName, tbl.def.Columns[i].Name)
+				return 0, errorf("table %s: column %s is NOT NULL", tableName, tbl.def.Columns[i].Name)
 			}
 		}
-		if _, err := tbl.insert(row); err != nil {
-			return n, err
-		}
-		n++
+		coerced[ri] = row
 	}
-	return n, nil
+	// Phase 2: insert; on a constraint violation undo what went in.
+	inserted := make([]int64, 0, len(coerced))
+	for _, row := range coerced {
+		rid, err := tbl.insert(row)
+		if err != nil {
+			for _, undo := range inserted {
+				tbl.delete(undo)
+			}
+			return 0, err
+		}
+		inserted = append(inserted, rid)
+	}
+	return len(inserted), nil
 }
 
 func (db *Database) execDelete(s *DeleteStmt, args []Value) (int, error) {
@@ -490,21 +530,33 @@ type TableStats struct {
 	Indexes int
 }
 
-// Stats returns per-table storage statistics, sorted by table name.
-func (db *Database) Stats() []TableStats {
+// DatabaseStats bundles per-table storage statistics with the engine's
+// cache activity and the current schema epoch.
+type DatabaseStats struct {
+	Tables      []TableStats
+	PlanCache   CacheStats
+	SchemaEpoch uint64
+}
+
+// Stats returns storage and cache statistics; tables are sorted by name.
+func (db *Database) Stats() DatabaseStats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	out := make([]TableStats, 0, len(db.tables))
+	tables := make([]TableStats, 0, len(db.tables))
 	for _, t := range db.tables {
-		out = append(out, TableStats{
+		tables = append(tables, TableStats{
 			Name:    t.def.Name,
 			Rows:    t.live,
 			Bytes:   t.bytes,
 			Indexes: len(t.indexes),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
+	return DatabaseStats{
+		Tables:      tables,
+		PlanCache:   db.plans.stats(),
+		SchemaEpoch: db.epoch,
+	}
 }
 
 // TableNames lists the tables, sorted.

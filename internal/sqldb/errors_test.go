@@ -136,9 +136,159 @@ func TestCaseInsensitivity(t *testing.T) {
 	}
 }
 
+func TestPreparedStaleAfterDropTable(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE t (n INTEGER)`)
+	db.MustExec(`INSERT INTO t VALUES (1), (2), (3)`)
+	prep, err := db.Prepare(`SELECT COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows, err := prep.Query(); err != nil || rows.Data[0][0].Int() != 3 {
+		t.Fatalf("fresh prepared: %v %v", rows, err)
+	}
+	db.MustExec(`DROP TABLE t`)
+	if _, err := prep.Query(); err == nil {
+		t.Fatal("prepared statement executed against a dropped table")
+	} else if !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("error %q does not mention staleness", err)
+	}
+}
+
+func TestPreparedStaleAfterDropAndRecreate(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE t (n INTEGER)`)
+	db.MustExec(`INSERT INTO t VALUES (1), (2), (3)`)
+	prep, err := db.Prepare(`SELECT COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`DROP TABLE t`)
+	db.MustExec(`CREATE TABLE t (n INTEGER)`)
+	db.MustExec(`INSERT INTO t VALUES (7)`)
+	// The seed bug: the old plan still pointed at the orphaned table and
+	// silently returned its 3 rows. It must error instead.
+	rows, err := prep.Query()
+	if err == nil {
+		t.Fatalf("prepared statement survived drop+recreate (returned %v — reading the orphaned table)", rows.Data)
+	}
+	if !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("error %q does not mention staleness", err)
+	}
+	// A fresh Prepare against the new incarnation works.
+	prep2, err := db.Prepare(`SELECT COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows, err := prep2.Query(); err != nil || rows.Data[0][0].Int() != 1 {
+		t.Fatalf("re-prepared: %v %v", rows, err)
+	}
+}
+
+func TestPreparedStaleAfterIndexDDL(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE t (n INTEGER)`)
+	prep, err := db.Prepare(`SELECT n FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE INDEX t_n ON t (n)`)
+	if _, err := prep.Query(); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("prepared plan survived CREATE INDEX: %v", err)
+	}
+}
+
+func TestBulkInsertAtomicOnValidationFailure(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE t (n INTEGER NOT NULL, s TEXT)`)
+	db.MustExec(`CREATE INDEX t_n ON t (n)`)
+	rows := [][]Value{
+		{NewInt(1), NewText("a")},
+		{NewInt(2), NewText("b")},
+		{Null, NewText("violates NOT NULL")},
+		{NewInt(4), NewText("d")},
+	}
+	n, err := db.BulkInsert("t", rows)
+	if err == nil {
+		t.Fatal("NOT NULL violation accepted")
+	}
+	if n != 0 {
+		t.Errorf("reported %d inserted rows on failure", n)
+	}
+	if v, _ := db.QueryScalar(`SELECT COUNT(*) FROM t`); v.Int() != 0 {
+		t.Errorf("table half-populated: %d rows survived a failed batch", v.Int())
+	}
+	// Index must be empty too: probe through the indexed column.
+	if v, _ := db.QueryScalar(`SELECT COUNT(*) FROM t WHERE n = 1`); v.Int() != 0 {
+		t.Errorf("index entries survived a failed batch")
+	}
+}
+
+func TestBulkInsertRollsBackOnConstraintFailure(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE t (n INTEGER PRIMARY KEY, s TEXT)`)
+	db.MustExec(`INSERT INTO t VALUES (3, 'existing')`)
+	rows := [][]Value{
+		{NewInt(1), NewText("a")},
+		{NewInt(2), NewText("b")},
+		{NewInt(3), NewText("duplicate pk")},
+		{NewInt(4), NewText("d")},
+	}
+	n, err := db.BulkInsert("t", rows)
+	if err == nil {
+		t.Fatal("duplicate primary key accepted")
+	}
+	if n != 0 {
+		t.Errorf("reported %d inserted rows on failure", n)
+	}
+	// Only the pre-existing row survives, and the rolled-back rows are
+	// invisible both to scans and to the primary-key index.
+	if v, _ := db.QueryScalar(`SELECT COUNT(*) FROM t`); v.Int() != 1 {
+		t.Errorf("rows after rollback = %d, want 1", v.Int())
+	}
+	if v, _ := db.QueryScalar(`SELECT COUNT(*) FROM t WHERE n = 1`); v.Int() != 0 {
+		t.Errorf("rolled-back row reachable via primary key")
+	}
+	// The batch can be retried after fixing the conflict.
+	if n, err := db.BulkInsert("t", [][]Value{{NewInt(1), NewText("a")}, {NewInt(2), NewText("b")}}); err != nil || n != 2 {
+		t.Fatalf("retry: n=%d err=%v", n, err)
+	}
+}
+
+func TestDropRecreateTableIndexConsistency(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE t (n INTEGER, s TEXT)`)
+	db.MustExec(`CREATE INDEX t_idx ON t (n)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 'old')`)
+	db.MustExec(`DROP TABLE t`)
+
+	// Recreating the table must not resurrect the old index...
+	db.MustExec(`CREATE TABLE t (n INTEGER, s TEXT)`)
+	ts := db.Stats().Tables
+	if len(ts) != 1 || ts[0].Indexes != 0 {
+		t.Fatalf("recreated table stats = %+v (stale index resurrected?)", ts)
+	}
+	// ...and creating an index of the same name must not collide with
+	// the dropped incarnation's definition.
+	if _, err := db.Exec(`CREATE INDEX t_idx ON t (s)`); err != nil {
+		t.Fatalf("index name from dropped table still taken: %v", err)
+	}
+	db.MustExec(`INSERT INTO t VALUES (2, 'new')`)
+	rows, err := db.Query(`SELECT n FROM t WHERE s = 'new'`)
+	if err != nil || rows.Len() != 1 || rows.Data[0][0].Int() != 2 {
+		t.Fatalf("query via recreated index: %v %v", rows, err)
+	}
+	// Dropping an index whose table is already gone stays tolerated.
+	db.MustExec(`CREATE INDEX t_extra ON t (n)`)
+	db.MustExec(`DROP TABLE t`)
+	if _, err := db.Exec(`DROP INDEX t_extra`); err == nil {
+		t.Log("drop of index removed with its table accepted") // either behavior is fine, must not panic
+	}
+}
+
 func TestStatsAndCatalog(t *testing.T) {
 	db := testDB(t)
-	stats := db.Stats()
+	stats := db.Stats().Tables
 	if len(stats) != 2 {
 		t.Fatalf("stats tables = %d", len(stats))
 	}

@@ -6,25 +6,22 @@ import (
 )
 
 // Explain compiles a SELECT and renders its physical plan tree, one
-// operator per line with the planner's cardinality estimates. It is a
-// debugging and teaching aid; the format is not stable.
+// operator per line with the planner's cardinality estimates. When the
+// plan was served from the plan cache the output is prefixed with a
+// "(cached)" marker. It is a debugging and teaching aid; the format is
+// not stable.
 func (db *Database) Explain(sql string, args ...Value) (string, error) {
-	stmt, err := Parse(sql)
-	if err != nil {
-		return "", err
-	}
-	sel, ok := stmt.(*SelectStmt)
-	if !ok {
-		return "", errorf("Explain requires a SELECT statement")
-	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	p, _, err := planSelect(db, sel, nil)
+	e, fromCache, err := db.cachedPlanFor(sql, "Explain")
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
-	explainNode(&b, p.root, 0)
+	if fromCache {
+		fmt.Fprintf(&b, "(cached) plan epoch %d\n", db.epoch)
+	}
+	explainNode(&b, e.p.root, 0)
 	return b.String(), nil
 }
 
