@@ -1,10 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench
+## COVER_FLOOR: minimum statement coverage (percent) for the core
+## packages gated by `make cover`.
+COVER_FLOOR ?= 60
+
+.PHONY: check vet build test race cover bench-smoke bench
 
 ## check: the full CI gate — vet, build, tests (race-enabled where it
-## matters), and a one-shot run of the query-cache benchmark.
-check: vet build test race bench-smoke
+## matters), per-package coverage floors, and a one-shot run of the
+## query-cache benchmark.
+check: vet build test race cover bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +25,18 @@ test:
 ## which hold all shared mutable state).
 race:
 	$(GO) test -race ./internal/sqldb ./internal/core ./internal/lru
+
+## cover: per-package statement-coverage floors for the packages that
+## hold the engine (sqldb), the mappings (shred) and the façade (core).
+cover:
+	@for pkg in ./internal/sqldb ./internal/shred ./internal/core; do \
+		pct=$$($(GO) test -cover $$pkg | awk '{for (i=1;i<=NF;i++) if ($$i == "coverage:") {sub(/%/,"",$$(i+1)); print $$(i+1)}}'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$pkg" >&2; exit 1; fi; \
+		echo "cover: $$pkg $$pct% (floor $(COVER_FLOOR)%)"; \
+		if awk "BEGIN{exit !($$pct < $(COVER_FLOOR))}"; then \
+			echo "cover: $$pkg coverage $$pct% is below the $(COVER_FLOOR)% floor" >&2; exit 1; \
+		fi; \
+	done
 
 ## bench-smoke: executes BenchmarkQueryCache once to keep it compiling
 ## and running; use `make bench` for real numbers.

@@ -13,9 +13,12 @@
 //	-query '/site//item/name'   run an XPath query, print id/value rows
 //	-sql                        with -query: also print the generated SQL
 //	-explain                    with -query: also print the physical plan
+//	-analyze                    with -query: execute under EXPLAIN ANALYZE and
+//	                            print the plan annotated with actual rows/time
 //	-publish                    reconstruct and print the whole document
 //	-results                    with -query: publish matches as XML
-//	-stats                      print table-level storage statistics
+//	-stats                      print storage, cache, query-metrics and
+//	                            phase-timing statistics (after any -query run)
 package main
 
 import (
@@ -38,6 +41,7 @@ func main() {
 		query    = flag.String("query", "", "XPath query to run")
 		showSQL  = flag.Bool("sql", false, "print the generated SQL")
 		explain  = flag.Bool("explain", false, "print the physical plan")
+		analyze  = flag.Bool("analyze", false, "execute under EXPLAIN ANALYZE and print actual rows/time per operator")
 		pub      = flag.Bool("publish", false, "reconstruct and print the document")
 		results  = flag.Bool("results", false, "publish query matches as XML")
 		stats    = flag.Bool("stats", false, "print storage statistics")
@@ -94,22 +98,6 @@ func main() {
 	}
 
 	did := false
-	if *stats {
-		did = true
-		fmt.Printf("scheme=%s\n", st.Kind())
-		dbStats := st.DB().Stats()
-		for _, ts := range dbStats.Tables {
-			fmt.Printf("  %-24s %8d rows  %10d bytes  %d indexes\n", ts.Name, ts.Rows, ts.Bytes, ts.Indexes)
-		}
-		s := st.Stats()
-		fmt.Printf("  total: %d tables, %d rows, %d bytes\n", s.Tables, s.Rows, s.Bytes)
-		trans, plans := st.CacheStats()
-		fmt.Printf("  schema epoch: %d\n", dbStats.SchemaEpoch)
-		fmt.Printf("  plan cache:        %d/%d entries  %d hits  %d misses  %d evictions  %d invalidations\n",
-			plans.Entries, plans.Capacity, plans.Hits, plans.Misses, plans.Evictions, plans.Invalidations)
-		fmt.Printf("  translation cache: %d/%d entries  %d hits  %d misses  %d evictions  %d invalidations\n",
-			trans.Entries, trans.Capacity, trans.Hits, trans.Misses, trans.Evictions, trans.Invalidations)
-	}
 	if *query != "" {
 		did = true
 		sql, err := st.Translate(*query)
@@ -126,6 +114,14 @@ func main() {
 				fail("explain: %v", err)
 			}
 			fmt.Println("-- plan:")
+			fmt.Print(plan)
+		}
+		if *analyze {
+			plan, err := st.ExplainAnalyze(*query)
+			if err != nil {
+				fail("explain analyze: %v", err)
+			}
+			fmt.Println("-- plan (analyzed):")
 			fmt.Print(plan)
 		}
 		if *results {
@@ -155,9 +151,88 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *stats {
+		did = true
+		printStats(st)
+	}
 	if !did {
 		fail("nothing to do: pass -query, -publish or -stats")
 	}
+}
+
+// printStats renders storage, cache, query-metrics and phase-timing
+// statistics. It runs after any -query so the metrics reflect the run.
+func printStats(st *core.Store) {
+	fmt.Printf("scheme=%s\n", st.Kind())
+	dbStats := st.DB().Stats()
+	for _, ts := range dbStats.Tables {
+		fmt.Printf("  %-24s %8d rows  %10d bytes  %d indexes\n", ts.Name, ts.Rows, ts.Bytes, ts.Indexes)
+	}
+	s := st.Stats()
+	fmt.Printf("  total: %d tables, %d rows, %d bytes\n", s.Tables, s.Rows, s.Bytes)
+	trans, plans := st.CacheStats()
+	fmt.Printf("  schema epoch: %d\n", dbStats.SchemaEpoch)
+	fmt.Printf("  plan cache:        %d/%d entries  %d hits  %d misses  %d evictions  %d invalidations\n",
+		plans.Entries, plans.Capacity, plans.Hits, plans.Misses, plans.Evictions, plans.Invalidations)
+	fmt.Printf("  translation cache: %d/%d entries  %d hits  %d misses  %d evictions  %d invalidations\n",
+		trans.Entries, trans.Capacity, trans.Hits, trans.Misses, trans.Evictions, trans.Invalidations)
+
+	m := dbStats.Metrics
+	fmt.Printf("query metrics:\n")
+	fmt.Printf("  queries: %d (%d errors)  rows: %d  exec time: %s  plan compiles: %d in %s\n",
+		m.Queries, m.QueryErrors, m.Rows, m.QueryTime, m.PlanCompiles, m.PlanTime)
+	if m.Queries > 0 {
+		fmt.Printf("  latency histogram:")
+		for _, b := range m.Latency {
+			if b.Count == 0 {
+				continue
+			}
+			if b.Le == 0 {
+				fmt.Printf("  >%v:%d", m.Latency[len(m.Latency)-2].Le, b.Count)
+			} else {
+				fmt.Printf("  <=%v:%d", b.Le, b.Count)
+			}
+		}
+		fmt.Println()
+	}
+	for i, t := range m.Templates {
+		if i >= 5 {
+			fmt.Printf("  ... %d more templates\n", len(m.Templates)-5)
+			break
+		}
+		fmt.Printf("  template %dx mean=%s max=%s  %s\n", t.Count, t.Mean(), t.Max, truncate(t.Template, 72))
+	}
+	if len(m.Operators) > 0 {
+		fmt.Printf("  operator totals:\n")
+		for _, op := range m.Operators {
+			fmt.Printf("    %-20s opens=%-6d rows=%-8d nexts=%-8d build=%d\n",
+				op.Kind, op.Opens, op.Rows, op.Nexts, op.BuildRows)
+		}
+	}
+	for _, sq := range m.SlowQueries {
+		fmt.Printf("  slow (> %s): %s  %d row(s)  %s\n", m.SlowThreshold, sq.Duration, sq.Rows, truncate(sq.SQL, 64))
+	}
+
+	ph := st.PhaseStats()
+	fmt.Printf("phase timings (cumulative):\n")
+	for _, p := range []struct {
+		name string
+		stat core.PhaseStat
+	}{
+		{"shred", ph.Shred}, {"translate", ph.Translate}, {"exec", ph.Exec}, {"publish", ph.Publish},
+	} {
+		if p.stat.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %4d span(s)  %s\n", p.name, p.stat.Count, p.stat.Total)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
 }
 
 func fail(format string, args ...any) {

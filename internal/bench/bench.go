@@ -51,6 +51,7 @@ func All() []Experiment {
 		{ID: "T1", Title: "Database size per scheme", Run: runT1},
 		{ID: "T2", Title: "Document loading time per scheme", Run: runT2},
 		{ID: "F1", Title: "Query time by query class across schemes", Run: runF1},
+		{ID: "P1", Title: "Per-operator runtime profile (EXPLAIN ANALYZE) across schemes", Run: runP1},
 		{ID: "F2", Title: "Descendant-step cost vs document depth (edge expansion vs interval range)", Run: runF2},
 		{ID: "T3", Title: "Full-document reconstruction time per scheme", Run: runT3},
 		{ID: "F3", Title: "Ordered subtree insertion cost (Dewey vs interval renumber vs edge)", Run: runF3},

@@ -40,25 +40,6 @@ func allSchemes(valueIndex bool) ([]shred.Scheme, error) {
 	return append(schemes, inline), nil
 }
 
-// benchRNG is a tiny deterministic generator for the harness's random
-// insert positions.
-type benchRNG struct{ s uint64 }
-
-func (r *benchRNG) next() uint64 {
-	r.s += 0x9e3779b97f4a7c15
-	z := r.s
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-func (r *benchRNG) intn(n int) int {
-	if n <= 0 {
-		return 0
-	}
-	return int(r.next() % uint64(n))
-}
-
 // ---------------------------------------------------------------------------
 // T1: database size
 
@@ -226,6 +207,71 @@ func timeQuery(cfg Config, db *sqldb.Database, s shred.Scheme, query string) (st
 }
 
 // ---------------------------------------------------------------------------
+// P1: per-operator runtime profile
+
+// runP1 executes the F1 query mix under EXPLAIN ANALYZE on every scheme
+// and reports the executed result cardinality and wall time per cell —
+// a differential check (cardinalities must agree across schemes
+// wherever the query is expressible) and a per-operator cost profile.
+// One full annotated plan is printed as an exemplar.
+func runP1(w io.Writer, cfg Config) error {
+	f := cfg.Factor
+	if cfg.Quick {
+		f = 0.05
+	}
+	doc := xmlgen.Auction(xmlgen.Config{Factor: f, Seed: cfg.Seed})
+	schemes, err := allSchemes(false)
+	if err != nil {
+		return err
+	}
+	t := newTable(append([]string{"query", "dom results"}, schemeNames(schemes)...)...)
+	type loaded struct {
+		s  shred.Scheme
+		db *sqldb.Database
+	}
+	var ls []loaded
+	for _, s := range schemes {
+		db, err := shred.LoadDocument(s, doc)
+		if err != nil {
+			return err
+		}
+		ls = append(ls, loaded{s: s, db: db})
+	}
+	var exemplar string
+	for _, qc := range queryClasses {
+		nResults := len(xpath.Eval(doc, xpath.MustParse(qc.Query)))
+		row := []string{qc.ID, fmt.Sprintf("%d", nResults)}
+		for _, l := range ls {
+			p, err := xpath.Parse(qc.Query)
+			if err != nil {
+				return err
+			}
+			sql, err := l.s.Translate(p)
+			if err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			ap, err := l.db.ExplainAnalyzePlan(sql)
+			if err != nil {
+				return fmt.Errorf("%s: analyzing %q: %w", l.s.Name(), qc.Query, err)
+			}
+			row = append(row, fmt.Sprintf("%d in %s", ap.Rows, ms(ap.Duration)))
+			if qc.ID == "Q4" && l.s.Name() == "interval" {
+				exemplar = ap.Text
+			}
+		}
+		t.add(row...)
+	}
+	t.write(w)
+	fmt.Fprintln(w, "cells: executed rows in ms (EXPLAIN ANALYZE); n/a = scheme cannot translate")
+	if exemplar != "" {
+		fmt.Fprintln(w, "\nexemplar (interval, Q4 twig):")
+		fmt.Fprint(w, exemplar)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
 // F2: descendant cost vs depth
 
 func runF2(w io.Writer, cfg Config) error {
@@ -355,7 +401,7 @@ func runF3(w io.Writer, cfg Config) error {
 		}
 		parentID := int64(oas[0].Pre)
 		nChildren := len(oas[0].Children)
-		rng := &benchRNG{s: cfg.Seed}
+		rng := xmlgen.NewRNG(cfg.Seed)
 
 		start := time.Now()
 		note := ""
@@ -365,7 +411,7 @@ func runF3(w io.Writer, cfg Config) error {
 			if err != nil {
 				return err
 			}
-			pos := rng.intn(nChildren + done)
+			pos := rng.Intn(nChildren + done)
 			if err := s.InsertSubtree(db, parentID, pos, frag.RootElement().Copy()); err != nil {
 				note = err.Error()
 				if len(note) > 60 {

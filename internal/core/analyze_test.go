@@ -1,0 +1,135 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmlgen"
+	"repro/internal/xpath"
+)
+
+// f1Queries is the canonical six-class query mix of the evaluation
+// (short path, descendant, value select, twig, positional, attribute
+// value) — the same classes the bench harness sweeps.
+var f1Queries = []string{
+	"/site/categories/category/name",
+	"//item/name",
+	"/site/people/person[address/city='Berlin']/name",
+	"//open_auction[initial > 200]/bidder/increase",
+	"/site/open_auctions/open_auction/bidder[1]/increase",
+	"//person[profile/@income > 60000]",
+}
+
+// TestExplainAnalyzeMatchesCardinality runs the F1 mix on every scheme
+// and checks that the EXPLAIN ANALYZE execution reports exactly the
+// cardinality the real query returns — and, where the scheme's ids are
+// node ids, that this equals the native DOM answer.
+func TestExplainAnalyzeMatchesCardinality(t *testing.T) {
+	doc := xmlgen.Auction(xmlgen.Config{Factor: 0.02, Seed: 7})
+	for _, kind := range []SchemeKind{Edge, Binary, Universal, Interval, Dewey, Inline} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			opts := Options{}
+			if kind == Inline {
+				opts.DTD = xmlgen.AuctionDTD
+				opts.Root = "site"
+			}
+			st, err := OpenWith(kind, opts)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			if err := st.LoadDocument(doc); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			for _, q := range f1Queries {
+				sql, err := st.Translate(q)
+				if err != nil {
+					// Documented mapping limitation (e.g. universal and
+					// positional predicates) — not this test's subject.
+					continue
+				}
+				rows, err := st.DB().Query(sql)
+				if err != nil {
+					t.Errorf("%s: query: %v", q, err)
+					continue
+				}
+				ap, err := st.DB().ExplainAnalyzePlan(sql)
+				if err != nil {
+					t.Errorf("%s: analyze: %v", q, err)
+					continue
+				}
+				if ap.Rows != rows.Len() {
+					t.Errorf("%s: analyzed rows %d != executed cardinality %d", q, ap.Rows, rows.Len())
+				}
+				if len(ap.Ops) == 0 || ap.Ops[0].Rows != int64(rows.Len()) {
+					t.Errorf("%s: root operator actuals do not match cardinality (%+v)", q, ap.Ops)
+				}
+				if !strings.Contains(ap.Text, "actual rows=") {
+					t.Errorf("%s: plan text missing annotations:\n%s", q, ap.Text)
+				}
+				if kind != Inline {
+					// Non-inline ids are node ids: the cardinality must
+					// also agree with the native DOM evaluation.
+					if want := len(xpath.Eval(doc, xpath.MustParse(q))); rows.Len() != want {
+						t.Errorf("%s: relational cardinality %d != dom %d", q, rows.Len(), want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStoreExplainAnalyze drives the Store-level entry point (translate
+// + analyze) and checks it feeds the exec phase span.
+func TestStoreExplainAnalyze(t *testing.T) {
+	st, err := Open(Interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LoadXML([]byte(smallDoc)); err != nil {
+		t.Fatal(err)
+	}
+	before := st.PhaseStats().Exec.Count
+	text, err := st.ExplainAnalyze(`/bib/book[price < 50]/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "actual rows=") || !strings.Contains(text, "Execution: 1 row(s)") {
+		t.Errorf("analyzed text:\n%s", text)
+	}
+	if after := st.PhaseStats().Exec.Count; after != before+1 {
+		t.Errorf("exec spans %d -> %d, want +1", before, after)
+	}
+}
+
+// TestPhaseStatsAccumulate checks that the shred/translate/exec/publish
+// spans tick as the corresponding operations run.
+func TestPhaseStatsAccumulate(t *testing.T) {
+	st, err := Open(Dewey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LoadXML([]byte(smallDoc)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Query(`/bib/book/title`); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := st.WriteXML(&b); err != nil {
+		t.Fatal(err)
+	}
+	ph := st.PhaseStats()
+	if ph.Shred.Count == 0 || ph.Shred.Total <= 0 {
+		t.Errorf("shred phase not recorded: %+v", ph.Shred)
+	}
+	if ph.Translate.Count == 0 {
+		t.Errorf("translate phase not recorded: %+v", ph.Translate)
+	}
+	if ph.Exec.Count == 0 {
+		t.Errorf("exec phase not recorded: %+v", ph.Exec)
+	}
+	if ph.Publish.Count == 0 {
+		t.Errorf("publish phase not recorded: %+v", ph.Publish)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lru"
 	"repro/internal/shred"
@@ -82,6 +83,59 @@ type Store struct {
 	trans                  *lru.Cache[string]
 	transHits, transMisses atomic.Uint64
 	transInvalidations     atomic.Uint64
+
+	// Phase timers decompose end-to-end latency: shred (document load
+	// and subtree insertion), translate (XPath→SQL), exec (relational
+	// execution), publish (reconstruction/serialization). Plan-compile
+	// time, the fourth component, is tracked one layer down by the
+	// sqldb metrics registry.
+	shredPhase, translatePhase, execPhase, publishPhase phaseTimer
+}
+
+// phaseTimer accumulates a span count and total duration; atomic so
+// concurrent readers can record without coordination.
+type phaseTimer struct {
+	count atomic.Uint64
+	ns    atomic.Int64
+}
+
+func (p *phaseTimer) add(d time.Duration) {
+	p.count.Add(1)
+	p.ns.Add(int64(d))
+}
+
+func (p *phaseTimer) stat() PhaseStat {
+	return PhaseStat{Count: p.count.Load(), Total: time.Duration(p.ns.Load())}
+}
+
+// PhaseStat is one phase's cumulative activity.
+type PhaseStat struct {
+	Count uint64
+	Total time.Duration
+}
+
+// PhaseStats decomposes the store's cumulative end-to-end latency.
+type PhaseStats struct {
+	// Shred covers document loading and subtree insertion.
+	Shred PhaseStat
+	// Translate covers XPath parsing and SQL generation (cache hits
+	// included: the span wraps the whole call).
+	Translate PhaseStat
+	// Exec covers relational execution (plan-compile time within it is
+	// reported by sqldb's metrics registry).
+	Exec PhaseStat
+	// Publish covers reconstruction and XML serialization.
+	Publish PhaseStat
+}
+
+// PhaseStats returns the cumulative per-phase timing spans.
+func (st *Store) PhaseStats() PhaseStats {
+	return PhaseStats{
+		Shred:     st.shredPhase.stat(),
+		Translate: st.translatePhase.stat(),
+		Exec:      st.execPhase.stat(),
+		Publish:   st.publishPhase.stat(),
+	}
 }
 
 // Open creates an empty Store with default options.
@@ -144,9 +198,11 @@ func (st *Store) LoadDocument(doc *xmldom.Document) error {
 	if st.loaded {
 		return fmt.Errorf("core: store already holds a document")
 	}
+	start := time.Now()
 	if err := st.scheme.Load(st.db, doc); err != nil {
 		return err
 	}
+	st.shredPhase.add(time.Since(start))
 	st.loaded = true
 	st.invalidateTranslations()
 	return nil
@@ -185,6 +241,8 @@ type Result struct {
 // templates skip XPath parsing and SQL generation entirely. The cache
 // is purged when scheme state changes (document load, subtree insert).
 func (st *Store) Translate(query string) (string, error) {
+	start := time.Now()
+	defer func() { st.translatePhase.add(time.Since(start)) }()
 	if sql, ok := st.trans.Get(query); ok {
 		st.transHits.Add(1)
 		return sql, nil
@@ -208,10 +266,12 @@ func (st *Store) Query(query string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	rows, err := st.db.Query(sql)
 	if err != nil {
 		return nil, fmt.Errorf("core: executing translation of %q: %w", query, err)
 	}
+	st.execPhase.add(time.Since(start))
 	res := &Result{Query: query, SQL: sql, Matches: make([]Match, 0, rows.Len())}
 	for _, r := range rows.Data {
 		m := Match{ID: r[0].Int()}
@@ -222,6 +282,23 @@ func (st *Store) Query(query string) (*Result, error) {
 		res.Matches = append(res.Matches, m)
 	}
 	return res, nil
+}
+
+// ExplainAnalyze translates an XPath query and executes it under full
+// per-operator instrumentation, returning the annotated physical plan
+// (see sqldb.Database.ExplainAnalyze).
+func (st *Store) ExplainAnalyze(query string) (string, error) {
+	sql, err := st.Translate(query)
+	if err != nil {
+		return "", err
+	}
+	start := time.Now()
+	text, err := st.db.ExplainAnalyze(sql)
+	if err != nil {
+		return "", fmt.Errorf("core: analyzing translation of %q: %w", query, err)
+	}
+	st.execPhase.add(time.Since(start))
+	return text, nil
 }
 
 // Count runs a query and returns only the cardinality.
@@ -235,7 +312,13 @@ func (st *Store) Count(query string) (int, error) {
 
 // Reconstruct rebuilds the stored document from its tuples.
 func (st *Store) Reconstruct() (*xmldom.Document, error) {
-	return st.scheme.Reconstruct(st.db)
+	start := time.Now()
+	doc, err := st.scheme.Reconstruct(st.db)
+	if err != nil {
+		return nil, err
+	}
+	st.publishPhase.add(time.Since(start))
+	return doc, nil
 }
 
 // WriteXML publishes the stored document as XML text.
@@ -259,9 +342,11 @@ func (st *Store) InsertXML(parentID int64, position int, fragment []byte) error 
 	if root == nil {
 		return fmt.Errorf("core: fragment has no element")
 	}
+	start := time.Now()
 	if err := st.scheme.InsertSubtree(st.db, parentID, position, root.Copy()); err != nil {
 		return err
 	}
+	st.shredPhase.add(time.Since(start))
 	st.invalidateTranslations()
 	return nil
 }

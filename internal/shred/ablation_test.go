@@ -20,6 +20,9 @@ func TestEdgeCatalogConformance(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, cq := range conformanceQueries {
+		if cq.skip[s.Name()] {
+			continue
+		}
 		want := domIDs(doc, cq.query)
 		got, err := QueryIDs(db, s, cq.query)
 		if err != nil {
@@ -95,6 +98,9 @@ func TestIntervalChildViaRegion(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, cq := range conformanceQueries {
+		if cq.skip[region.Name()] {
+			continue
+		}
 		want := domIDs(doc, cq.query)
 		got, err := QueryIDs(db, region, cq.query)
 		if err != nil {

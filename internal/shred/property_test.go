@@ -5,32 +5,30 @@ import (
 	"testing"
 
 	"repro/internal/xmldom"
+	"repro/internal/xmlgen"
 )
 
 // genDoc builds a random document over a small element vocabulary so
-// random queries actually hit.
+// random queries actually hit. It draws from the shared deterministic
+// generator so documents are reproducible across platforms.
 func genDoc(seed uint64) *xmldom.Document {
-	state := seed*2654435761 + 1
-	next := func(n int) int {
-		state = state*6364136223846793005 + 1442695040888963407
-		return int((state >> 33) % uint64(n))
-	}
+	rng := xmlgen.NewRNG(seed)
 	names := []string{"a", "b", "c", "d"}
 	values := []string{"x", "y", "z", "10", "25"}
 	var mk func(depth int) *xmldom.Node
 	mk = func(depth int) *xmldom.Node {
-		el := &xmldom.Node{Kind: xmldom.ElementNode, Name: names[next(len(names))]}
-		if next(3) == 0 {
+		el := &xmldom.Node{Kind: xmldom.ElementNode, Name: rng.Pick(names)}
+		if rng.Intn(3) == 0 {
 			el.Attrs = append(el.Attrs, &xmldom.Node{
-				Kind: xmldom.AttributeNode, Name: "k", Value: values[next(len(values))], Parent: el,
+				Kind: xmldom.AttributeNode, Name: "k", Value: rng.Pick(values), Parent: el,
 			})
 		}
 		kids := 0
 		if depth < 4 {
-			kids = next(4)
+			kids = rng.Intn(4)
 		}
-		if kids == 0 && next(2) == 0 {
-			el.Children = append(el.Children, &xmldom.Node{Kind: xmldom.TextNode, Value: values[next(len(values))], Parent: el})
+		if kids == 0 && rng.Intn(2) == 0 {
+			el.Children = append(el.Children, &xmldom.Node{Kind: xmldom.TextNode, Value: rng.Pick(values), Parent: el})
 		}
 		for i := 0; i < kids; i++ {
 			c := mk(depth + 1)
@@ -163,13 +161,9 @@ func TestRepeatedInsertsKeepOrder(t *testing.T) {
 		}
 		list := doc.RootElement()
 		listID := int64(list.Pre)
-		state := uint64(99)
-		next := func(n int) int {
-			state = state*6364136223846793005 + 1442695040888963407
-			return int((state >> 33) % uint64(n))
-		}
+		rng := xmlgen.NewRNG(99)
 		for k := 0; k < 15; k++ {
-			pos := next(len(list.Children) + 1)
+			pos := rng.Intn(len(list.Children) + 1)
 			frag, err := xmldom.ParseString(fmt.Sprintf("<i>new%d</i>", k))
 			if err != nil {
 				t.Fatal(err)

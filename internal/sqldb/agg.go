@@ -110,7 +110,7 @@ func (s *aggState) result(name string) Value {
 }
 
 func (n *aggNode) open(ctx *evalCtx) (rowIter, error) {
-	in, err := n.in.open(ctx)
+	in, err := openNode(ctx, n.in)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,182 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExplainAnalyzeOperators runs one query per operator kind under
+// EXPLAIN ANALYZE and checks that the root's actual row count equals
+// the real result cardinality, that the expected operator appears with
+// sane counters, and that the annotations render.
+func TestExplainAnalyzeOperators(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		name string
+		sql  string
+		// op must appear both in the rendered text and the structured
+		// op list.
+		op string
+	}{
+		{"seq_scan", `SELECT * FROM tags`, "SeqScan"},
+		{"index_scan", `SELECT * FROM nums WHERE n BETWEEN 10 AND 19`, "IndexScan"},
+		{"index_join", `SELECT nums.n, tags.tag FROM nums JOIN tags ON nums.n = tags.n`, "IndexJoin"},
+		{"hash_join", `SELECT t1.n, t2.tag FROM tags t1 JOIN tags t2 ON t1.tag = t2.tag`, "HashJoin"},
+		{"nl_join", `SELECT t1.n FROM tags t1 JOIN tags t2 ON t1.n < t2.n`, "NestedLoopJoin"},
+		{"aggregate", `SELECT grp, COUNT(*) FROM nums GROUP BY grp`, "Aggregate"},
+		{"sort", `SELECT n FROM nums ORDER BY sq DESC`, "Sort"},
+		{"distinct", `SELECT DISTINCT grp FROM nums`, "Distinct"},
+		{"limit", `SELECT n FROM nums ORDER BY n LIMIT 5`, "Limit"},
+		{"union_all", `SELECT n FROM nums WHERE n < 3 UNION ALL SELECT n FROM nums WHERE n > 98`, "UnionAll"},
+		{"derived_filter", `SELECT * FROM (SELECT grp, COUNT(*) c FROM nums GROUP BY grp) d WHERE d.c > 10`, "Filter"},
+		{"values", `SELECT 1`, "Values"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rows, err := db.Query(tc.sql)
+			if err != nil {
+				t.Fatalf("query: %v", err)
+			}
+			ap, err := db.ExplainAnalyzePlan(tc.sql)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			if ap.Rows != rows.Len() {
+				t.Errorf("analyzed Rows = %d, executed cardinality = %d", ap.Rows, rows.Len())
+			}
+			if len(ap.Ops) == 0 {
+				t.Fatal("no operator reports")
+			}
+			if ap.Ops[0].Rows != int64(rows.Len()) {
+				t.Errorf("root actual rows = %d, want %d", ap.Ops[0].Rows, rows.Len())
+			}
+			if !strings.Contains(ap.Text, tc.op) {
+				t.Errorf("plan text missing %q:\n%s", tc.op, ap.Text)
+			}
+			if !strings.Contains(ap.Text, "actual rows=") || !strings.Contains(ap.Text, "Execution:") {
+				t.Errorf("plan text missing annotations:\n%s", ap.Text)
+			}
+			foundOp := false
+			for _, op := range ap.Ops {
+				if op.Kind == tc.op || (tc.op == "Filter" && op.Kind == "Filter") {
+					foundOp = true
+				}
+				if op.Nexts < op.Rows {
+					t.Errorf("%s: nexts=%d < rows=%d", op.Kind, op.Nexts, op.Rows)
+				}
+				if op.Opens < 1 {
+					t.Errorf("%s: opens=%d, want >= 1", op.Kind, op.Opens)
+				}
+			}
+			if !foundOp {
+				t.Errorf("structured ops missing %q: %+v", tc.op, ap.Ops)
+			}
+		})
+	}
+}
+
+// TestExplainAnalyzeJoinBuildSizes checks the build-side counters the
+// join operators record.
+func TestExplainAnalyzeJoinBuildSizes(t *testing.T) {
+	db := testDB(t)
+	// tags holds 20 + 15 = 35 rows; the hash join builds on its right
+	// input, the nested-loop join materializes its inner side.
+	for _, tc := range []struct {
+		sql  string
+		op   string
+		want int64
+	}{
+		{`SELECT t1.n FROM tags t1 JOIN tags t2 ON t1.tag = t2.tag`, "HashJoin", 35},
+		{`SELECT t1.n FROM tags t1 JOIN tags t2 ON t1.n < t2.n`, "NestedLoopJoin", 35},
+	} {
+		ap, err := db.ExplainAnalyzePlan(tc.sql)
+		if err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+		found := false
+		for _, op := range ap.Ops {
+			if op.Kind == tc.op {
+				found = true
+				if op.BuildRows != tc.want {
+					t.Errorf("%s build rows = %d, want %d", tc.op, op.BuildRows, tc.want)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s not in plan for %s", tc.op, tc.sql)
+		}
+	}
+}
+
+// TestExplainAnalyzeWithParams runs a parameterized statement under
+// EXPLAIN ANALYZE.
+func TestExplainAnalyzeWithParams(t *testing.T) {
+	db := testDB(t)
+	ap, err := db.ExplainAnalyzePlan(`SELECT n FROM nums WHERE n <= ?`, NewInt(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Rows != 10 {
+		t.Errorf("rows = %d, want 10", ap.Rows)
+	}
+}
+
+// TestExplainPrefixThroughQuery drives the textual EXPLAIN [ANALYZE]
+// prefix through the ordinary Query entry point.
+func TestExplainPrefixThroughQuery(t *testing.T) {
+	db := testDB(t)
+	rows, err := db.Query(`EXPLAIN ANALYZE SELECT grp, COUNT(*) FROM nums GROUP BY grp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Columns) != 1 || rows.Columns[0] != "plan" {
+		t.Fatalf("columns = %v", rows.Columns)
+	}
+	var text strings.Builder
+	for _, r := range rows.Data {
+		text.WriteString(r[0].Text())
+		text.WriteByte('\n')
+	}
+	if !strings.Contains(text.String(), "actual rows=") || !strings.Contains(text.String(), "Execution: 2 row(s)") {
+		t.Errorf("EXPLAIN ANALYZE output missing annotations:\n%s", text.String())
+	}
+
+	// Lower case, plain EXPLAIN: plan only, no actuals.
+	rows, err = db.Query(`explain select * from nums`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain strings.Builder
+	for _, r := range rows.Data {
+		plain.WriteString(r[0].Text())
+		plain.WriteByte('\n')
+	}
+	if !strings.Contains(plain.String(), "SeqScan") || strings.Contains(plain.String(), "actual rows=") {
+		t.Errorf("plain EXPLAIN output wrong:\n%s", plain.String())
+	}
+
+	// EXPLAIN must not swallow identifiers that merely start with it.
+	if _, err := db.Exec(`CREATE TABLE explainer (x INTEGER)`); err != nil {
+		t.Fatalf("identifier prefix: %v", err)
+	}
+}
+
+// TestExplainAnalyzeMatchesRepeatedRuns checks that cached-plan
+// executions keep reporting per-run (not cumulative) actuals.
+func TestExplainAnalyzeMatchesRepeatedRuns(t *testing.T) {
+	db := testDB(t)
+	const sql = `SELECT n FROM nums WHERE grp = 'odd'`
+	want := -1
+	for i := 0; i < 3; i++ {
+		ap, err := db.ExplainAnalyzePlan(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == -1 {
+			want = ap.Rows
+		}
+		if ap.Rows != want || ap.Ops[0].Rows != int64(want) {
+			t.Fatalf("run %d: rows = %d (root %d), want %d", i, ap.Rows, ap.Ops[0].Rows, want)
+		}
+	}
+}

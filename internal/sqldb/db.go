@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Database is an in-memory relational database. It is safe for
@@ -17,6 +18,10 @@ type Database struct {
 	// for the epoch they were planned at (see plancache.go).
 	epoch uint64
 	plans *planCache
+	// metrics is the runtime observability registry: query-latency
+	// histograms by SQL template, per-operator totals, slow-query log.
+	// It has its own mutex and is safe under any db.mu mode.
+	metrics *metricsRegistry
 }
 
 // New creates an empty database.
@@ -25,6 +30,7 @@ func New() *Database {
 		tables:  map[string]*table{},
 		indexes: map[string]*IndexDef{},
 		plans:   newPlanCache(defaultPlanCacheCap),
+		metrics: newMetricsRegistry(),
 	}
 }
 
@@ -86,19 +92,46 @@ func (db *Database) MustExec(sql string, args ...Value) {
 
 // Query runs a SELECT and returns the materialized result. Plans are
 // served from the epoch-validated plan cache: repeated statements skip
-// parsing and planning entirely.
+// parsing and planning entirely. Every execution is instrumented: row
+// counters per operator plus end-to-end latency feed the metrics
+// registry (see Metrics). A statement may be prefixed with
+// EXPLAIN or EXPLAIN ANALYZE, in which case the result is the plan text
+// (one line per row in a single "plan" column), the latter after really
+// executing the query.
 func (db *Database) Query(sql string, args ...Value) (*Rows, error) {
+	if mode, rest := stripExplainPrefix(sql); mode != explainNone {
+		var text string
+		var err error
+		if mode == explainAnalyze {
+			text, err = db.ExplainAnalyze(rest, args...)
+		} else {
+			text, err = db.Explain(rest, args...)
+		}
+		if err != nil {
+			return nil, err
+		}
+		lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+		rows := &Rows{Columns: []string{"plan"}}
+		for _, l := range lines {
+			rows.Data = append(rows.Data, []Value{NewText(l)})
+		}
+		return rows, nil
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	e, _, err := db.cachedPlanFor(sql, "Query")
 	if err != nil {
 		return nil, err
 	}
-	ctx := &evalCtx{db: db, params: args}
+	rs := newRunStats(e.p, false)
+	ctx := &evalCtx{db: db, params: args, stats: rs}
+	start := time.Now()
 	data, err := materialize(ctx, e.p.root)
 	if err != nil {
+		db.metrics.recordQueryError()
 		return nil, err
 	}
+	db.metrics.recordQuery(sql, e.p.template, time.Since(start), len(data), rs)
 	return &Rows{Columns: e.cols, Data: data}, nil
 }
 
@@ -140,10 +173,13 @@ func (db *Database) Prepare(sql string) (*Prepared, error) {
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	start := time.Now()
 	p, sch, err := planSelect(db, sel, nil)
 	if err != nil {
 		return nil, err
 	}
+	p.template = NormalizeSQL(sql)
+	db.metrics.recordPlanCompile(time.Since(start))
 	cols := make([]string, len(sch))
 	for i, c := range sch {
 		cols[i] = c.name
@@ -162,11 +198,15 @@ func (p *Prepared) Query(args ...Value) (*Rows, error) {
 	if p.epoch != p.db.epoch {
 		return nil, errorf("prepared statement is stale: schema changed since Prepare (%s)", p.sql)
 	}
-	ctx := &evalCtx{db: p.db, params: args}
+	rs := newRunStats(p.plan, false)
+	ctx := &evalCtx{db: p.db, params: args, stats: rs}
+	start := time.Now()
 	data, err := materialize(ctx, p.plan.root)
 	if err != nil {
+		p.db.metrics.recordQueryError()
 		return nil, err
 	}
+	p.db.metrics.recordQuery(p.sql, p.plan.template, time.Since(start), len(data), rs)
 	return &Rows{Columns: p.cols, Data: data}, nil
 }
 
@@ -531,10 +571,12 @@ type TableStats struct {
 }
 
 // DatabaseStats bundles per-table storage statistics with the engine's
-// cache activity and the current schema epoch.
+// cache activity, the runtime metrics registry and the current schema
+// epoch.
 type DatabaseStats struct {
 	Tables      []TableStats
 	PlanCache   CacheStats
+	Metrics     MetricsSnapshot
 	SchemaEpoch uint64
 }
 
@@ -555,6 +597,7 @@ func (db *Database) Stats() DatabaseStats {
 	return DatabaseStats{
 		Tables:      tables,
 		PlanCache:   db.plans.stats(),
+		Metrics:     db.metrics.snapshot(),
 		SchemaEpoch: db.epoch,
 	}
 }

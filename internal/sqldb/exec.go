@@ -217,7 +217,7 @@ func (n *filterNode) sch() schema      { return n.in.sch() }
 func (n *filterNode) estRows() float64 { return n.in.estRows()*n.sel + 1 }
 
 func (n *filterNode) open(ctx *evalCtx) (rowIter, error) {
-	in, err := n.in.open(ctx)
+	in, err := openNode(ctx, n.in)
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +261,7 @@ func (n *projectNode) sch() schema      { return n.schema }
 func (n *projectNode) estRows() float64 { return n.in.estRows() }
 
 func (n *projectNode) open(ctx *evalCtx) (rowIter, error) {
-	in, err := n.in.open(ctx)
+	in, err := openNode(ctx, n.in)
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +312,7 @@ func (n *nlJoinNode) estRows() float64 {
 }
 
 func (n *nlJoinNode) open(ctx *evalCtx) (rowIter, error) {
-	left, err := n.left.open(ctx)
+	left, err := openNode(ctx, n.left)
 	if err != nil {
 		return nil, err
 	}
@@ -320,6 +320,9 @@ func (n *nlJoinNode) open(ctx *evalCtx) (rowIter, error) {
 	if err != nil {
 		left.close()
 		return nil, err
+	}
+	if s := ctx.opStat(n); s != nil {
+		s.BuildRows += int64(len(inner))
 	}
 	return &nlJoinIter{node: n, ctx: ctx, left: left, inner: inner, ipos: -1}, nil
 }
@@ -439,7 +442,10 @@ func (n *hashJoinNode) open(ctx *evalCtx) (rowIter, error) {
 		}
 		ht[k] = append(ht[k], r)
 	}
-	left, err := n.left.open(ctx)
+	if s := ctx.opStat(n); s != nil {
+		s.BuildRows += int64(len(rightRows))
+	}
+	left, err := openNode(ctx, n.left)
 	if err != nil {
 		return nil, err
 	}
@@ -540,7 +546,7 @@ func (n *indexJoinNode) estRows() float64 {
 }
 
 func (n *indexJoinNode) open(ctx *evalCtx) (rowIter, error) {
-	left, err := n.left.open(ctx)
+	left, err := openNode(ctx, n.left)
 	if err != nil {
 		return nil, err
 	}
@@ -743,7 +749,7 @@ func (n *limitNode) sch() schema      { return n.in.sch() }
 func (n *limitNode) estRows() float64 { return n.in.estRows() }
 
 func (n *limitNode) open(ctx *evalCtx) (rowIter, error) {
-	in, err := n.in.open(ctx)
+	in, err := openNode(ctx, n.in)
 	if err != nil {
 		return nil, err
 	}
@@ -803,7 +809,7 @@ func (n *distinctNode) sch() schema      { return n.in.sch() }
 func (n *distinctNode) estRows() float64 { return n.in.estRows() }
 
 func (n *distinctNode) open(ctx *evalCtx) (rowIter, error) {
-	in, err := n.in.open(ctx)
+	in, err := openNode(ctx, n.in)
 	if err != nil {
 		return nil, err
 	}
@@ -894,7 +900,7 @@ func (it *unionAllIter) next() ([]Value, error) {
 				return nil, nil
 			}
 			var err error
-			it.cur, err = it.node.parts[it.idx].open(it.ctx)
+			it.cur, err = openNode(it.ctx, it.node.parts[it.idx])
 			if err != nil {
 				return nil, err
 			}
@@ -939,7 +945,7 @@ func (it *sliceIter) close() {}
 
 // materialize drains a node into a slice.
 func materialize(ctx *evalCtx, n planNode) ([][]Value, error) {
-	it, err := n.open(ctx)
+	it, err := openNode(ctx, n)
 	if err != nil {
 		return nil, err
 	}

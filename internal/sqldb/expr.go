@@ -52,6 +52,8 @@ type evalCtx struct {
 	db     *Database
 	params []Value
 	outer  []Value
+	// stats collects per-operator counters when non-nil (see metrics.go).
+	stats *runStats
 }
 
 // compiledExpr evaluates an expression against a row.

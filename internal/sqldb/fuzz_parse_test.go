@@ -1,0 +1,57 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary statements at the lexer/parser pipeline:
+// it must return a statement or an error, never panic, and whatever it
+// accepts must normalize and re-parse (the template the metrics
+// registry keys on reuses the same lexer).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT 1`,
+		`SELECT n, sq FROM nums WHERE n BETWEEN 10 AND 19 ORDER BY sq DESC LIMIT 5`,
+		`SELECT grp, COUNT(*) FROM nums GROUP BY grp HAVING COUNT(*) > 10`,
+		`SELECT DISTINCT t1.tag FROM tags t1 JOIN tags t2 ON t1.n = t2.n`,
+		`SELECT n FROM nums WHERE n IN (SELECT n FROM tags WHERE tag = 'five')`,
+		`SELECT n FROM nums WHERE n < 3 UNION ALL SELECT n FROM nums WHERE n > 98`,
+		`SELECT CASE WHEN n % 2 = 0 THEN 'even' ELSE 'odd' END FROM nums`,
+		`SELECT * FROM (SELECT grp, COUNT(*) c FROM nums GROUP BY grp) d WHERE d.c > 10`,
+		`INSERT INTO nums VALUES (?, ?, ?, ?)`,
+		`UPDATE nums SET sq = sq + 1 WHERE n = 3`,
+		`DELETE FROM nums WHERE n > 90`,
+		`CREATE TABLE t (a INTEGER PRIMARY KEY, b TEXT)`,
+		`CREATE INDEX idx ON t (b)`,
+		`DROP INDEX idx`,
+		`EXPLAIN ANALYZE SELECT * FROM nums`,
+		`SELECT 'unterminated`,
+		`SELECT )( FROM`,
+		`SELECT n FROM nums WHERE label LIKE 'n00%' ESCAPE '\'`,
+		"SELECT\x00\xff",
+		strings.Repeat("(", 100) + "1" + strings.Repeat(")", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if stmt == nil {
+			t.Fatalf("Parse(%q) returned nil statement and nil error", src)
+		}
+		// Accepted input must survive template normalization: the result
+		// must lex (NormalizeSQL falls back to trimming only on lexer
+		// errors, which cannot happen for parseable input).
+		tpl := NormalizeSQL(src)
+		if strings.TrimSpace(tpl) == "" {
+			t.Fatalf("NormalizeSQL(%q) = %q, want non-empty", src, tpl)
+		}
+		if _, err := lexSQL(tpl); err != nil {
+			t.Fatalf("template %q of accepted input %q does not lex: %v", tpl, src, err)
+		}
+	})
+}

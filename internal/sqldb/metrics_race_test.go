@@ -1,0 +1,140 @@
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMetricsConcurrentReadersAndDDL hammers the registry from many
+// goroutines running cached-plan queries while a writer churns the
+// schema with CREATE/DROP INDEX (invalidating those plans). Run under
+// -race; afterwards every increment must be accounted for.
+func TestMetricsConcurrentReadersAndDDL(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER, c TEXT)`)
+	for i := 0; i < 200; i++ {
+		db.MustExec(`INSERT INTO t VALUES (?, ?, ?)`, NewInt(int64(i)), NewInt(int64(i%10)), NewText(fmt.Sprintf("v%d", i)))
+	}
+
+	const (
+		readers          = 8
+		queriesPerReader = 50
+		rowsPerQuery     = 20 // b < 1 matches 20 rows
+	)
+	// Two statements so readers share cached plans; both have a fixed
+	// result cardinality that survives the DDL churn.
+	stmts := []string{
+		`SELECT a FROM t WHERE b < 1`,
+		`SELECT a, c FROM t WHERE b < 1`,
+	}
+
+	base := db.Metrics()
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < queriesPerReader; i++ {
+				sql := stmts[(r+i)%len(stmts)]
+				rows, err := db.Query(sql)
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if rows.Len() != rowsPerQuery {
+					t.Errorf("reader %d: %d rows, want %d", r, rows.Len(), rowsPerQuery)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			if _, err := db.Exec(`CREATE INDEX t_b ON t (b)`); err != nil {
+				t.Errorf("create index: %v", err)
+				return
+			}
+			if _, err := db.Exec(`DROP INDEX t_b`); err != nil {
+				t.Errorf("drop index: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	m := db.Metrics()
+	const total = readers * queriesPerReader
+	if got := m.Queries - base.Queries; got != total {
+		t.Errorf("queries = %d, want %d (lost increments)", got, total)
+	}
+	if got := m.Rows - base.Rows; got != total*rowsPerQuery {
+		t.Errorf("rows = %d, want %d", got, total*rowsPerQuery)
+	}
+	if m.QueryErrors != base.QueryErrors {
+		t.Errorf("unexpected query errors: %d", m.QueryErrors-base.QueryErrors)
+	}
+	var hist uint64
+	for _, b := range m.Latency {
+		hist += b.Count
+	}
+	if hist != m.Queries {
+		t.Errorf("histogram mass %d != queries %d", hist, m.Queries)
+	}
+	var tplTotal uint64
+	for _, ts := range m.Templates {
+		tplTotal += ts.Count
+	}
+	if tplTotal != m.Queries {
+		t.Errorf("template counts sum to %d, want %d", tplTotal, m.Queries)
+	}
+	// Operator rows across scan kinds must match the produced rows: the
+	// DDL churn flips plans between SeqScan and IndexScan but every
+	// execution scans the same 20-row result.
+	var scanRows uint64
+	for _, op := range m.Operators {
+		if op.Kind == "SeqScan" || op.Kind == "IndexScan" {
+			scanRows += op.Rows
+		}
+	}
+	if scanRows < total*rowsPerQuery {
+		t.Errorf("scan operator rows = %d, want >= %d", scanRows, total*rowsPerQuery)
+	}
+}
+
+// TestMetricsSnapshotDuringLoad takes snapshots while queries run —
+// under -race this guards the read path.
+func TestMetricsSnapshotDuringLoad(t *testing.T) {
+	db := testDB(t)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := db.Query(`SELECT n FROM nums WHERE grp = 'odd'`); err != nil {
+				t.Errorf("query: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		m := db.Metrics()
+		var hist uint64
+		for _, b := range m.Latency {
+			hist += b.Count
+		}
+		if hist != m.Queries {
+			t.Errorf("snapshot %d: histogram mass %d != queries %d", i, hist, m.Queries)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

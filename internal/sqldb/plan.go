@@ -2,12 +2,19 @@ package sqldb
 
 import (
 	"strings"
+	"sync"
 )
 
 // plan is a compiled, executable query.
 type plan struct {
 	root planNode
 	cols schema // output column names exposed to the API
+	// template is the normalized SQL this plan was compiled from
+	// (metrics key); set by the entry points that know the source text.
+	template string
+	// ops is the lazily built operator-id metadata for instrumentation.
+	opsOnce sync.Once
+	ops     *planOps
 }
 
 // planSelect compiles a SELECT (possibly a UNION ALL chain) into a plan.
@@ -329,7 +336,7 @@ type cutNode struct {
 func (n *cutNode) sch() schema      { return n.schema }
 func (n *cutNode) estRows() float64 { return n.in.estRows() }
 func (n *cutNode) open(ctx *evalCtx) (rowIter, error) {
-	in, err := n.in.open(ctx)
+	in, err := openNode(ctx, n.in)
 	if err != nil {
 		return nil, err
 	}
@@ -361,7 +368,7 @@ type derivedNode struct {
 func (n *derivedNode) sch() schema      { return n.schema }
 func (n *derivedNode) estRows() float64 { return n.est }
 func (n *derivedNode) open(ctx *evalCtx) (rowIter, error) {
-	return n.p.root.open(ctx)
+	return openNode(ctx, n.p.root)
 }
 
 func buildRelation(db *Database, fi *FromItem, outer schema) (relation, error) {

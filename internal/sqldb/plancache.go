@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lru"
 )
@@ -125,6 +126,7 @@ func (db *Database) cachedPlanFor(sql, verb string) (*cachedPlan, bool, error) {
 	if e, ok := db.plans.get(sql, db.epoch); ok {
 		return e, true, nil
 	}
+	start := time.Now()
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, false, err
@@ -137,6 +139,8 @@ func (db *Database) cachedPlanFor(sql, verb string) (*cachedPlan, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	p.template = NormalizeSQL(sql)
+	db.metrics.recordPlanCompile(time.Since(start))
 	cols := make([]string, len(sch))
 	for i, c := range sch {
 		cols[i] = c.name

@@ -47,7 +47,7 @@ func (c Config) counts() counts {
 // Auction generates the auction-site document. The same (Factor, Seed)
 // always produces byte-identical output.
 func Auction(cfg Config) *xmldom.Document {
-	g := &auctionGen{r: newRNG(cfg.Seed + 0xA0C710), n: cfg.counts()}
+	g := &auctionGen{r: NewRNG(cfg.Seed + 0xA0C710), n: cfg.counts()}
 	return g.generate()
 }
 
@@ -57,7 +57,7 @@ func AuctionXML(cfg Config) string {
 }
 
 type auctionGen struct {
-	r *rng
+	r *RNG
 	n counts
 }
 
@@ -103,27 +103,27 @@ func (g *auctionGen) generate() *xmldom.Document {
 }
 
 func (g *auctionGen) sentence(min, max int) string {
-	n := g.r.rangeInt(min, max)
+	n := g.r.RangeInt(min, max)
 	var b strings.Builder
 	for i := 0; i < n; i++ {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		b.WriteString(g.r.pick(fillerWords))
+		b.WriteString(g.r.Pick(fillerWords))
 	}
 	return b.String()
 }
 
 func (g *auctionGen) itemName() string {
-	return g.r.pick(adjectives) + " " + g.r.pick(nouns)
+	return g.r.Pick(adjectives) + " " + g.r.Pick(nouns)
 }
 
 func (g *auctionGen) description() *xmldom.Node {
 	// 20% of descriptions use a parlist (nested structure), the rest a
 	// single text paragraph; keeps mixed-content paths exercised.
-	if g.r.intn(5) == 0 {
+	if g.r.Intn(5) == 0 {
 		par := elem("parlist")
-		for i := 0; i < g.r.rangeInt(2, 4); i++ {
+		for i := 0; i < g.r.RangeInt(2, 4); i++ {
 			par.Children = append(par.Children, textElem("listitem", g.sentence(8, 20)))
 			par.Children[len(par.Children)-1].Parent = par
 		}
@@ -133,11 +133,11 @@ func (g *auctionGen) description() *xmldom.Node {
 }
 
 func (g *auctionGen) date() string {
-	return fmt.Sprintf("%02d/%02d/%04d", g.r.rangeInt(1, 12), g.r.rangeInt(1, 28), g.r.rangeInt(1998, 2003))
+	return fmt.Sprintf("%02d/%02d/%04d", g.r.RangeInt(1, 12), g.r.RangeInt(1, 28), g.r.RangeInt(1998, 2003))
 }
 
 func (g *auctionGen) time() string {
-	return fmt.Sprintf("%02d:%02d:%02d", g.r.intn(24), g.r.intn(60), g.r.intn(60))
+	return fmt.Sprintf("%02d:%02d:%02d", g.r.Intn(24), g.r.Intn(60), g.r.Intn(60))
 }
 
 func (g *auctionGen) regions() *xmldom.Node {
@@ -145,7 +145,7 @@ func (g *auctionGen) regions() *xmldom.Node {
 	// Items are distributed over the six regions round-robin with noise.
 	perRegion := make([][]int, len(regionNames))
 	for i := 0; i < g.n.items; i++ {
-		r := g.r.intn(len(regionNames))
+		r := g.r.Intn(len(regionNames))
 		perRegion[r] = append(perRegion[r], i)
 	}
 	for ri, name := range regionNames {
@@ -162,26 +162,26 @@ func (g *auctionGen) regions() *xmldom.Node {
 
 func (g *auctionGen) item(id int) *xmldom.Node {
 	it := elem("item",
-		textElem("location", g.r.pick(countries)),
-		textElem("quantity", fmt.Sprintf("%d", g.r.rangeInt(1, 5))),
+		textElem("location", g.r.Pick(countries)),
+		textElem("quantity", fmt.Sprintf("%d", g.r.RangeInt(1, 5))),
 		textElem("name", g.itemName()),
-		textElem("payment", g.r.pick(paymentKinds)),
+		textElem("payment", g.r.Pick(paymentKinds)),
 		g.description(),
-		textElem("shipping", g.r.pick(shippingKinds)),
+		textElem("shipping", g.r.Pick(shippingKinds)),
 	)
 	withAttr(it, "id", fmt.Sprintf("item%d", id))
-	for i := 0; i < g.r.rangeInt(1, 3); i++ {
+	for i := 0; i < g.r.RangeInt(1, 3); i++ {
 		inc := elem("incategory")
-		withAttr(inc, "category", fmt.Sprintf("category%d", g.r.intn(g.n.categories)))
+		withAttr(inc, "category", fmt.Sprintf("category%d", g.r.Intn(g.n.categories)))
 		inc.Parent = it
 		it.Children = append(it.Children, inc)
 	}
-	if g.r.intn(4) == 0 {
+	if g.r.Intn(4) == 0 {
 		mb := elem("mailbox")
-		for i := 0; i < g.r.rangeInt(1, 3); i++ {
+		for i := 0; i < g.r.RangeInt(1, 3); i++ {
 			mail := elem("mail",
-				textElem("from", g.r.pick(firstNames)+" "+g.r.pick(lastNames)),
-				textElem("to", g.r.pick(firstNames)+" "+g.r.pick(lastNames)),
+				textElem("from", g.r.Pick(firstNames)+" "+g.r.Pick(lastNames)),
+				textElem("to", g.r.Pick(firstNames)+" "+g.r.Pick(lastNames)),
 				textElem("date", g.date()),
 				textElem("text", g.sentence(6, 18)),
 			)
@@ -198,7 +198,7 @@ func (g *auctionGen) categories() *xmldom.Node {
 	cats := elem("categories")
 	for i := 0; i < g.n.categories; i++ {
 		cat := elem("category",
-			textElem("name", g.r.pick(adjectives)+" "+g.r.pick(categoryThemes)),
+			textElem("name", g.r.Pick(adjectives)+" "+g.r.Pick(categoryThemes)),
 			textElem("description", g.sentence(6, 16)),
 		)
 		withAttr(cat, "id", fmt.Sprintf("category%d", i))
@@ -213,8 +213,8 @@ func (g *auctionGen) catgraph() *xmldom.Node {
 	edges := g.n.categories * 2
 	for i := 0; i < edges; i++ {
 		e := elem("edge")
-		withAttr(e, "from", fmt.Sprintf("category%d", g.r.intn(g.n.categories)))
-		withAttr(e, "to", fmt.Sprintf("category%d", g.r.intn(g.n.categories)))
+		withAttr(e, "from", fmt.Sprintf("category%d", g.r.Intn(g.n.categories)))
+		withAttr(e, "to", fmt.Sprintf("category%d", g.r.Intn(g.n.categories)))
 		e.Parent = graph
 		graph.Children = append(graph.Children, e)
 	}
@@ -224,74 +224,74 @@ func (g *auctionGen) catgraph() *xmldom.Node {
 func (g *auctionGen) people() *xmldom.Node {
 	people := elem("people")
 	for i := 0; i < g.n.persons; i++ {
-		first := g.r.pick(firstNames)
-		last := g.r.pick(lastNames)
+		first := g.r.Pick(firstNames)
+		last := g.r.Pick(lastNames)
 		p := elem("person",
 			textElem("name", first+" "+last),
 			textElem("emailaddress", fmt.Sprintf("mailto:%s.%s%d@example.com", strings.ToLower(first), strings.ToLower(last), i)),
 		)
 		withAttr(p, "id", fmt.Sprintf("person%d", i))
-		if g.r.intn(2) == 0 {
-			p.Children = append(p.Children, textElem("phone", fmt.Sprintf("+%d (%d) %d", g.r.rangeInt(1, 99), g.r.rangeInt(100, 999), g.r.rangeInt(1000000, 9999999))))
+		if g.r.Intn(2) == 0 {
+			p.Children = append(p.Children, textElem("phone", fmt.Sprintf("+%d (%d) %d", g.r.RangeInt(1, 99), g.r.RangeInt(100, 999), g.r.RangeInt(1000000, 9999999))))
 			p.Children[len(p.Children)-1].Parent = p
 		}
-		if g.r.intn(2) == 0 {
+		if g.r.Intn(2) == 0 {
 			addr := elem("address",
-				textElem("street", fmt.Sprintf("%d %s St", g.r.rangeInt(1, 99), g.r.pick(lastNames))),
-				textElem("city", g.r.pick(cities)),
-				textElem("country", g.r.pick(countries)),
-				textElem("zipcode", fmt.Sprintf("%d", g.r.rangeInt(10000, 99999))),
+				textElem("street", fmt.Sprintf("%d %s St", g.r.RangeInt(1, 99), g.r.Pick(lastNames))),
+				textElem("city", g.r.Pick(cities)),
+				textElem("country", g.r.Pick(countries)),
+				textElem("zipcode", fmt.Sprintf("%d", g.r.RangeInt(10000, 99999))),
 			)
 			addr.Parent = p
 			p.Children = append(p.Children, addr)
 		}
-		if g.r.intn(3) == 0 {
+		if g.r.Intn(3) == 0 {
 			p.Children = append(p.Children, textElem("homepage", fmt.Sprintf("http://www.example.com/~%s%d", strings.ToLower(last), i)))
 			p.Children[len(p.Children)-1].Parent = p
 		}
-		if g.r.intn(3) == 0 {
-			p.Children = append(p.Children, textElem("creditcard", fmt.Sprintf("%04d %04d %04d %04d", g.r.intn(10000), g.r.intn(10000), g.r.intn(10000), g.r.intn(10000))))
+		if g.r.Intn(3) == 0 {
+			p.Children = append(p.Children, textElem("creditcard", fmt.Sprintf("%04d %04d %04d %04d", g.r.Intn(10000), g.r.Intn(10000), g.r.Intn(10000), g.r.Intn(10000))))
 			p.Children[len(p.Children)-1].Parent = p
 		}
-		if g.r.intn(2) == 0 {
+		if g.r.Intn(2) == 0 {
 			prof := elem("profile")
-			withAttr(prof, "income", fmt.Sprintf("%d", g.r.rangeInt(9, 100)*1000))
-			for k := 0; k < g.r.rangeInt(0, 3); k++ {
+			withAttr(prof, "income", fmt.Sprintf("%d", g.r.RangeInt(9, 100)*1000))
+			for k := 0; k < g.r.RangeInt(0, 3); k++ {
 				in := elem("interest")
-				withAttr(in, "category", fmt.Sprintf("category%d", g.r.intn(g.n.categories)))
+				withAttr(in, "category", fmt.Sprintf("category%d", g.r.Intn(g.n.categories)))
 				in.Parent = prof
 				prof.Children = append(prof.Children, in)
 			}
-			if g.r.intn(2) == 0 {
-				prof.Children = append(prof.Children, textElem("education", g.r.pick(educationLevels)))
+			if g.r.Intn(2) == 0 {
+				prof.Children = append(prof.Children, textElem("education", g.r.Pick(educationLevels)))
 				prof.Children[len(prof.Children)-1].Parent = prof
 			}
-			if g.r.intn(2) == 0 {
+			if g.r.Intn(2) == 0 {
 				gender := "male"
-				if g.r.intn(2) == 0 {
+				if g.r.Intn(2) == 0 {
 					gender = "female"
 				}
 				prof.Children = append(prof.Children, textElem("gender", gender))
 				prof.Children[len(prof.Children)-1].Parent = prof
 			}
 			business := "No"
-			if g.r.intn(4) == 0 {
+			if g.r.Intn(4) == 0 {
 				business = "Yes"
 			}
 			prof.Children = append(prof.Children, textElem("business", business))
 			prof.Children[len(prof.Children)-1].Parent = prof
-			if g.r.intn(2) == 0 {
-				prof.Children = append(prof.Children, textElem("age", fmt.Sprintf("%d", g.r.rangeInt(18, 80))))
+			if g.r.Intn(2) == 0 {
+				prof.Children = append(prof.Children, textElem("age", fmt.Sprintf("%d", g.r.RangeInt(18, 80))))
 				prof.Children[len(prof.Children)-1].Parent = prof
 			}
 			prof.Parent = p
 			p.Children = append(p.Children, prof)
 		}
-		if g.r.intn(3) == 0 {
+		if g.r.Intn(3) == 0 {
 			w := elem("watches")
-			for k := 0; k < g.r.rangeInt(1, 3); k++ {
+			for k := 0; k < g.r.RangeInt(1, 3); k++ {
 				watch := elem("watch")
-				withAttr(watch, "open_auction", fmt.Sprintf("open_auction%d", g.r.intn(g.n.open)))
+				withAttr(watch, "open_auction", fmt.Sprintf("open_auction%d", g.r.Intn(g.n.open)))
 				watch.Parent = w
 				w.Children = append(w.Children, watch)
 			}
@@ -307,22 +307,22 @@ func (g *auctionGen) people() *xmldom.Node {
 func (g *auctionGen) openAuctions() *xmldom.Node {
 	oas := elem("open_auctions")
 	for i := 0; i < g.n.open; i++ {
-		initial := float64(g.r.rangeInt(1, 300)) + float64(g.r.intn(100))/100
+		initial := float64(g.r.RangeInt(1, 300)) + float64(g.r.Intn(100))/100
 		oa := elem("open_auction",
 			textElem("initial", fmt.Sprintf("%.2f", initial)),
 		)
 		withAttr(oa, "id", fmt.Sprintf("open_auction%d", i))
-		if g.r.intn(3) == 0 {
+		if g.r.Intn(3) == 0 {
 			oa.Children = append(oa.Children, textElem("reserve", fmt.Sprintf("%.2f", initial*1.5)))
 			oa.Children[len(oa.Children)-1].Parent = oa
 		}
-		nBidders := g.r.exp(4, 20)
+		nBidders := g.r.Exp(4, 20)
 		cur := initial
 		for b := 0; b < nBidders; b++ {
-			incr := float64(g.r.rangeInt(1, 20)) * 1.5
+			incr := float64(g.r.RangeInt(1, 20)) * 1.5
 			cur += incr
 			pr := elem("personref")
-			withAttr(pr, "person", fmt.Sprintf("person%d", g.r.intn(g.n.persons)))
+			withAttr(pr, "person", fmt.Sprintf("person%d", g.r.Intn(g.n.persons)))
 			bidder := elem("bidder",
 				textElem("date", g.date()),
 				textElem("time", g.time()),
@@ -338,28 +338,28 @@ func (g *auctionGen) openAuctions() *xmldom.Node {
 		cRef.Children[0].Parent = cRef
 		cRef.Parent = oa
 		oa.Children = append(oa.Children, cRef)
-		if g.r.intn(2) == 0 {
+		if g.r.Intn(2) == 0 {
 			oa.Children = append(oa.Children, textElem("privacy", "Yes"))
 			oa.Children[len(oa.Children)-1].Parent = oa
 		}
 		ir := elem("itemref")
-		withAttr(ir, "item", fmt.Sprintf("item%d", g.r.intn(g.n.items)))
+		withAttr(ir, "item", fmt.Sprintf("item%d", g.r.Intn(g.n.items)))
 		ir.Parent = oa
 		oa.Children = append(oa.Children, ir)
 		sr := elem("seller")
-		withAttr(sr, "person", fmt.Sprintf("person%d", g.r.intn(g.n.persons)))
+		withAttr(sr, "person", fmt.Sprintf("person%d", g.r.Intn(g.n.persons)))
 		sr.Parent = oa
 		oa.Children = append(oa.Children, sr)
 		ann := elem("annotation",
-			textElem("author", g.r.pick(firstNames)+" "+g.r.pick(lastNames)),
-			textElem("happiness", fmt.Sprintf("%d", g.r.rangeInt(1, 10))),
+			textElem("author", g.r.Pick(firstNames)+" "+g.r.Pick(lastNames)),
+			textElem("happiness", fmt.Sprintf("%d", g.r.RangeInt(1, 10))),
 		)
 		ann.Parent = oa
 		oa.Children = append(oa.Children, ann)
-		oa.Children = append(oa.Children, textElem("quantity", fmt.Sprintf("%d", g.r.rangeInt(1, 5))))
+		oa.Children = append(oa.Children, textElem("quantity", fmt.Sprintf("%d", g.r.RangeInt(1, 5))))
 		oa.Children[len(oa.Children)-1].Parent = oa
 		typ := "Regular"
-		if g.r.intn(3) == 0 {
+		if g.r.Intn(3) == 0 {
 			typ = "Featured"
 		}
 		oa.Children = append(oa.Children, textElem("type", typ))
@@ -381,28 +381,28 @@ func (g *auctionGen) closedAuctions() *xmldom.Node {
 	cas := elem("closed_auctions")
 	for i := 0; i < g.n.closed; i++ {
 		seller := elem("seller")
-		withAttr(seller, "person", fmt.Sprintf("person%d", g.r.intn(g.n.persons)))
+		withAttr(seller, "person", fmt.Sprintf("person%d", g.r.Intn(g.n.persons)))
 		buyer := elem("buyer")
-		withAttr(buyer, "person", fmt.Sprintf("person%d", g.r.intn(g.n.persons)))
+		withAttr(buyer, "person", fmt.Sprintf("person%d", g.r.Intn(g.n.persons)))
 		itemref := elem("itemref")
-		withAttr(itemref, "item", fmt.Sprintf("item%d", g.r.intn(g.n.items)))
+		withAttr(itemref, "item", fmt.Sprintf("item%d", g.r.Intn(g.n.items)))
 		ca := elem("closed_auction",
 			seller,
 			buyer,
 			itemref,
-			textElem("price", fmt.Sprintf("%.2f", float64(g.r.rangeInt(1, 500))+float64(g.r.intn(100))/100)),
+			textElem("price", fmt.Sprintf("%.2f", float64(g.r.RangeInt(1, 500))+float64(g.r.Intn(100))/100)),
 			textElem("date", g.date()),
-			textElem("quantity", fmt.Sprintf("%d", g.r.rangeInt(1, 5))),
+			textElem("quantity", fmt.Sprintf("%d", g.r.RangeInt(1, 5))),
 		)
 		typ := "Regular"
-		if g.r.intn(3) == 0 {
+		if g.r.Intn(3) == 0 {
 			typ = "Featured"
 		}
 		ca.Children = append(ca.Children, textElem("type", typ))
 		ca.Children[len(ca.Children)-1].Parent = ca
-		if g.r.intn(2) == 0 {
+		if g.r.Intn(2) == 0 {
 			ann := elem("annotation",
-				textElem("author", g.r.pick(firstNames)+" "+g.r.pick(lastNames)),
+				textElem("author", g.r.Pick(firstNames)+" "+g.r.Pick(lastNames)),
 				textElem("description", g.sentence(6, 14)),
 			)
 			ann.Parent = ca

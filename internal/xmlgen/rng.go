@@ -4,14 +4,17 @@
 // wide document shapes for the axis-evaluation experiments.
 package xmlgen
 
-// rng is a small deterministic PRNG (splitmix64). The generator must be
-// reproducible across runs and platforms, so math/rand's global state is
-// avoided.
-type rng struct{ state uint64 }
+// RNG is a small deterministic PRNG (splitmix64), shared by the
+// generators and the test/bench harnesses. Everything driven by it must
+// be reproducible across runs and platforms, so math/rand's global
+// state is avoided.
+type RNG struct{ state uint64 }
 
-func newRNG(seed uint64) *rng { return &rng{state: seed + 0x9e3779b97f4a7c15} }
+// NewRNG returns a generator for the given seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed + 0x9e3779b97f4a7c15} }
 
-func (r *rng) next() uint64 {
+// Next returns the next raw 64-bit value.
+func (r *RNG) Next() uint64 {
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -19,37 +22,37 @@ func (r *rng) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// intn returns a uniform int in [0, n).
-func (r *rng) intn(n int) int {
+// Intn returns a uniform int in [0, n).
+func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		return 0
 	}
-	return int(r.next() % uint64(n))
+	return int(r.Next() % uint64(n))
 }
 
-// rangeInt returns a uniform int in [lo, hi].
-func (r *rng) rangeInt(lo, hi int) int {
+// RangeInt returns a uniform int in [lo, hi].
+func (r *RNG) RangeInt(lo, hi int) int {
 	if hi <= lo {
 		return lo
 	}
-	return lo + r.intn(hi-lo+1)
+	return lo + r.Intn(hi-lo+1)
 }
 
-// float returns a uniform float64 in [0, 1).
-func (r *rng) float() float64 {
-	return float64(r.next()>>11) / (1 << 53)
+// Float returns a uniform float64 in [0, 1).
+func (r *RNG) Float() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
 }
 
-// pick returns a random element of words.
-func (r *rng) pick(words []string) string {
-	return words[r.intn(len(words))]
+// Pick returns a random element of words.
+func (r *RNG) Pick(words []string) string {
+	return words[r.Intn(len(words))]
 }
 
-// exp returns an exponentially distributed int with the given mean,
+// Exp returns an exponentially distributed int with the given mean,
 // clamped to [0, max]. Used for skewed fan-outs (bidders per auction).
-func (r *rng) exp(mean, max int) int {
+func (r *RNG) Exp(mean, max int) int {
 	// Inverse CDF with the deterministic uniform source.
-	u := r.float()
+	u := r.Float()
 	if u >= 0.999999 {
 		u = 0.999999
 	}
@@ -58,7 +61,7 @@ func (r *rng) exp(mean, max int) int {
 	n := 0
 	p := 1.0 / (1.0 + float64(mean))
 	for n < max {
-		if r.float() < p {
+		if r.Float() < p {
 			break
 		}
 		n++

@@ -14,7 +14,7 @@ import (
 // length grows with depth, while the interval scheme answers it with one
 // range scan regardless of depth.
 func Deep(depth, chains int, seed uint64) *xmldom.Document {
-	r := newRNG(seed + 0xDEEB)
+	r := NewRNG(seed + 0xDEEB)
 	root := elem("d0")
 	for c := 0; c < chains; c++ {
 		cur := root
@@ -24,7 +24,7 @@ func Deep(depth, chains int, seed uint64) *xmldom.Document {
 			cur.Children = append(cur.Children, next)
 			cur = next
 		}
-		leaf := textElem("leaf", fmt.Sprintf("%d", r.intn(1000)))
+		leaf := textElem("leaf", fmt.Sprintf("%d", r.Intn(1000)))
 		leaf.Parent = cur
 		cur.Children = append(cur.Children, leaf)
 	}
@@ -39,12 +39,12 @@ func Deep(depth, chains int, seed uint64) *xmldom.Document {
 // carrying a numeric <key> and a textual <val>. It isolates selection
 // and index experiments from navigation costs (experiment F5).
 func Wide(n int, seed uint64) *xmldom.Document {
-	r := newRNG(seed + 0x31DE)
+	r := NewRNG(seed + 0x31DE)
 	root := elem("table")
 	for i := 0; i < n; i++ {
 		row := elem("row",
 			textElem("key", fmt.Sprintf("%d", i)),
-			textElem("val", r.pick(nouns)+" "+r.pick(adjectives)),
+			textElem("val", r.Pick(nouns)+" "+r.Pick(adjectives)),
 		)
 		withAttr(row, "id", fmt.Sprintf("r%d", i))
 		row.Parent = root
@@ -61,7 +61,7 @@ func Wide(n int, seed uint64) *xmldom.Document {
 // branching, exercising the recursive-DTD handling of the inlining
 // scheme: each part has a <partname> and zero or more sub-parts.
 func Recursive(levels, fanout int, seed uint64) *xmldom.Document {
-	r := newRNG(seed + 0x4EC5)
+	r := NewRNG(seed + 0x4EC5)
 	var build func(level int) *xmldom.Node
 	id := 0
 	build = func(level int) *xmldom.Node {
@@ -69,7 +69,7 @@ func Recursive(levels, fanout int, seed uint64) *xmldom.Document {
 		withAttr(p, "id", fmt.Sprintf("part%d", id))
 		id++
 		if level < levels {
-			n := r.rangeInt(0, fanout)
+			n := r.RangeInt(0, fanout)
 			if level == 0 && n == 0 {
 				n = 1
 			}
