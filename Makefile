@@ -4,12 +4,16 @@ GO ?= go
 ## packages gated by `make cover`.
 COVER_FLOOR ?= 60
 
-.PHONY: check vet build test race cover bench-smoke bench
+## FUZZ_TIME: per-target budget for `make fuzz` (short by design — the
+## seed corpora already run as plain tests under `make test`).
+FUZZ_TIME ?= 5s
+
+.PHONY: check vet build test race cover bench-smoke bench fuzz crash
 
 ## check: the full CI gate — vet, build, tests (race-enabled where it
-## matters), per-package coverage floors, and a one-shot run of the
-## query-cache benchmark.
-check: vet build test race cover bench-smoke
+## matters), per-package coverage floors, the fault-injection battery,
+## short fuzz sessions, and a one-shot run of the query-cache benchmark.
+check: vet build test race cover crash fuzz bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +41,20 @@ cover:
 			echo "cover: $$pkg coverage $$pct% is below the $(COVER_FLOOR)% floor" >&2; exit 1; \
 		fi; \
 	done
+
+## crash: the durability gate — the crash-at-every-offset fault
+## injection sweeps and the concurrent-commit recovery tests, under the
+## race detector.
+crash:
+	$(GO) test -race -run 'TestCrash|TestConcurrentCommits|TestDurable' ./internal/sqldb ./internal/core
+
+## fuzz: short fuzzing sessions for every fuzz target (parser, snapshot
+## loader, WAL replay). Each -fuzz invocation accepts one target, so
+## they run sequentially; raise FUZZ_TIME for a real session.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZ_TIME) ./internal/sqldb
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadFrom$$' -fuzztime $(FUZZ_TIME) ./internal/sqldb
+	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZ_TIME) ./internal/sqldb
 
 ## bench-smoke: executes BenchmarkQueryCache once to keep it compiling
 ## and running; use `make bench` for real numbers.

@@ -7,6 +7,9 @@
 // Usage:
 //
 //	xrdb -in doc.xml [-scheme interval] [-dtd doc.dtd] <action>
+//	xrdb -data dir [-in doc.xml] [-scheme interval] <action>   durable mode:
+//	    write-ahead logged, crash-recovering store in dir (-checkpoint
+//	    forces a snapshot + log rotation before exit)
 //
 // Actions (pick one):
 //
@@ -34,7 +37,9 @@ func main() {
 	var (
 		in       = flag.String("in", "", "input XML document")
 		openDB   = flag.String("opendb", "", "reopen a saved database snapshot instead of -in (interval/dewey)")
-		saveDB   = flag.String("savedb", "", "write a database snapshot after loading")
+		saveDB   = flag.String("savedb", "", "write a database snapshot after loading (atomic: temp file + rename)")
+		dataDir  = flag.String("data", "", "durable data directory (WAL + checkpoints, crash recovery; interval/dewey)")
+		ckpt     = flag.Bool("checkpoint", false, "with -data: force a checkpoint before exit")
 		scheme   = flag.String("scheme", "interval", "mapping scheme: edge|binary|universal|interval|dewey|inline")
 		dtdFile  = flag.String("dtd", "", "DTD file (required for -scheme inline)")
 		valueIdx = flag.Bool("value-index", false, "create content-value indexes")
@@ -50,6 +55,37 @@ func main() {
 
 	var st *core.Store
 	switch {
+	case *dataDir != "":
+		// Durable mode: open or crash-recover the data directory; if a
+		// document is supplied and the store is still empty, load it
+		// (durably, as one crash-atomic group commit).
+		opts := core.Options{WithValueIndex: *valueIdx}
+		ds, err := core.OpenDurable(core.SchemeKind(*scheme), *dataDir, opts)
+		if err != nil {
+			fail("opening data directory %s: %v", *dataDir, err)
+		}
+		defer ds.Close()
+		if *in != "" && !ds.Loaded() {
+			src, err := os.ReadFile(*in)
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := ds.LoadXML(src); err != nil {
+				fail("loading %s: %v", *in, err)
+			}
+			fmt.Fprintf(os.Stderr, "xrdb: %s loaded durably into %s (wal %d bytes)\n",
+				*in, *dataDir, ds.Durable().WALSize())
+		}
+		if !ds.Loaded() {
+			fail("data directory %s is empty: pass -in to load a document", *dataDir)
+		}
+		if *ckpt {
+			if err := ds.Checkpoint(); err != nil {
+				fail("checkpoint: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "xrdb: checkpointed %s (wal now %d bytes)\n", *dataDir, ds.Durable().WALSize())
+		}
+		st = ds.Store
 	case *openDB != "":
 		f, err := os.Open(*openDB)
 		if err != nil {
@@ -81,17 +117,13 @@ func main() {
 			fail("loading %s: %v", *in, err)
 		}
 	default:
-		fail("missing -in document (or -opendb snapshot)")
+		fail("missing -in document (or -opendb snapshot, or -data directory)")
 	}
 	if *saveDB != "" {
-		f, err := os.Create(*saveDB)
-		if err != nil {
-			fail("%v", err)
-		}
-		if err := st.SaveDB(f); err != nil {
-			fail("saving snapshot: %v", err)
-		}
-		if err := f.Close(); err != nil {
+		// Atomic: temp file in the target directory, fsync, rename,
+		// fsync the directory — a crash mid-save never corrupts an
+		// existing snapshot at this path.
+		if err := st.SaveDBFile(*saveDB); err != nil {
 			fail("saving snapshot: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "xrdb: snapshot written to %s\n", *saveDB)

@@ -62,6 +62,7 @@ func All() []Experiment {
 		{ID: "T6", Title: "Order-sensitive queries across order encodings", Run: runT6},
 		{ID: "A1", Title: "Ablation: edge descendant expansion, blind vs path-catalog", Run: runA1},
 		{ID: "A2", Title: "Ablation: interval child step, parent probe vs region predicate", Run: runA2},
+		{ID: "R1", Title: "Durability: WAL overhead, checkpoint and recovery time", Run: runR1},
 	}
 }
 

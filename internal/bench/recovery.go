@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sqldb"
+	"repro/internal/xmlgen"
+)
+
+// R1 measures what durability costs and what recovery buys: document
+// load time plain vs write-ahead logged (synced and NoSync), the WAL
+// footprint, checkpoint time, and the two recovery paths — replaying
+// the whole load from the log vs reopening from a checkpoint snapshot.
+// Only the stateless schemes (interval, dewey) can be durable.
+func runR1(w io.Writer, cfg Config) error {
+	f := 0.25
+	if cfg.Quick {
+		f = 0.05
+	}
+	doc := xmlgen.Auction(xmlgen.Config{Factor: f, Seed: cfg.Seed})
+	t := newTable("scheme", "load ms", "wal ms", "nosync ms", "wal KB",
+		"replay ms", "ckpt ms", "snap KB", "reopen ms")
+
+	for _, kind := range []core.SchemeKind{core.Interval, core.Dewey} {
+		plain, err := timeIt(cfg, func() error {
+			st, err := core.Open(kind)
+			if err != nil {
+				return err
+			}
+			return st.LoadDocument(doc)
+		})
+		if err != nil {
+			return err
+		}
+
+		// Durable load, per-commit fsync (group-committed per document).
+		var fs *sqldb.MemVFS
+		var walBytes int64
+		durable, err := timeIt(cfg, func() error {
+			fs = sqldb.NewMemVFS()
+			ds, err := core.OpenDurableVFS(kind, fs, core.Options{}, core.DurableOptions{AutoCheckpointBytes: -1})
+			if err != nil {
+				return err
+			}
+			if err := ds.LoadDocument(doc); err != nil {
+				return err
+			}
+			walBytes = ds.Durable().WALSize()
+			return ds.Close()
+		})
+		if err != nil {
+			return err
+		}
+
+		nosync, err := timeIt(cfg, func() error {
+			ds, err := core.OpenDurableVFS(kind, sqldb.NewMemVFS(), core.Options{},
+				core.DurableOptions{AutoCheckpointBytes: -1, NoSync: true})
+			if err != nil {
+				return err
+			}
+			if err := ds.LoadDocument(doc); err != nil {
+				return err
+			}
+			return ds.Close()
+		})
+		if err != nil {
+			return err
+		}
+
+		// Recovery path 1: no checkpoint ever ran — replay the whole
+		// load from the log.
+		replay, err := timeIt(cfg, func() error {
+			ds, err := core.OpenDurableVFS(kind, fs, core.Options{}, core.DurableOptions{AutoCheckpointBytes: -1})
+			if err != nil {
+				return err
+			}
+			return ds.Close()
+		})
+		if err != nil {
+			return err
+		}
+
+		// Checkpoint, then recovery path 2: load the snapshot, replay
+		// an empty log.
+		ds, err := core.OpenDurableVFS(kind, fs, core.Options{}, core.DurableOptions{AutoCheckpointBytes: -1})
+		if err != nil {
+			return err
+		}
+		ckpt, err := timeIt(cfg, func() error { return ds.Checkpoint() })
+		if err != nil {
+			return err
+		}
+		if err := ds.Close(); err != nil {
+			return err
+		}
+		snapBytes, err := fs.Size("snapshot.db")
+		if err != nil {
+			return err
+		}
+		reopen, err := timeIt(cfg, func() error {
+			ds, err := core.OpenDurableVFS(kind, fs, core.Options{}, core.DurableOptions{AutoCheckpointBytes: -1})
+			if err != nil {
+				return err
+			}
+			return ds.Close()
+		})
+		if err != nil {
+			return err
+		}
+
+		t.add(string(kind), ms(plain), ms(durable), ms(nosync), kb(walBytes),
+			ms(replay), ms(ckpt), kb(snapBytes), ms(reopen))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "load = in-memory shred; wal = durable load (fsync per document group); replay = reopen from log alone;")
+	fmt.Fprintln(w, "ckpt = snapshot + log rotation; reopen = recovery from checkpoint. In-memory VFS: costs are CPU + copy, not disk.")
+	return nil
+}

@@ -17,8 +17,10 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -351,11 +353,32 @@ func (st *Store) InsertXML(parentID int64, position int, fragment []byte) error 
 	return nil
 }
 
-// SaveDB writes a snapshot of the store's relational database. Reopen
-// it with OpenSaved.
+// SaveDB writes a snapshot of the store's relational database to a
+// stream. Reopen it with OpenSaved. For writing to a file, prefer
+// SaveDBFile, which replaces the destination atomically.
 func (st *Store) SaveDB(w io.Writer) error {
 	return st.db.Save(w)
 }
+
+// SaveDBFile writes a snapshot to path atomically: the snapshot goes
+// to a temp file in the same directory, is fsynced, renamed over the
+// destination, and the directory is fsynced — a crash mid-save never
+// leaves a torn snapshot at the final path.
+func (st *Store) SaveDBFile(path string) error {
+	var buf bytes.Buffer
+	if err := st.db.Save(&buf); err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	fs, err := sqldb.NewOSVFS(dir)
+	if err != nil {
+		return err
+	}
+	return sqldb.WriteFileAtomic(fs, filepath.Base(path), buf.Bytes())
+}
+
+// Loaded reports whether the store holds a document.
+func (st *Store) Loaded() bool { return st.loaded }
 
 // OpenSaved reopens a store from a snapshot written by SaveDB. Only the
 // stateless schemes can be reopened this way: Interval and Dewey keep

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lru"
+	"repro/internal/shred"
+	"repro/internal/sqldb"
+	"repro/internal/xmldom"
+)
+
+// DurableStore is a Store bound to a data directory with write-ahead
+// logging and crash recovery: every load, subtree insertion and direct
+// SQL write is durable once acknowledged, document-level operations
+// are crash-atomic (group-committed as one WAL frame), and reopening
+// the directory after a crash replays the log over the last checkpoint.
+//
+// Only the stateless schemes — Interval and Dewey — can be durable:
+// they keep all their state in the database, so snapshot + log replay
+// reconstructs them exactly. (Edge, Binary, Universal and Inline carry
+// in-memory catalogs a log does not capture; reload those from XML.)
+type DurableStore struct {
+	*Store
+	ddb *sqldb.DurableDB
+}
+
+// DurableOptions re-exports the engine's durability tuning knobs.
+type DurableOptions = sqldb.DurableOptions
+
+// schemeTables names one table each scheme always creates, used to
+// detect that a recovered directory holds the scheme the caller asked
+// for.
+var schemeTables = map[SchemeKind]string{
+	Interval: "accel",
+	Dewey:    "dewey",
+}
+
+// OpenDurable opens or crash-recovers a durable store in dir.
+func OpenDurable(kind SchemeKind, dir string, opts Options) (*DurableStore, error) {
+	return OpenDurableWith(kind, dir, opts, DurableOptions{})
+}
+
+// OpenDurableWith is OpenDurable with explicit durability options.
+func OpenDurableWith(kind SchemeKind, dir string, opts Options, dopts DurableOptions) (*DurableStore, error) {
+	fs, err := sqldb.NewOSVFS(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening data directory %s: %w", dir, err)
+	}
+	return OpenDurableVFS(kind, fs, opts, dopts)
+}
+
+// OpenDurableVFS opens or crash-recovers a durable store on an
+// explicit VFS — the seam the fault-injection harness drives.
+func OpenDurableVFS(kind SchemeKind, fs sqldb.VFS, opts Options, dopts DurableOptions) (*DurableStore, error) {
+	var s shred.Scheme
+	switch kind {
+	case Interval:
+		s = shred.NewInterval(opts.WithValueIndex)
+	case Dewey:
+		s = shred.NewDewey(opts.WithValueIndex)
+	default:
+		return nil, fmt.Errorf("core: scheme %q cannot be durable (in-memory mapping state); use interval or dewey", kind)
+	}
+	ddb, err := sqldb.OpenDurable(fs, dopts)
+	if err != nil {
+		return nil, err
+	}
+	db := ddb.DB()
+	fresh := len(db.TableNames()) == 0
+	if fresh {
+		// Setup's DDL goes through the commit logger, so even a fresh
+		// directory is recoverable from its WAL alone.
+		if err := s.Setup(db); err != nil {
+			ddb.Close()
+			return nil, err
+		}
+	} else if db.TableDef(schemeTables[kind]) == nil {
+		ddb.Close()
+		return nil, fmt.Errorf("core: data directory holds a different scheme (no %s table for %q)", schemeTables[kind], kind)
+	}
+	st := &Store{
+		kind:   kind,
+		scheme: s,
+		db:     db,
+		loaded: db.TotalRows() > 0,
+		trans:  lru.New[string](defaultTransCacheCap),
+	}
+	return &DurableStore{Store: st, ddb: ddb}, nil
+}
+
+// Durable exposes the underlying durability engine (WAL size,
+// checkpoint counters, fail-stop state).
+func (ds *DurableStore) Durable() *sqldb.DurableDB { return ds.ddb }
+
+// LoadDocument shreds a document as one crash-atomic group commit:
+// recovery sees the whole document or none of it.
+func (ds *DurableStore) LoadDocument(doc *xmldom.Document) error {
+	if err := ds.ddb.Group(func() error {
+		return ds.Store.LoadDocument(doc)
+	}); err != nil {
+		return err
+	}
+	_, err := ds.ddb.MaybeCheckpoint()
+	return err
+}
+
+// LoadXML parses and shreds an XML document (crash-atomic).
+func (ds *DurableStore) LoadXML(src []byte) error {
+	doc, err := xmldom.Parse(src)
+	if err != nil {
+		return err
+	}
+	return ds.LoadDocument(doc)
+}
+
+// InsertXML inserts a fragment as one crash-atomic group commit.
+func (ds *DurableStore) InsertXML(parentID int64, position int, fragment []byte) error {
+	if err := ds.ddb.Group(func() error {
+		return ds.Store.InsertXML(parentID, position, fragment)
+	}); err != nil {
+		return err
+	}
+	_, err := ds.ddb.MaybeCheckpoint()
+	return err
+}
+
+// Exec runs a DML/DDL statement against the store's database with
+// per-statement durability, then applies the auto-checkpoint policy.
+func (ds *DurableStore) Exec(sql string, args ...sqldb.Value) (int, error) {
+	n, err := ds.db.Exec(sql, args...)
+	if err != nil {
+		return n, err
+	}
+	_, cerr := ds.ddb.MaybeCheckpoint()
+	return n, cerr
+}
+
+// Checkpoint forces a snapshot + WAL rotation now.
+func (ds *DurableStore) Checkpoint() error { return ds.ddb.Checkpoint() }
+
+// Close closes the WAL. The directory reopens (and replays) with
+// OpenDurable.
+func (ds *DurableStore) Close() error { return ds.ddb.Close() }

@@ -1,0 +1,318 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The fault-injection battery: run a fixed workload against a DurableDB
+// on a fault-injecting in-memory VFS, kill the engine at every byte (and
+// metadata-operation) boundary, reopen, and check the recovered state
+// against a differential baseline built on a plain in-memory Database.
+//
+// Two crash modes bracket reality:
+//
+//   - CrashLoseUnsynced (power loss): the recovered state must equal the
+//     baseline after exactly the acknowledged operations — an acked
+//     commit may never be lost, an unacked one may never appear.
+//   - CrashKeepAll (process kill, OS survives): the recovered state must
+//     be the acked baseline or the acked baseline plus the single
+//     in-flight operation (its frame may have reached the page cache
+//     whole before the error surfaced).
+
+// crashWorkload is the op sequence the sweep drives. An empty SQL
+// string means "checkpoint here", exercising snapshot replacement and
+// WAL rotation at every interior byte too.
+var crashWorkload = []string{
+	`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`,
+	`INSERT INTO kv VALUES (1, 'one'), (2, 'two')`,
+	`CREATE INDEX kv_v ON kv (v)`,
+	`INSERT INTO kv VALUES (3, 'three')`,
+	``, // checkpoint
+	`UPDATE kv SET v = 'TWO' WHERE k = 2`,
+	`DELETE FROM kv WHERE k = 1`,
+	`CREATE TABLE tags (t TEXT, n INTEGER)`,
+	`INSERT INTO tags VALUES ('a', 1), ('b', 2)`,
+	``, // checkpoint
+	`INSERT INTO kv VALUES (4, 'four')`,
+	`DROP TABLE tags`,
+	`UPDATE kv SET v = 'FOUR' WHERE k = 4`,
+}
+
+// crashBaselines returns baseline databases: baselines[k] is the state
+// after the first k non-checkpoint operations succeeded.
+func crashBaselines(t *testing.T) []*Database {
+	t.Helper()
+	var sqls []string
+	for _, op := range crashWorkload {
+		if op != "" {
+			sqls = append(sqls, op)
+		}
+	}
+	baselines := make([]*Database, len(sqls)+1)
+	for k := 0; k <= len(sqls); k++ {
+		db := New()
+		for _, sql := range sqls[:k] {
+			db.MustExec(sql)
+		}
+		baselines[k] = db
+	}
+	return baselines
+}
+
+// runCrashWorkload drives the workload against a DurableDB opened on
+// fs, returning how many DML/DDL ops were acknowledged (err == nil).
+// Fail-stop guarantees the acked ops are a prefix of the workload.
+func runCrashWorkload(fs VFS) (acked int, openErr error) {
+	d, err := OpenDurable(fs, DurableOptions{})
+	if err != nil {
+		return 0, err
+	}
+	sawErr := false
+	for _, op := range crashWorkload {
+		if op == "" {
+			if err := d.Checkpoint(); err != nil {
+				sawErr = true
+			}
+			continue
+		}
+		if _, err := d.DB().Exec(op); err != nil {
+			sawErr = true
+		} else if !sawErr {
+			acked++
+		}
+	}
+	// No Close: the process "dies" holding its handles.
+	return acked, nil
+}
+
+// matchBaseline returns the index of the baseline the recovered
+// database equals, or -1.
+func matchBaseline(db *Database, baselines []*Database) int {
+	for k, base := range baselines {
+		if dbStateDiff(base, db) == "" {
+			return k
+		}
+	}
+	return -1
+}
+
+func TestCrashAtEveryOffset(t *testing.T) {
+	baselines := crashBaselines(t)
+
+	// First pass, no faults: measure the total operation budget.
+	probe := NewFaultVFS(NewMemVFS(), -1)
+	acked, err := runCrashWorkload(probe)
+	if err != nil {
+		t.Fatalf("fault-free open: %v", err)
+	}
+	if want := len(baselines) - 1; acked != want {
+		t.Fatalf("fault-free run acked %d ops, want %d", acked, want)
+	}
+	total := probe.Written()
+	if total == 0 {
+		t.Fatal("workload wrote nothing")
+	}
+
+	step := int64(1)
+	if testing.Short() {
+		step = total/97 + 1
+	}
+	for budget := int64(0); budget <= total; budget += step {
+		budget := budget
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			inner := NewMemVFS()
+			fvfs := NewFaultVFS(inner, budget)
+			acked, openErr := runCrashWorkload(fvfs)
+			if openErr != nil && !errors.Is(openErr, ErrInjected) {
+				t.Fatalf("open failed with a non-injected error: %v", openErr)
+			}
+
+			// Power loss: exactly the acked ops survive.
+			lost := inner.Clone()
+			lost.Crash(CrashLoseUnsynced)
+			d, err := OpenDurable(lost, DurableOptions{})
+			if err != nil {
+				t.Fatalf("recovery (lose-unsynced): %v", err)
+			}
+			if diff := dbStateDiff(baselines[acked], d.DB()); diff != "" {
+				t.Fatalf("lose-unsynced: recovered state is not the acked baseline (%d acked): %s", acked, diff)
+			}
+			checkIndexes(t, d.DB())
+			// The recovered store must accept new writes.
+			if _, err := d.DB().Exec(`CREATE TABLE post (x INTEGER)`); err != nil {
+				t.Fatalf("recovered store rejects writes: %v", err)
+			}
+			d.Close()
+
+			// Process kill: acked ops survive, plus at most the one
+			// in-flight op whose frame reached the cache whole.
+			kept := inner.Clone()
+			kept.Crash(CrashKeepAll)
+			d2, err := OpenDurable(kept, DurableOptions{})
+			if err != nil {
+				t.Fatalf("recovery (keep-all): %v", err)
+			}
+			k := matchBaseline(d2.DB(), baselines)
+			if k != acked && k != acked+1 {
+				t.Fatalf("keep-all: recovered state matches baseline %d, want %d or %d", k, acked, acked+1)
+			}
+			checkIndexes(t, d2.DB())
+			d2.Close()
+		})
+	}
+}
+
+// TestCrashSweepNoSync checks the weaker NoSync contract: acked commits
+// may be lost on power loss, but recovery always lands on some op
+// prefix — never a torn or corrupt state.
+func TestCrashSweepNoSync(t *testing.T) {
+	baselines := crashBaselines(t)
+	probe := NewFaultVFS(NewMemVFS(), -1)
+	runNoSync := func(fs VFS) {
+		d, err := OpenDurable(fs, DurableOptions{NoSync: true})
+		if err != nil {
+			return
+		}
+		for _, op := range crashWorkload {
+			if op == "" {
+				d.Checkpoint()
+				continue
+			}
+			d.DB().Exec(op)
+		}
+	}
+	runNoSync(probe)
+	total := probe.Written()
+
+	step := total/53 + 1
+	for budget := int64(0); budget <= total; budget += step {
+		inner := NewMemVFS()
+		runNoSync(NewFaultVFS(inner, budget))
+		for _, mode := range []CrashMode{CrashLoseUnsynced, CrashKeepAll} {
+			fs := inner.Clone()
+			fs.Crash(mode)
+			d, err := OpenDurable(fs, DurableOptions{})
+			if err != nil {
+				t.Fatalf("budget %d mode %d: recovery: %v", budget, mode, err)
+			}
+			if k := matchBaseline(d.DB(), baselines); k < 0 {
+				t.Fatalf("budget %d mode %d: recovered state is not any op prefix", budget, mode)
+			}
+			checkIndexes(t, d.DB())
+			d.Close()
+		}
+	}
+}
+
+// TestConcurrentCommitsWithCheckpoint is the -race durability test:
+// several committers write disjoint keys while checkpoints run
+// concurrently; after a simulated crash every acknowledged write is
+// present, every unacknowledged one absent, and the B-tree indexes
+// re-derive to match the heap.
+func TestConcurrentCommitsWithCheckpoint(t *testing.T) {
+	const writers, perWriter = 4, 40
+
+	for _, inject := range []bool{false, true} {
+		inject := inject
+		name := "clean"
+		if inject {
+			name = "fault-midstream"
+		}
+		t.Run(name, func(t *testing.T) {
+			inner := NewMemVFS()
+			fvfs := NewFaultVFS(inner, -1)
+			d, err := OpenDurable(fvfs, DurableOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			db := d.DB()
+			db.MustExec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`)
+			db.MustExec(`CREATE INDEX kv_v ON kv (v)`)
+			if inject {
+				// Let the schema through, then pull the plug somewhere
+				// inside the concurrent phase.
+				fvfs.mu.Lock()
+				fvfs.failAfter = fvfs.written + 2000
+				fvfs.mu.Unlock()
+			}
+
+			var mu sync.Mutex
+			ackedKeys := map[int64]bool{}
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perWriter; i++ {
+						k := int64(w*perWriter + i)
+						_, err := db.Exec(`INSERT INTO kv VALUES (?, ?)`, NewInt(k), NewText(fmt.Sprintf("val-%d", k)))
+						if err == nil {
+							mu.Lock()
+							ackedKeys[k] = true
+							mu.Unlock()
+						}
+					}
+				}()
+			}
+			// Checkpoint concurrently with the committers.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 3; i++ {
+					d.Checkpoint()
+				}
+			}()
+			wg.Wait()
+
+			if !inject && len(ackedKeys) != writers*perWriter {
+				t.Fatalf("clean run acked %d/%d writes", len(ackedKeys), writers*perWriter)
+			}
+			if inject && d.Failed() && len(ackedKeys) == writers*perWriter {
+				t.Fatal("engine failed but every write was acknowledged")
+			}
+
+			// Power-loss crash, then recover on the bare inner VFS.
+			crashed := inner.Clone()
+			crashed.Crash(CrashLoseUnsynced)
+			d2, err := OpenDurable(crashed, DurableOptions{})
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			rdb := d2.DB()
+			tbl := rdb.table("kv")
+			if tbl == nil {
+				t.Fatal("kv table missing after recovery")
+			}
+			got := map[int64]bool{}
+			for _, row := range tbl.rows {
+				if row != nil {
+					got[row[0].I] = true
+				}
+			}
+			for k := range ackedKeys {
+				if !got[k] {
+					t.Errorf("acknowledged key %d lost", k)
+				}
+			}
+			for k := range got {
+				if !ackedKeys[k] {
+					t.Errorf("unacknowledged key %d resurrected", k)
+				}
+			}
+			checkIndexes(t, rdb)
+			// The secondary index answers queries consistently with the heap.
+			rows, err := rdb.Query(`SELECT k FROM kv WHERE v = ?`, NewText("val-0"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ackedKeys[0] != (rows.Len() == 1) {
+				t.Fatalf("index lookup for key 0: acked=%v rows=%d", ackedKeys[0], rows.Len())
+			}
+			d2.Close()
+		})
+	}
+}

@@ -22,6 +22,28 @@ type Database struct {
 	// histograms by SQL template, per-operator totals, slow-query log.
 	// It has its own mutex and is safe under any db.mu mode.
 	metrics *metricsRegistry
+	// logger, when set (by DurableDB), receives one logical record per
+	// committed mutation, invoked while the write lock is still held so
+	// log order equals commit order. A non-nil error means the commit
+	// is not durable and is propagated to the caller.
+	logger func(*walRecord) error
+}
+
+// setCommitLogger attaches (or detaches, with nil) the durability
+// layer's commit logger.
+func (db *Database) setCommitLogger(fn func(*walRecord) error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.logger = fn
+}
+
+// logCommit hands a committed mutation to the durability layer.
+// Caller holds the write lock.
+func (db *Database) logCommit(rec *walRecord) error {
+	if db.logger == nil {
+		return nil
+	}
+	return db.logger(rec)
 }
 
 // New creates an empty database.
@@ -221,7 +243,7 @@ func (db *Database) createTable(s *CreateTableStmt) error {
 	db.purgeStaleIndexDefs(def.Name)
 	db.tables[key] = newTable(&def)
 	db.bumpEpoch()
-	return nil
+	return db.logCommit(&walRecord{Op: opCreateTable, Def: &def})
 }
 
 // CreateTableDef registers a table programmatically (used by the
@@ -236,7 +258,7 @@ func (db *Database) CreateTableDef(def TableDef) error {
 	db.purgeStaleIndexDefs(def.Name)
 	db.tables[key] = newTable(&def)
 	db.bumpEpoch()
-	return nil
+	return db.logCommit(&walRecord{Op: opCreateTable, Def: &def})
 }
 
 // purgeStaleIndexDefs drops catalog index definitions claiming a table
@@ -276,7 +298,35 @@ func (db *Database) createIndex(s *CreateIndexStmt) error {
 	}
 	db.indexes[key] = &def
 	db.bumpEpoch()
-	return nil
+	return db.logCommit(&walRecord{Op: opCreateIndex, Index: &def})
+}
+
+// createIndexDef registers an index from a definition (snapshot
+// restore and WAL replay; column ordinals are already resolved).
+func (db *Database) createIndexDef(def IndexDef) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(def.Name)
+	if _, ok := db.indexes[key]; ok {
+		return errorf("index %s already exists", def.Name)
+	}
+	tbl := db.table(def.Table)
+	if tbl == nil {
+		return errorf("no such table: %s", def.Table)
+	}
+	for _, c := range def.Columns {
+		if c < 0 || c >= len(tbl.def.Columns) {
+			return errorf("index %s: column ordinal %d out of range", def.Name, c)
+		}
+	}
+	d := def
+	d.Columns = append([]int{}, def.Columns...)
+	if _, err := tbl.addIndex(d); err != nil {
+		return err
+	}
+	db.indexes[key] = &d
+	db.bumpEpoch()
+	return db.logCommit(&walRecord{Op: opCreateIndex, Index: &d})
 }
 
 func (db *Database) dropTable(name string) error {
@@ -292,7 +342,7 @@ func (db *Database) dropTable(name string) error {
 	}
 	delete(db.tables, key)
 	db.bumpEpoch()
-	return nil
+	return db.logCommit(&walRecord{Op: opDropTable, Table: tbl.def.Name})
 }
 
 func (db *Database) dropIndex(name string) error {
@@ -314,7 +364,7 @@ func (db *Database) dropIndex(name string) error {
 	}
 	delete(db.indexes, key)
 	db.bumpEpoch()
-	return nil
+	return db.logCommit(&walRecord{Op: opDropIndex, Name: def.Name})
 }
 
 func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
@@ -360,8 +410,21 @@ func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
 		return row, nil
 	}
 
+	// applied collects the rows that actually landed; they are logged
+	// as the statement's effect (including a partial prefix when the
+	// statement errors mid-way, so durable state tracks memory).
+	var applied [][]Value
+	finish := func(execErr error) (int, error) {
+		if len(applied) > 0 {
+			logErr := db.logCommit(&walRecord{Op: opInsert, Table: tbl.def.Name, Rows: applied})
+			if execErr == nil {
+				execErr = logErr
+			}
+		}
+		return len(applied), execErr
+	}
+
 	ctx := &evalCtx{db: db, params: args}
-	n := 0
 	if s.Select != nil {
 		p, _, err := planSelect(db, s.Select, nil)
 		if err != nil {
@@ -374,14 +437,14 @@ func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
 		for _, vals := range data {
 			row, err := buildRow(vals)
 			if err != nil {
-				return n, err
+				return finish(err)
 			}
 			if _, err := tbl.insert(row); err != nil {
-				return n, err
+				return finish(err)
 			}
-			n++
+			applied = append(applied, row)
 		}
-		return n, nil
+		return finish(nil)
 	}
 
 	comp := &compiler{db: db, sch: schema{}}
@@ -390,23 +453,23 @@ func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
 		for i, e := range exprs {
 			ce, err := comp.compile(e)
 			if err != nil {
-				return n, err
+				return finish(err)
 			}
 			vals[i], err = ce(ctx, nil)
 			if err != nil {
-				return n, err
+				return finish(err)
 			}
 		}
 		row, err := buildRow(vals)
 		if err != nil {
-			return n, err
+			return finish(err)
 		}
 		if _, err := tbl.insert(row); err != nil {
-			return n, err
+			return finish(err)
 		}
-		n++
+		applied = append(applied, row)
 	}
-	return n, nil
+	return finish(nil)
 }
 
 // BulkInsert appends rows to a table without SQL parsing, for loaders.
@@ -448,6 +511,11 @@ func (db *Database) BulkInsert(tableName string, rows [][]Value) (int, error) {
 		}
 		inserted = append(inserted, rid)
 	}
+	if len(coerced) > 0 {
+		if err := db.logCommit(&walRecord{Op: opInsert, Table: tbl.def.Name, Rows: coerced}); err != nil {
+			return len(inserted), err
+		}
+	}
 	return len(inserted), nil
 }
 
@@ -462,8 +530,17 @@ func (db *Database) execDelete(s *DeleteStmt, args []Value) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	images := make([][]Value, 0, len(rids))
 	for _, rid := range rids {
+		if row := tbl.rows[rid]; row != nil {
+			images = append(images, row)
+		}
 		tbl.delete(rid)
+	}
+	if len(images) > 0 {
+		if err := db.logCommit(&walRecord{Op: opDelete, Table: tbl.def.Name, Rows: images}); err != nil {
+			return len(rids), err
+		}
 	}
 	return len(rids), nil
 }
@@ -501,7 +578,22 @@ func (db *Database) execUpdate(s *UpdateStmt, args []Value) (int, error) {
 		return 0, err
 	}
 	ctx := &evalCtx{db: db, params: args}
-	n := 0
+	// oldImages/newImages collect the (before, after) row pairs that
+	// actually applied; they are logged as the statement's effect (a
+	// partial prefix when the statement errors mid-way).
+	var oldImages, newImages [][]Value
+	finish := func(execErr error) (int, error) {
+		if len(newImages) > 0 {
+			logErr := db.logCommit(&walRecord{
+				Op: opUpdate, Table: tbl.def.Name,
+				OldRows: oldImages, Rows: newImages,
+			})
+			if execErr == nil {
+				execErr = logErr
+			}
+		}
+		return len(newImages), execErr
+	}
 	for _, rid := range rids {
 		old := tbl.rows[rid]
 		if old == nil {
@@ -511,19 +603,20 @@ func (db *Database) execUpdate(s *UpdateStmt, args []Value) (int, error) {
 		for _, so := range sets {
 			v, err := so.fn(ctx, old)
 			if err != nil {
-				return n, err
+				return finish(err)
 			}
 			row[so.col] = coerceTo(v, tbl.def.Columns[so.col].Type)
 			if tbl.def.Columns[so.col].NotNull && row[so.col].IsNull() {
-				return n, errorf("table %s: column %s is NOT NULL", s.Table, tbl.def.Columns[so.col].Name)
+				return finish(errorf("table %s: column %s is NOT NULL", s.Table, tbl.def.Columns[so.col].Name))
 			}
 		}
 		if err := tbl.update(rid, row); err != nil {
-			return n, err
+			return finish(err)
 		}
-		n++
+		oldImages = append(oldImages, old)
+		newImages = append(newImages, row)
 	}
-	return n, nil
+	return finish(nil)
 }
 
 // matchRows returns rowids matching a WHERE predicate (all live rows when

@@ -1,0 +1,397 @@
+package sqldb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// DurableDB binds a Database to a data directory (through a VFS) with
+// write-ahead logging and atomic checkpointing:
+//
+//   - Every committed mutation is appended to the WAL and fsynced
+//     before the call returns (see db.go's commit-logger chokepoint).
+//   - Checkpoint writes a CRC-sealed snapshot to a temp file, fsyncs
+//     it, renames it over the previous snapshot, fsyncs the directory,
+//     then rotates the WAL — so there is never a moment without a
+//     loadable on-disk state.
+//   - OpenDurable recovers by loading the last good snapshot and
+//     replaying the WAL's valid prefix, truncating the torn tail.
+//
+// Failure model is fail-stop: once a WAL append or sync fails, the
+// DurableDB refuses further commits (ErrWALFailed) — the in-memory
+// state may be ahead of the durable state, and continuing to
+// acknowledge writes would silently widen that gap.
+type DurableDB struct {
+	fs   VFS
+	db   *Database
+	opts DurableOptions
+
+	// seq is the last assigned commit sequence number; records above
+	// the snapshot's sequence are replayed, the rest skipped.
+	seq atomic.Uint64
+
+	// walMu serializes WAL appends, group buffering and log rotation.
+	walMu    sync.Mutex
+	wal      File
+	walSize  int64
+	grouping bool
+	groupBuf []*walRecord
+
+	// ckptMu serializes checkpoints.
+	ckptMu      sync.Mutex
+	checkpoints atomic.Uint64
+	needCkpt    atomic.Bool
+	failed      atomic.Bool
+}
+
+// DurableOptions tune a DurableDB.
+type DurableOptions struct {
+	// AutoCheckpointBytes triggers MaybeCheckpoint once the WAL grows
+	// past this size; 0 means the 4 MiB default, negative disables
+	// auto-checkpointing.
+	AutoCheckpointBytes int64
+	// NoSync skips the per-commit fsync (bulk loads, benchmarks). A
+	// crash may then lose acknowledged commits; recovery is still
+	// never corrupt thanks to the CRC framing.
+	NoSync bool
+}
+
+const defaultAutoCheckpointBytes = 4 << 20
+
+// On-disk layout inside the data directory.
+const (
+	snapshotFile = "snapshot.db"
+	walFile      = "wal.log"
+	tmpSuffix    = ".tmp"
+)
+
+// ErrWALFailed is returned for every commit after a WAL write or sync
+// error: the engine is fail-stop.
+var ErrWALFailed = errors.New("sqldb: write-ahead log failed; database is read-only")
+
+// OpenDurable opens or recovers a durable database from the VFS's
+// directory: the last good snapshot is loaded (an empty database if
+// none) and the WAL's valid prefix replayed over it; a torn or corrupt
+// WAL tail is truncated.
+func OpenDurable(fs VFS, opts DurableOptions) (*DurableDB, error) {
+	if opts.AutoCheckpointBytes == 0 {
+		opts.AutoCheckpointBytes = defaultAutoCheckpointBytes
+	}
+	d := &DurableDB{fs: fs, opts: opts}
+
+	// Leftover temp files from an interrupted checkpoint are garbage:
+	// the rename never happened, so the real files are authoritative.
+	_ = fs.Remove(snapshotFile + tmpSuffix)
+	_ = fs.Remove(walFile + tmpSuffix)
+
+	// Load the snapshot, if any.
+	var snapSeq uint64
+	if _, err := fs.Size(snapshotFile); err == nil {
+		f, err := fs.Open(snapshotFile)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: opening snapshot: %w", err)
+		}
+		db, seq, err := LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: recovering snapshot: %w", err)
+		}
+		d.db, snapSeq = db, seq
+	} else if errors.Is(err, os.ErrNotExist) {
+		d.db = New()
+	} else {
+		return nil, fmt.Errorf("sqldb: probing snapshot: %w", err)
+	}
+
+	// Replay the WAL's valid prefix and truncate the tail.
+	wal, err := fs.OpenRW(walFile)
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: opening wal: %w", err)
+	}
+	data, err := io.ReadAll(wal)
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("sqldb: reading wal: %w", err)
+	}
+	records, goodLen := scanWAL(data)
+	maxSeq := snapSeq
+	for _, rec := range records {
+		if rec.Seq <= snapSeq {
+			continue // already captured by the snapshot
+		}
+		if err := d.db.applyRecord(rec); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("sqldb: wal replay (seq %d): %w", rec.Seq, err)
+		}
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+	}
+	if goodLen < int64(len(data)) {
+		if err := wal.Truncate(goodLen); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("sqldb: truncating torn wal tail: %w", err)
+		}
+	}
+	if _, err := wal.Seek(goodLen, io.SeekStart); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("sqldb: seeking wal: %w", err)
+	}
+	d.wal = wal
+	d.walSize = goodLen
+	d.seq.Store(maxSeq)
+	// The wal file may have just been created: persist its directory
+	// entry now, or the first acked commits could vanish with an
+	// unsynced name on power loss.
+	if err := fs.SyncDir(); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("sqldb: syncing data directory: %w", err)
+	}
+	d.db.setCommitLogger(d.logCommit)
+	return d, nil
+}
+
+// DB returns the underlying database. All reads and writes go through
+// it; writes are logged and acknowledged durably.
+func (d *DurableDB) DB() *Database { return d.db }
+
+// logCommit is the commit logger: it is invoked by the Database for
+// every committed mutation, while the database write lock is still
+// held, so WAL order equals commit order.
+func (d *DurableDB) logCommit(rec *walRecord) error {
+	if d.failed.Load() {
+		return ErrWALFailed
+	}
+	rec.Seq = d.seq.Add(1)
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	if d.grouping {
+		// Inside a group: buffer; the whole group lands as one frame
+		// (one CRC unit) when it closes.
+		d.groupBuf = append(d.groupBuf, rec)
+		return nil
+	}
+	return d.appendFrameLocked(encodeRecordPayload(nil, rec))
+}
+
+// appendFrameLocked frames, writes and (unless NoSync) fsyncs one
+// payload. Caller holds walMu.
+func (d *DurableDB) appendFrameLocked(payload []byte) error {
+	frame := appendFrame(nil, payload)
+	n, err := d.wal.Write(frame)
+	d.walSize += int64(n)
+	if err != nil {
+		d.failed.Store(true)
+		return fmt.Errorf("sqldb: wal append: %w", err)
+	}
+	if !d.opts.NoSync {
+		if err := d.wal.Sync(); err != nil {
+			d.failed.Store(true)
+			return fmt.Errorf("sqldb: wal sync: %w", err)
+		}
+	}
+	if d.opts.AutoCheckpointBytes > 0 && d.walSize >= d.opts.AutoCheckpointBytes {
+		d.needCkpt.Store(true)
+	}
+	return nil
+}
+
+// Group runs fn with commit buffering: every record fn commits is
+// written as a single WAL frame when fn returns, so the whole batch is
+// crash-atomic — recovery sees all of it or none of it. If fn errors
+// after committing some statements, the partial batch is still flushed
+// (the in-memory state has those effects, and durable state must
+// match). Groups serialize with each other; independent commits from
+// other goroutines during a group join its atomicity unit and are
+// durable only once the group closes, so groups are meant for
+// single-writer phases (document load, subtree insertion).
+func (d *DurableDB) Group(fn func() error) error {
+	if d.failed.Load() {
+		return ErrWALFailed
+	}
+	d.ckptMu.Lock() // a checkpoint between buffer and flush is fine, but keep rotation out of the window
+	d.walMu.Lock()
+	if d.grouping {
+		d.walMu.Unlock()
+		d.ckptMu.Unlock()
+		return errorf("nested durability group")
+	}
+	d.grouping = true
+	d.walMu.Unlock()
+
+	fnErr := fn()
+
+	d.walMu.Lock()
+	d.grouping = false
+	buf := d.groupBuf
+	d.groupBuf = nil
+	var flushErr error
+	if len(buf) > 0 {
+		group := &walRecord{Op: opGroup, Seq: buf[0].Seq, Group: buf}
+		flushErr = d.appendFrameLocked(encodeRecordPayload(nil, group))
+	}
+	d.walMu.Unlock()
+	d.ckptMu.Unlock()
+	if fnErr != nil {
+		return fnErr
+	}
+	return flushErr
+}
+
+// Checkpoint writes an atomic snapshot of the current state and
+// rotates the WAL. The protocol never leaves the directory without a
+// loadable state:
+//
+//  1. Capture the snapshot (readers see a consistent cut; the commit
+//     sequence captured with it marks what the snapshot contains).
+//  2. Write it to snapshot.db.tmp, fsync, rename over snapshot.db,
+//     fsync the directory.
+//  3. Rewrite the WAL keeping only frames newer than the snapshot
+//     (usually none), via the same write-fsync-rename-fsync dance.
+//
+// A crash at any byte of this sequence recovers to a consistent state:
+// before the rename the old snapshot + full WAL win; after it, the new
+// snapshot's sequence number makes the old WAL frames no-ops.
+func (d *DurableDB) Checkpoint() error {
+	if d.failed.Load() {
+		return ErrWALFailed
+	}
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+
+	// 1. Capture. SaveSnapshot holds the database read lock, which
+	// excludes writers, so the sequence read inside is exact.
+	var buf bytes.Buffer
+	var snapSeq uint64
+	if err := d.db.SaveSnapshot(&buf, func() uint64 {
+		snapSeq = d.seq.Load()
+		return snapSeq
+	}); err != nil {
+		return err
+	}
+
+	// 2. Atomic snapshot replacement.
+	if err := WriteFileAtomic(d.fs, snapshotFile, buf.Bytes()); err != nil {
+		d.failed.Store(true)
+		return fmt.Errorf("sqldb: checkpoint: %w", err)
+	}
+
+	// 3. WAL rotation. Appends are blocked while the log is rewritten.
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	if err := d.rotateLocked(snapSeq); err != nil {
+		d.failed.Store(true)
+		return fmt.Errorf("sqldb: wal rotation: %w", err)
+	}
+	d.checkpoints.Add(1)
+	d.needCkpt.Store(false)
+	return nil
+}
+
+// rotateLocked rewrites the WAL keeping only frames whose records are
+// newer than snapSeq. Caller holds walMu.
+func (d *DurableDB) rotateLocked(snapSeq uint64) error {
+	rf, err := d.fs.Open(walFile)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(rf)
+	rf.Close()
+	if err != nil {
+		return err
+	}
+	frames, _ := scanWALFrames(data)
+	var keep []byte
+	for _, f := range frames {
+		if f.rec.maxSeq() > snapSeq {
+			keep = append(keep, f.raw...)
+		}
+	}
+	if err := WriteFileAtomic(d.fs, walFile, keep); err != nil {
+		return err
+	}
+	// The old handle points at the replaced file; reopen the new one.
+	d.wal.Close()
+	w, err := d.fs.OpenRW(walFile)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Seek(int64(len(keep)), io.SeekStart); err != nil {
+		w.Close()
+		return err
+	}
+	d.wal = w
+	d.walSize = int64(len(keep))
+	return nil
+}
+
+// MaybeCheckpoint checkpoints if the WAL has outgrown the
+// auto-checkpoint threshold. It reports whether a checkpoint ran.
+func (d *DurableDB) MaybeCheckpoint() (bool, error) {
+	if !d.needCkpt.Load() {
+		return false, nil
+	}
+	if err := d.Checkpoint(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// WALSize reports the WAL's current length in bytes.
+func (d *DurableDB) WALSize() int64 {
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	return d.walSize
+}
+
+// Checkpoints reports how many checkpoints have completed.
+func (d *DurableDB) Checkpoints() uint64 { return d.checkpoints.Load() }
+
+// Failed reports whether the engine has gone fail-stop after a WAL
+// error.
+func (d *DurableDB) Failed() bool { return d.failed.Load() }
+
+// Close detaches the logger and closes the WAL. It does not
+// checkpoint; the WAL replays on the next open.
+func (d *DurableDB) Close() error {
+	d.db.setCommitLogger(nil)
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	if d.wal == nil {
+		return nil
+	}
+	err := d.wal.Close()
+	d.wal = nil
+	return err
+}
+
+// WriteFileAtomic writes data to name so that a crash at any point
+// leaves either the old file or the new one, never a torn mix: temp
+// file in the same directory, fsync, rename, fsync the directory.
+func WriteFileAtomic(fs VFS, name string, data []byte) error {
+	tmp := name + tmpSuffix
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, name); err != nil {
+		return err
+	}
+	return fs.SyncDir()
+}

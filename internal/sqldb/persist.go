@@ -1,22 +1,36 @@
 package sqldb
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
-	"strings"
 )
 
 // Snapshot persistence: Save writes the whole database (schemas, live
-// rows, index definitions) as a gob stream; LoadFrom rebuilds it,
-// re-deriving the B-trees. This is checkpoint-style durability — the
-// WAL/recovery machinery of a production engine is out of the
-// reproduction's scope (DESIGN.md), but a shredded store can be written
-// to disk and reopened, which is the property the paper's "persist"
-// use case needs.
+// rows, index definitions) as a sealed gob stream; LoadFrom rebuilds
+// it, re-deriving the B-trees. Snapshots are the checkpoint half of the
+// durability subsystem — the write-ahead log (wal.go) covers the
+// commits since the last checkpoint, and DurableDB (durable.go) ties
+// the two together with crash recovery. A snapshot also stands alone as
+// the portable dump format behind Store.SaveDB/OpenSaved.
+//
+// Format v2 wraps the gob payload in a sealed envelope:
+//
+//	"xmlrdb-snapshot-v2\n" | u32 payload length | gob payload | u32 CRC32
+//
+// so a truncated or bit-flipped snapshot is detected with a clear
+// error instead of being half-loaded. Legacy v1 streams (bare gob,
+// magic field inside) are still accepted by LoadFrom.
 
-const snapshotMagic = "xmlrdb-snapshot-v1"
+const (
+	snapshotMagic     = "xmlrdb-snapshot-v1"
+	snapshotMagicV2   = "xmlrdb-snapshot-v2\n"
+	snapshotVersionV2 = 2
+)
 
 type savedColumn struct {
 	Name    string
@@ -33,15 +47,30 @@ type savedTable struct {
 }
 
 type snapshot struct {
-	Magic  string
+	Magic   string
+	Version int
+	// Seq is the last WAL commit sequence the snapshot contains; WAL
+	// replay skips records at or below it. Zero for standalone dumps.
+	Seq    uint64
 	Tables []savedTable
 }
 
 // Save writes a snapshot of the database.
 func (db *Database) Save(w io.Writer) error {
+	return db.SaveSnapshot(w, nil)
+}
+
+// SaveSnapshot writes a snapshot, recording the commit sequence
+// returned by seq (when non-nil) as the snapshot's WAL horizon. seq is
+// called while the database read lock is held, so its value is exact
+// with respect to the captured state.
+func (db *Database) SaveSnapshot(w io.Writer, seq func() uint64) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	snap := snapshot{Magic: snapshotMagic}
+	snap := snapshot{Magic: snapshotMagic, Version: snapshotVersionV2}
+	if seq != nil {
+		snap.Seq = seq()
+	}
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
@@ -50,8 +79,10 @@ func (db *Database) Save(w io.Writer) error {
 	for _, n := range names {
 		t := db.tables[n]
 		st := savedTable{
-			Name:       t.def.Name,
-			PrimaryKey: append([]int{}, t.def.PrimaryKey...),
+			Name: t.def.Name,
+			// append to a nil base keeps "no primary key" as nil, so a
+			// restored def stays structurally identical to the original.
+			PrimaryKey: append([]int(nil), t.def.PrimaryKey...),
 		}
 		for _, c := range t.def.Columns {
 			st.Columns = append(st.Columns, savedColumn{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
@@ -69,39 +100,93 @@ func (db *Database) Save(w io.Writer) error {
 		}
 		snap.Tables = append(snap.Tables, st)
 	}
-	return gob.NewEncoder(w).Encode(&snap)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, snapshotMagicV2); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(payload.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	crc := crc32.ChecksumIEEE(payload.Bytes())
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc)
+	_, err := w.Write(trailer[:])
+	return err
 }
 
 // LoadFrom rebuilds a database from a snapshot written by Save.
 func LoadFrom(r io.Reader) (*Database, error) {
+	db, _, err := LoadSnapshot(r)
+	return db, err
+}
+
+// LoadSnapshot rebuilds a database from a snapshot and reports the WAL
+// commit sequence it contains. Truncated or corrupted v2 snapshots are
+// rejected with a clear error; legacy v1 streams load with sequence 0.
+func LoadSnapshot(r io.Reader) (*Database, uint64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("sqldb: reading snapshot: %w", err)
+	}
 	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("sqldb: reading snapshot: %w", err)
+	if bytes.HasPrefix(data, []byte(snapshotMagicV2)) {
+		body := data[len(snapshotMagicV2):]
+		if len(body) < 8 {
+			return nil, 0, errorf("snapshot truncated (no payload header)")
+		}
+		n := int64(binary.LittleEndian.Uint32(body))
+		if n > int64(len(body))-8 {
+			return nil, 0, errorf("snapshot truncated (payload %d bytes, have %d)", n, int64(len(body))-8)
+		}
+		if n < int64(len(body))-8 {
+			return nil, 0, errorf("snapshot has %d trailing bytes", int64(len(body))-8-n)
+		}
+		payload := body[4 : 4+n]
+		crc := binary.LittleEndian.Uint32(body[4+n:])
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil, 0, errorf("snapshot corrupt (CRC mismatch)")
+		}
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+			return nil, 0, fmt.Errorf("sqldb: decoding snapshot: %w", err)
+		}
+		if snap.Version != snapshotVersionV2 {
+			return nil, 0, errorf("unsupported snapshot version %d", snap.Version)
+		}
+	} else {
+		// Legacy v1: a bare gob stream with the magic inside.
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+			return nil, 0, fmt.Errorf("sqldb: reading snapshot: %w", err)
+		}
+		snap.Seq = 0
 	}
 	if snap.Magic != snapshotMagic {
-		return nil, errorf("not a database snapshot (magic %q)", snap.Magic)
+		return nil, 0, errorf("not a database snapshot (magic %q)", snap.Magic)
 	}
 	db := New()
 	for _, st := range snap.Tables {
-		def := TableDef{Name: st.Name, PrimaryKey: append([]int{}, st.PrimaryKey...)}
+		def := TableDef{Name: st.Name, PrimaryKey: append([]int(nil), st.PrimaryKey...)}
 		for _, c := range st.Columns {
 			def.Columns = append(def.Columns, Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
 		}
 		if err := db.CreateTableDef(def); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if _, err := db.BulkInsert(st.Name, st.Rows); err != nil {
-			return nil, fmt.Errorf("sqldb: restoring %s: %w", st.Name, err)
+			return nil, 0, fmt.Errorf("sqldb: restoring %s: %w", st.Name, err)
 		}
-		tbl := db.table(st.Name)
 		for _, idef := range st.Indexes {
-			d := idef
-			d.Columns = append([]int{}, idef.Columns...)
-			if _, err := tbl.addIndex(d); err != nil {
-				return nil, fmt.Errorf("sqldb: rebuilding index %s: %w", d.Name, err)
+			if err := db.createIndexDef(idef); err != nil {
+				return nil, 0, fmt.Errorf("sqldb: rebuilding index %s: %w", idef.Name, err)
 			}
-			db.indexes[strings.ToLower(d.Name)] = &d
 		}
 	}
-	return db, nil
+	return db, snap.Seq, nil
 }

@@ -1,0 +1,496 @@
+package sqldb
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The VFS seam isolates every byte the durability layer writes so that
+// tests can inject faults (torn writes, fsync failures, short reads)
+// and simulate crashes at arbitrary byte offsets. Production code uses
+// NewOSVFS; the fault-injection harness uses NewMemVFS wrapped in a
+// FaultVFS.
+
+// File is the handle abstraction the durability layer writes through.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	// Sync makes everything written so far durable (survives a crash).
+	Sync() error
+	// Truncate cuts the file to size bytes. The write position is
+	// unchanged; callers Seek afterwards.
+	Truncate(size int64) error
+}
+
+// VFS is a flat directory of files. All names are relative to the
+// directory the VFS was opened on.
+type VFS interface {
+	// Create opens a new file for writing, truncating any existing one.
+	Create(name string) (File, error)
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// OpenRW opens a file for reading and writing, creating it if
+	// absent. The position starts at 0.
+	OpenRW(name string) (File, error)
+	// Rename atomically replaces newName with oldName's file. Durable
+	// only after SyncDir.
+	Rename(oldName, newName string) error
+	// Remove deletes a file (no error if absent is not guaranteed;
+	// callers ignore errors for cleanup).
+	Remove(name string) error
+	// SyncDir makes the directory's name→file mapping durable
+	// (creates, renames, removes).
+	SyncDir() error
+	// Size reports a file's current length; os.ErrNotExist if absent.
+	Size(name string) (int64, error)
+}
+
+// ---------------------------------------------------------------------------
+// OS-backed VFS
+
+type osVFS struct{ dir string }
+
+// NewOSVFS returns a VFS rooted at dir, creating the directory if
+// needed.
+func NewOSVFS(dir string) (VFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &osVFS{dir: dir}, nil
+}
+
+func (v *osVFS) path(name string) string { return filepath.Join(v.dir, name) }
+
+func (v *osVFS) Create(name string) (File, error)  { return os.Create(v.path(name)) }
+func (v *osVFS) Open(name string) (File, error)    { return os.Open(v.path(name)) }
+func (v *osVFS) Remove(name string) error          { return os.Remove(v.path(name)) }
+func (v *osVFS) Rename(oldName, newName string) error {
+	return os.Rename(v.path(oldName), v.path(newName))
+}
+
+func (v *osVFS) OpenRW(name string) (File, error) {
+	return os.OpenFile(v.path(name), os.O_CREATE|os.O_RDWR, 0o644)
+}
+
+func (v *osVFS) SyncDir() error {
+	d, err := os.Open(v.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems refuse fsync on directories; treat that as a
+	// no-op rather than failing the checkpoint.
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return err
+	}
+	return nil
+}
+
+func (v *osVFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(v.path(name))
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// ---------------------------------------------------------------------------
+// In-memory crash-simulating VFS
+
+// CrashMode selects how much unsynced state a simulated crash loses.
+type CrashMode int
+
+const (
+	// CrashLoseUnsynced models power loss: every byte not covered by a
+	// File.Sync, and every directory operation not covered by SyncDir,
+	// is lost.
+	CrashLoseUnsynced CrashMode = iota
+	// CrashKeepAll models a process kill with the OS surviving: the
+	// page cache is intact, so all writes persist, synced or not.
+	CrashKeepAll
+)
+
+// memNode is one file's backing store (an "inode").
+type memNode struct {
+	content []byte // current logical content
+	synced  []byte // content guaranteed to survive CrashLoseUnsynced
+}
+
+// MemVFS is an in-memory VFS with crash semantics: Sync/SyncDir define
+// what survives a simulated crash. It is safe for concurrent use.
+type MemVFS struct {
+	mu        sync.Mutex
+	files     map[string]*memNode // current namespace
+	syncedDir map[string]*memNode // namespace that survives a crash
+}
+
+// NewMemVFS returns an empty in-memory VFS.
+func NewMemVFS() *MemVFS {
+	return &MemVFS{files: map[string]*memNode{}, syncedDir: map[string]*memNode{}}
+}
+
+// Crash simulates a crash: under CrashLoseUnsynced the namespace
+// reverts to the last SyncDir and every file's content to its last
+// Sync; under CrashKeepAll nothing is lost (only the process died).
+// Open handles become stale (their writes keep going to orphaned
+// nodes), mirroring a dead process's file descriptors.
+func (v *MemVFS) Crash(mode CrashMode) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if mode == CrashKeepAll {
+		return
+	}
+	files := make(map[string]*memNode, len(v.syncedDir))
+	for name, n := range v.syncedDir {
+		n.content = append([]byte(nil), n.synced...)
+		files[name] = n
+	}
+	v.files = files
+}
+
+// Clone deep-copies the VFS state, so one pre-crash state can be
+// crashed under several modes.
+func (v *MemVFS) Clone() *MemVFS {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := NewMemVFS()
+	nodes := map[*memNode]*memNode{}
+	copyNode := func(n *memNode) *memNode {
+		if cn, ok := nodes[n]; ok {
+			return cn
+		}
+		cn := &memNode{
+			content: append([]byte(nil), n.content...),
+			synced:  append([]byte(nil), n.synced...),
+		}
+		nodes[n] = cn
+		return cn
+	}
+	for name, n := range v.files {
+		c.files[name] = copyNode(n)
+	}
+	for name, n := range v.syncedDir {
+		c.syncedDir[name] = copyNode(n)
+	}
+	return c
+}
+
+func (v *MemVFS) Create(name string) (File, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := &memNode{}
+	v.files[name] = n
+	return &memFile{fs: v, node: n}, nil
+}
+
+func (v *MemVFS) Open(name string) (File, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n, ok := v.files[name]
+	if !ok {
+		return nil, os.ErrNotExist
+	}
+	return &memFile{fs: v, node: n}, nil
+}
+
+func (v *MemVFS) OpenRW(name string) (File, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n, ok := v.files[name]
+	if !ok {
+		n = &memNode{}
+		v.files[name] = n
+	}
+	return &memFile{fs: v, node: n}, nil
+}
+
+func (v *MemVFS) Rename(oldName, newName string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n, ok := v.files[oldName]
+	if !ok {
+		return os.ErrNotExist
+	}
+	v.files[newName] = n
+	delete(v.files, oldName)
+	return nil
+}
+
+func (v *MemVFS) Remove(name string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.files[name]; !ok {
+		return os.ErrNotExist
+	}
+	delete(v.files, name)
+	return nil
+}
+
+func (v *MemVFS) SyncDir() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.syncedDir = make(map[string]*memNode, len(v.files))
+	for name, n := range v.files {
+		v.syncedDir[name] = n
+	}
+	return nil
+}
+
+func (v *MemVFS) Size(name string) (int64, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n, ok := v.files[name]
+	if !ok {
+		return 0, os.ErrNotExist
+	}
+	return int64(len(n.content)), nil
+}
+
+type memFile struct {
+	fs   *MemVFS
+	node *memNode
+	pos  int64
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.pos >= int64(len(f.node.content)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.node.content[f.pos:])
+	f.pos += int64(n)
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	end := f.pos + int64(len(p))
+	if grow := end - int64(len(f.node.content)); grow > 0 {
+		f.node.content = append(f.node.content, make([]byte, grow)...)
+	}
+	copy(f.node.content[f.pos:end], p)
+	f.pos = end
+	return len(p), nil
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	switch whence {
+	case io.SeekStart:
+		f.pos = offset
+	case io.SeekCurrent:
+		f.pos += offset
+	case io.SeekEnd:
+		f.pos = int64(len(f.node.content)) + offset
+	default:
+		return 0, errors.New("memvfs: bad whence")
+	}
+	return f.pos, nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.node.synced = append([]byte(nil), f.node.content...)
+	return nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if size < int64(len(f.node.content)) {
+		f.node.content = f.node.content[:size]
+	}
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Fault-injecting VFS wrapper
+
+// ErrInjected is the error every failed injected operation returns.
+var ErrInjected = errors.New("sqldb: injected fault")
+
+// FaultVFS wraps a VFS with a write-budget fault injector: once the
+// cumulative cost of write-side operations crosses FailAfter, the
+// in-flight write lands torn (a prefix reaches the inner VFS) and every
+// subsequent operation fails — the moral equivalent of the process
+// dying at that byte. Metadata operations (create, rename, remove,
+// sync, truncate, dir sync) each cost one unit, so a byte-offset sweep
+// also crashes between "file synced" and "renamed into place".
+type FaultVFS struct {
+	inner VFS
+
+	mu sync.Mutex
+	// written is the cumulative cost so far.
+	written int64
+	// failAfter is the budget; <0 disables injection.
+	failAfter int64
+	failed    bool
+	// shortReads, when set, caps every Read at one byte, flushing out
+	// callers that assume full reads.
+	shortReads bool
+}
+
+// NewFaultVFS wraps inner, failing once the operation budget crosses
+// failAfter (<0: never).
+func NewFaultVFS(inner VFS, failAfter int64) *FaultVFS {
+	return &FaultVFS{inner: inner, failAfter: failAfter}
+}
+
+// SetShortReads makes every Read return at most one byte.
+func (v *FaultVFS) SetShortReads(on bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.shortReads = on
+}
+
+// Written reports the cumulative operation cost, the budget unit a
+// crash sweep iterates over.
+func (v *FaultVFS) Written() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.written
+}
+
+// Failed reports whether the injected crash point was reached.
+func (v *FaultVFS) Failed() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.failed
+}
+
+// charge consumes n units of budget; it reports how many units may
+// proceed and whether the fault fired.
+func (v *FaultVFS) charge(n int64) (allowed int64, ok bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.failed {
+		return 0, false
+	}
+	if v.failAfter < 0 {
+		v.written += n
+		return n, true
+	}
+	room := v.failAfter - v.written
+	if n <= room {
+		v.written += n
+		return n, true
+	}
+	v.written = v.failAfter
+	v.failed = true
+	if room < 0 {
+		room = 0
+	}
+	return room, false
+}
+
+func (v *FaultVFS) Create(name string) (File, error) {
+	if _, ok := v.charge(1); !ok {
+		return nil, ErrInjected
+	}
+	f, err := v.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: v, inner: f}, nil
+}
+
+func (v *FaultVFS) Open(name string) (File, error) {
+	f, err := v.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: v, inner: f}, nil
+}
+
+func (v *FaultVFS) OpenRW(name string) (File, error) {
+	if _, ok := v.charge(1); !ok {
+		return nil, ErrInjected
+	}
+	f, err := v.inner.OpenRW(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: v, inner: f}, nil
+}
+
+func (v *FaultVFS) Rename(oldName, newName string) error {
+	if _, ok := v.charge(1); !ok {
+		return ErrInjected
+	}
+	return v.inner.Rename(oldName, newName)
+}
+
+func (v *FaultVFS) Remove(name string) error {
+	if _, ok := v.charge(1); !ok {
+		return ErrInjected
+	}
+	return v.inner.Remove(name)
+}
+
+func (v *FaultVFS) SyncDir() error {
+	if _, ok := v.charge(1); !ok {
+		return ErrInjected
+	}
+	return v.inner.SyncDir()
+}
+
+func (v *FaultVFS) Size(name string) (int64, error) { return v.inner.Size(name) }
+
+type faultFile struct {
+	fs    *FaultVFS
+	inner File
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	short := f.fs.shortReads
+	f.fs.mu.Unlock()
+	if short && len(p) > 1 {
+		p = p[:1]
+	}
+	return f.inner.Read(p)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	allowed, ok := f.fs.charge(int64(len(p)))
+	if ok {
+		return f.inner.Write(p)
+	}
+	// Torn write: a prefix reaches storage, then the crash.
+	n := 0
+	if allowed > 0 {
+		n, _ = f.inner.Write(p[:allowed])
+	}
+	return n, ErrInjected
+}
+
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return f.inner.Seek(offset, whence)
+}
+
+func (f *faultFile) Sync() error {
+	if _, ok := f.fs.charge(1); !ok {
+		return ErrInjected
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if _, ok := f.fs.charge(1); !ok {
+		return ErrInjected
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }
