@@ -8,12 +8,13 @@ COVER_FLOOR ?= 60
 ## seed corpora already run as plain tests under `make test`).
 FUZZ_TIME ?= 5s
 
-.PHONY: check vet build test race cover bench-smoke bench fuzz crash
+.PHONY: check vet build test race cover bench-smoke bench fuzz crash pmatrix
 
 ## check: the full CI gate — vet, build, tests (race-enabled where it
-## matters), per-package coverage floors, the fault-injection battery,
-## short fuzz sessions, and a one-shot run of the query-cache benchmark.
-check: vet build test race cover crash fuzz bench-smoke
+## matters), the engine suite across a GOMAXPROCS matrix, per-package
+## coverage floors, the fault-injection battery, short fuzz sessions,
+## and a one-shot run of the query-cache benchmark.
+check: vet build test race pmatrix cover crash fuzz bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +31,15 @@ test:
 race:
 	$(GO) test -race ./internal/sqldb ./internal/core ./internal/lru
 
+## pmatrix: the engine suite (including the parallel-vs-serial
+## differential battery) at GOMAXPROCS 1, 2 and 4 — morsel-parallel
+## execution must return byte-identical results at every width.
+pmatrix:
+	@for p in 1 2 4; do \
+		echo "pmatrix: GOMAXPROCS=$$p"; \
+		GOMAXPROCS=$$p $(GO) test -count=1 ./internal/sqldb || exit 1; \
+	done
+
 ## cover: per-package statement-coverage floors for the packages that
 ## hold the engine (sqldb), the mappings (shred) and the façade (core).
 cover:
@@ -43,10 +53,10 @@ cover:
 	done
 
 ## crash: the durability gate — the crash-at-every-offset fault
-## injection sweeps and the concurrent-commit recovery tests, under the
-## race detector.
+## injection sweeps, the commit-failure rollback regressions, and the
+## concurrent-commit recovery tests, under the race detector.
 crash:
-	$(GO) test -race -run 'TestCrash|TestConcurrentCommits|TestDurable' ./internal/sqldb ./internal/core
+	$(GO) test -race -run 'TestCrash|TestCommitFault|TestConcurrentCommits|TestDurable' ./internal/sqldb ./internal/core
 
 ## fuzz: short fuzzing sessions for every fuzz target (parser, snapshot
 ## loader, WAL replay). Each -fuzz invocation accepts one target, so

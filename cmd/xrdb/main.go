@@ -43,6 +43,7 @@ func main() {
 		scheme   = flag.String("scheme", "interval", "mapping scheme: edge|binary|universal|interval|dewey|inline")
 		dtdFile  = flag.String("dtd", "", "DTD file (required for -scheme inline)")
 		valueIdx = flag.Bool("value-index", false, "create content-value indexes")
+		parallel = flag.Int("parallel", 0, "intra-query parallelism: 0=auto (GOMAXPROCS), 1=serial, n=worker cap")
 		query    = flag.String("query", "", "XPath query to run")
 		showSQL  = flag.Bool("sql", false, "print the generated SQL")
 		explain  = flag.Bool("explain", false, "print the physical plan")
@@ -59,7 +60,7 @@ func main() {
 		// Durable mode: open or crash-recover the data directory; if a
 		// document is supplied and the store is still empty, load it
 		// (durably, as one crash-atomic group commit).
-		opts := core.Options{WithValueIndex: *valueIdx}
+		opts := core.Options{WithValueIndex: *valueIdx, Parallelism: *parallel}
 		ds, err := core.OpenDurable(core.SchemeKind(*scheme), *dataDir, opts)
 		if err != nil {
 			fail("opening data directory %s: %v", *dataDir, err)
@@ -96,12 +97,15 @@ func main() {
 		if err != nil {
 			fail("reopening %s: %v", *openDB, err)
 		}
+		if *parallel > 0 {
+			st.DB().SetParallelism(*parallel)
+		}
 	case *in != "":
 		src, err := os.ReadFile(*in)
 		if err != nil {
 			fail("%v", err)
 		}
-		opts := core.Options{WithValueIndex: *valueIdx}
+		opts := core.Options{WithValueIndex: *valueIdx, Parallelism: *parallel}
 		if *dtdFile != "" {
 			dtdSrc, err := os.ReadFile(*dtdFile)
 			if err != nil {

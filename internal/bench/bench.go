@@ -63,6 +63,7 @@ func All() []Experiment {
 		{ID: "A1", Title: "Ablation: edge descendant expansion, blind vs path-catalog", Run: runA1},
 		{ID: "A2", Title: "Ablation: interval child step, parent probe vs region predicate", Run: runA2},
 		{ID: "R1", Title: "Durability: WAL overhead, checkpoint and recovery time", Run: runR1},
+		{ID: "Q1", Title: "Morsel-parallel speedup on the F1 mix across DOP", Run: runQ1},
 	}
 }
 

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/shred"
+	"repro/internal/xmlgen"
+	"repro/internal/xpath"
+)
+
+// Q1: morsel-parallel speedup on the F1 query mix.
+//
+// The document is loaded once per scheme; the engine's
+// degree-of-parallelism knob is then swept (1, 2, 4, NumCPU) and every
+// F1 query re-prepared at each setting — SetParallelism bumps the plan
+// epoch, so prepared plans recompile with the parallel decoration — and
+// timed. Cells report milliseconds; the final columns report the
+// speedup of the widest setting over serial. Queries whose plans have
+// no morsel-parallelizable segment (index-scan driven, or below the
+// row threshold) legitimately report ~1x.
+
+func runQ1(w io.Writer, cfg Config) error {
+	f := cfg.Factor
+	if cfg.Quick {
+		f = 0.1
+	}
+	doc := xmlgen.Auction(xmlgen.Config{Factor: f, Seed: cfg.Seed})
+
+	dops := []int{1, 2, 4}
+	maxDop := runtime.GOMAXPROCS(0)
+	if maxDop > 4 {
+		dops = append(dops, maxDop)
+	}
+
+	schemes := []shred.Scheme{shred.NewEdge(false), shred.NewInterval(false)}
+	header := []string{"scheme", "query", "class"}
+	for _, d := range dops {
+		header = append(header, fmt.Sprintf("dop=%d ms", d))
+	}
+	header = append(header, "speedup")
+	t := newTable(header...)
+
+	for _, s := range schemes {
+		db, err := shred.LoadDocument(s, doc)
+		if err != nil {
+			return err
+		}
+		for _, qc := range queryClasses {
+			p, err := xpath.Parse(qc.Query)
+			if err != nil {
+				return err
+			}
+			sql, err := s.Translate(p)
+			if err != nil {
+				continue // scheme cannot express this class
+			}
+			row := []string{s.Name(), qc.ID, qc.Class}
+			times := make(map[int]float64)
+			for _, dop := range dops {
+				db.SetParallelism(dop)
+				prep, err := db.Prepare(sql)
+				if err != nil {
+					return fmt.Errorf("%s/%s: prepare: %w", s.Name(), qc.ID, err)
+				}
+				d, err := timeIt(cfg, func() error {
+					_, err := prep.Query()
+					return err
+				})
+				if err != nil {
+					return fmt.Errorf("%s/%s: run: %w", s.Name(), qc.ID, err)
+				}
+				times[dop] = float64(d.Microseconds()) / 1000.0
+				row = append(row, ms(d))
+			}
+			wide := dops[len(dops)-1]
+			if times[wide] > 0 {
+				row = append(row, fmt.Sprintf("%.2fx", times[1]/times[wide]))
+			} else {
+				row = append(row, "-")
+			}
+			t.add(row...)
+		}
+		db.SetParallelism(0)
+	}
+	t.write(w)
+	fmt.Fprintln(w, "cells: ms per execution (prepared plan, best of repeats); speedup = dop1 / widest dop")
+
+	// Scan/join-heavy engine-level queries over the shredded relations:
+	// the F1 mix is dominated by index-friendly path steps, so the raw
+	// parallel headroom is shown on full-scan aggregations and joins
+	// against the interval relation as well.
+	db, err := shred.LoadDocument(shred.NewInterval(false), doc)
+	if err != nil {
+		return err
+	}
+	heavy := []struct{ id, sql string }{
+		{"H1 scan-agg", `SELECT kind, COUNT(*), MIN(pre), MAX(level) FROM accel WHERE size % 5 <> 1 GROUP BY kind`},
+		{"H2 hash-join", `SELECT COUNT(*) FROM accel c, accel p WHERE c.parent = p.pre AND p.size > 3 AND c.level > 2`},
+	}
+	ht := newTable(append([]string{"query"}, header[3:]...)...)
+	for _, q := range heavy {
+		row := []string{q.id}
+		times := make(map[int]float64)
+		for _, dop := range dops {
+			db.SetParallelism(dop)
+			prep, err := db.Prepare(q.sql)
+			if err != nil {
+				return fmt.Errorf("%s: prepare: %w", q.id, err)
+			}
+			d, err := timeIt(cfg, func() error {
+				_, err := prep.Query()
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("%s: run: %w", q.id, err)
+			}
+			times[dop] = float64(d.Microseconds()) / 1000.0
+			row = append(row, ms(d))
+		}
+		wide := dops[len(dops)-1]
+		row = append(row, fmt.Sprintf("%.2fx", times[1]/times[wide]))
+		ht.add(row...)
+	}
+	ht.write(w)
+	return nil
+}

@@ -63,6 +63,9 @@ type Options struct {
 	// the others). Root optionally names the document element.
 	DTD  string
 	Root string
+	// Parallelism sets the engine's intra-query degree of parallelism:
+	// 0 = automatic (GOMAXPROCS), 1 = serial, n>1 = at most n workers.
+	Parallelism int
 }
 
 // defaultTransCacheCap bounds the per-Store XPath→SQL translation
@@ -172,6 +175,9 @@ func OpenWith(kind SchemeKind, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("core: unknown scheme %q", kind)
 	}
 	db := sqldb.New()
+	if opts.Parallelism > 0 {
+		db.SetParallelism(opts.Parallelism)
+	}
 	if err := s.Setup(db); err != nil {
 		return nil, err
 	}

@@ -66,6 +66,9 @@ func OpenDurableVFS(kind SchemeKind, fs sqldb.VFS, opts Options, dopts DurableOp
 		return nil, err
 	}
 	db := ddb.DB()
+	if opts.Parallelism > 0 {
+		db.SetParallelism(opts.Parallelism)
+	}
 	fresh := len(db.TableNames()) == 0
 	if fresh {
 		// Setup's DDL goes through the commit logger, so even a fresh

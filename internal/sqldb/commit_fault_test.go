@@ -1,0 +1,289 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Commit-failure regressions: when logCommit cannot persist a mutation,
+// the in-memory mutation must be rolled back before the write lock is
+// released, so the live engine's memory never diverges from what crash
+// recovery will reconstruct. Each write path gets a stub-logger unit
+// test asserting "error reported, state untouched", and a FaultVFS
+// sweep asserts memory == recovered state at every injected failure
+// point of a workload that includes BulkInsert.
+
+var errStubCommit = errors.New("stub commit failure")
+
+// failingLogger rejects every commit after allowing the first n.
+func failingLogger(n int) func(*walRecord) error {
+	return func(*walRecord) error {
+		if n > 0 {
+			n--
+			return nil
+		}
+		return errStubCommit
+	}
+}
+
+// commitFaultFixture builds a populated database (no logger attached
+// yet, so setup commits unconditionally).
+func commitFaultFixture(t *testing.T) *Database {
+	t.Helper()
+	db := New()
+	db.MustExec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`)
+	db.MustExec(`CREATE INDEX kv_v ON kv (v)`)
+	db.MustExec(`INSERT INTO kv VALUES (1, 'one'), (2, 'two'), (3, 'three')`)
+	db.MustExec(`CREATE TABLE other (a INTEGER)`)
+	db.MustExec(`INSERT INTO other VALUES (7)`)
+	return db
+}
+
+// TestCommitFaultRollsBackStatement drives every mutation path into a
+// failing commit logger and asserts the statement reports the failure
+// and leaves no trace in memory — heap, live counts, indexes, catalog.
+func TestCommitFaultRollsBackStatement(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(db *Database) (int, error)
+	}{
+		{"insert-values", func(db *Database) (int, error) {
+			return db.Exec(`INSERT INTO kv VALUES (10, 'ten'), (11, 'eleven')`)
+		}},
+		{"insert-select", func(db *Database) (int, error) {
+			return db.Exec(`INSERT INTO kv SELECT k + 100, v FROM kv`)
+		}},
+		{"bulk-insert", func(db *Database) (int, error) {
+			return db.BulkInsert("kv", [][]Value{
+				{NewInt(20), NewText("twenty")},
+				{NewInt(21), NewText("twentyone")},
+			})
+		}},
+		{"delete", func(db *Database) (int, error) {
+			return db.Exec(`DELETE FROM kv WHERE k >= 2`)
+		}},
+		{"update", func(db *Database) (int, error) {
+			return db.Exec(`UPDATE kv SET v = 'X' WHERE k <= 2`)
+		}},
+		{"create-table", func(db *Database) (int, error) {
+			return db.Exec(`CREATE TABLE fresh (x INTEGER)`)
+		}},
+		{"drop-table", func(db *Database) (int, error) {
+			return db.Exec(`DROP TABLE other`)
+		}},
+		{"create-index", func(db *Database) (int, error) {
+			return db.Exec(`CREATE INDEX kv_v2 ON kv (v)`)
+		}},
+		{"drop-index", func(db *Database) (int, error) {
+			return db.Exec(`DROP INDEX kv_v`)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			victim := commitFaultFixture(t)
+			control := commitFaultFixture(t)
+			victim.setCommitLogger(failingLogger(0))
+
+			n, err := tc.run(victim)
+			if !errors.Is(err, errStubCommit) {
+				t.Fatalf("got (%d, %v), want the stub commit error", n, err)
+			}
+			if n != 0 {
+				t.Fatalf("failed statement reported %d affected rows, want 0", n)
+			}
+			if diff := dbStateDiff(control, victim); diff != "" {
+				t.Fatalf("state changed despite commit failure: %s", diff)
+			}
+			checkIndexes(t, victim)
+
+			// The rollback must leave the engine consistent enough that the
+			// same statement succeeds once commits go through again.
+			victim.setCommitLogger(nil)
+			if _, err := tc.run(victim); err != nil {
+				t.Fatalf("statement fails after logger recovery: %v", err)
+			}
+			checkIndexes(t, victim)
+		})
+	}
+}
+
+// TestCommitFaultPartialBatchRollback fails the logger mid-sequence so
+// earlier statements commit and a later multi-row statement does not:
+// only the logged prefix may remain.
+func TestCommitFaultPartialBatchRollback(t *testing.T) {
+	victim := commitFaultFixture(t)
+	control := commitFaultFixture(t)
+	victim.setCommitLogger(failingLogger(1))
+
+	if _, err := victim.Exec(`INSERT INTO kv VALUES (30, 'thirty')`); err != nil {
+		t.Fatalf("first commit should pass: %v", err)
+	}
+	control.MustExec(`INSERT INTO kv VALUES (30, 'thirty')`)
+
+	if n, err := victim.Exec(`UPDATE kv SET v = 'gone' WHERE k > 0`); !errors.Is(err, errStubCommit) || n != 0 {
+		t.Fatalf("second commit: got (%d, %v), want stub failure", n, err)
+	}
+	if diff := dbStateDiff(control, victim); diff != "" {
+		t.Fatalf("memory is not the logged prefix: %s", diff)
+	}
+	checkIndexes(t, victim)
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end sweep: memory equals recovery at every failure point.
+
+// commitFaultOps is the sweep workload; every op is expressed as a
+// function so the API write path (BulkInsert) is covered alongside SQL.
+var commitFaultOps = []func(db *Database) error{
+	func(db *Database) error {
+		_, err := db.Exec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`)
+		return err
+	},
+	func(db *Database) error {
+		_, err := db.Exec(`INSERT INTO kv VALUES (1, 'one'), (2, 'two')`)
+		return err
+	},
+	func(db *Database) error {
+		_, err := db.BulkInsert("kv", [][]Value{
+			{NewInt(3), NewText("three")},
+			{NewInt(4), NewText("four")},
+		})
+		return err
+	},
+	func(db *Database) error {
+		_, err := db.Exec(`CREATE INDEX kv_v ON kv (v)`)
+		return err
+	},
+	func(db *Database) error {
+		_, err := db.Exec(`UPDATE kv SET v = 'TWO' WHERE k = 2`)
+		return err
+	},
+	func(db *Database) error {
+		_, err := db.Exec(`INSERT INTO kv SELECT k + 10, v FROM kv`)
+		return err
+	},
+	func(db *Database) error {
+		_, err := db.Exec(`DELETE FROM kv WHERE k = 1 OR k = 11`)
+		return err
+	},
+	func(db *Database) error {
+		_, err := db.Exec(`CREATE TABLE t2 (a INTEGER)`)
+		return err
+	},
+	func(db *Database) error {
+		_, err := db.BulkInsert("t2", [][]Value{{NewInt(1)}, {NewInt(2)}, {NewInt(3)}})
+		return err
+	},
+	func(db *Database) error {
+		_, err := db.Exec(`DROP TABLE t2`)
+		return err
+	},
+	func(db *Database) error {
+		_, err := db.Exec(`DROP INDEX kv_v`)
+		return err
+	},
+}
+
+func commitFaultBaselines(t *testing.T) []*Database {
+	t.Helper()
+	baselines := make([]*Database, len(commitFaultOps)+1)
+	for k := 0; k <= len(commitFaultOps); k++ {
+		db := New()
+		for _, op := range commitFaultOps[:k] {
+			if err := op(db); err != nil {
+				t.Fatalf("baseline op %d: %v", k, err)
+			}
+		}
+		baselines[k] = db
+	}
+	return baselines
+}
+
+// TestCommitFaultMemoryMatchesRecovery sweeps the WAL byte budget over
+// the workload. At every failure point the live (failed, still-open)
+// engine's memory must equal the acked baseline — i.e. exactly what
+// power-loss recovery reconstructs. This is the regression for the
+// write-path/WAL divergence bug: before the rollback fix, a failed
+// commit left its mutation in memory while the WAL never recorded it.
+func TestCommitFaultMemoryMatchesRecovery(t *testing.T) {
+	baselines := commitFaultBaselines(t)
+
+	run := func(fs VFS) (acked int, d *DurableDB, err error) {
+		d, err = OpenDurable(fs, DurableOptions{})
+		if err != nil {
+			return 0, nil, err
+		}
+		sawErr := false
+		for _, op := range commitFaultOps {
+			if opErr := op(d.DB()); opErr != nil {
+				sawErr = true
+			} else if !sawErr {
+				acked++
+			}
+		}
+		return acked, d, nil
+	}
+
+	probe := NewFaultVFS(NewMemVFS(), -1)
+	acked, _, err := run(probe)
+	if err != nil {
+		t.Fatalf("fault-free open: %v", err)
+	}
+	if acked != len(commitFaultOps) {
+		t.Fatalf("fault-free run acked %d/%d ops", acked, len(commitFaultOps))
+	}
+	total := probe.Written()
+
+	step := int64(1)
+	if testing.Short() {
+		step = total/97 + 1
+	}
+	for budget := int64(0); budget <= total; budget += step {
+		budget := budget
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			inner := NewMemVFS()
+			acked, d, openErr := run(NewFaultVFS(inner, budget))
+			if openErr != nil {
+				if !errors.Is(openErr, ErrInjected) {
+					t.Fatalf("open failed with a non-injected error: %v", openErr)
+				}
+				return
+			}
+
+			// The live engine's memory is exactly the acked prefix.
+			if diff := dbStateDiff(baselines[acked], d.DB()); diff != "" {
+				t.Fatalf("live memory diverged from the acked baseline (%d acked): %s", acked, diff)
+			}
+			checkIndexes(t, d.DB())
+
+			// Power-loss recovery lands on the same state as memory.
+			lost := inner.Clone()
+			lost.Crash(CrashLoseUnsynced)
+			d2, err := OpenDurable(lost, DurableOptions{})
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			if diff := dbStateDiff(d.DB(), d2.DB()); diff != "" {
+				t.Fatalf("memory != recovered state (%d acked): %s", acked, diff)
+			}
+			checkIndexes(t, d2.DB())
+			d2.Close()
+
+			// Process kill keeps at most the single in-flight op.
+			kept := inner.Clone()
+			kept.Crash(CrashKeepAll)
+			d3, err := OpenDurable(kept, DurableOptions{})
+			if err != nil {
+				t.Fatalf("recovery (keep-all): %v", err)
+			}
+			okAcked := dbStateDiff(baselines[acked], d3.DB()) == ""
+			okNext := acked+1 < len(baselines) && dbStateDiff(baselines[acked+1], d3.DB()) == ""
+			if !okAcked && !okNext {
+				t.Fatalf("keep-all: recovered state is neither baseline %d nor %d", acked, acked+1)
+			}
+			checkIndexes(t, d3.DB())
+			d3.Close()
+		})
+	}
+}

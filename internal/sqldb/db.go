@@ -25,8 +25,14 @@ type Database struct {
 	// logger, when set (by DurableDB), receives one logical record per
 	// committed mutation, invoked while the write lock is still held so
 	// log order equals commit order. A non-nil error means the commit
-	// is not durable and is propagated to the caller.
+	// is not durable: the caller must roll the in-memory mutation back
+	// before releasing the lock, so memory never diverges from the WAL.
 	logger func(*walRecord) error
+	// parallelism is the degree-of-parallelism knob for intra-query
+	// execution (see parallel.go): 0 = auto (GOMAXPROCS), 1 = serial.
+	// Guarded by mu; changing it bumps the epoch so cached plans
+	// re-decide their parallel wrapping.
+	parallelism int
 }
 
 // setCommitLogger attaches (or detaches, with nil) the durability
@@ -243,7 +249,11 @@ func (db *Database) createTable(s *CreateTableStmt) error {
 	db.purgeStaleIndexDefs(def.Name)
 	db.tables[key] = newTable(&def)
 	db.bumpEpoch()
-	return db.logCommit(&walRecord{Op: opCreateTable, Def: &def})
+	if err := db.logCommit(&walRecord{Op: opCreateTable, Def: &def}); err != nil {
+		delete(db.tables, key)
+		return err
+	}
+	return nil
 }
 
 // CreateTableDef registers a table programmatically (used by the
@@ -258,7 +268,11 @@ func (db *Database) CreateTableDef(def TableDef) error {
 	db.purgeStaleIndexDefs(def.Name)
 	db.tables[key] = newTable(&def)
 	db.bumpEpoch()
-	return db.logCommit(&walRecord{Op: opCreateTable, Def: &def})
+	if err := db.logCommit(&walRecord{Op: opCreateTable, Def: &def}); err != nil {
+		delete(db.tables, key)
+		return err
+	}
+	return nil
 }
 
 // purgeStaleIndexDefs drops catalog index definitions claiming a table
@@ -298,7 +312,12 @@ func (db *Database) createIndex(s *CreateIndexStmt) error {
 	}
 	db.indexes[key] = &def
 	db.bumpEpoch()
-	return db.logCommit(&walRecord{Op: opCreateIndex, Index: &def})
+	if err := db.logCommit(&walRecord{Op: opCreateIndex, Index: &def}); err != nil {
+		tbl.indexes = tbl.indexes[:len(tbl.indexes)-1]
+		delete(db.indexes, key)
+		return err
+	}
+	return nil
 }
 
 // createIndexDef registers an index from a definition (snapshot
@@ -326,7 +345,12 @@ func (db *Database) createIndexDef(def IndexDef) error {
 	}
 	db.indexes[key] = &d
 	db.bumpEpoch()
-	return db.logCommit(&walRecord{Op: opCreateIndex, Index: &d})
+	if err := db.logCommit(&walRecord{Op: opCreateIndex, Index: &d}); err != nil {
+		tbl.indexes = tbl.indexes[:len(tbl.indexes)-1]
+		delete(db.indexes, key)
+		return err
+	}
+	return nil
 }
 
 func (db *Database) dropTable(name string) error {
@@ -337,12 +361,24 @@ func (db *Database) dropTable(name string) error {
 	if !ok {
 		return errorf("no such table: %s", name)
 	}
+	var droppedDefs []*IndexDef
 	for _, idx := range tbl.indexes {
-		delete(db.indexes, strings.ToLower(idx.def.Name))
+		ikey := strings.ToLower(idx.def.Name)
+		if def, ok := db.indexes[ikey]; ok {
+			droppedDefs = append(droppedDefs, def)
+			delete(db.indexes, ikey)
+		}
 	}
 	delete(db.tables, key)
 	db.bumpEpoch()
-	return db.logCommit(&walRecord{Op: opDropTable, Table: tbl.def.Name})
+	if err := db.logCommit(&walRecord{Op: opDropTable, Table: tbl.def.Name}); err != nil {
+		db.tables[key] = tbl
+		for _, def := range droppedDefs {
+			db.indexes[strings.ToLower(def.Name)] = def
+		}
+		return err
+	}
+	return nil
 }
 
 func (db *Database) dropIndex(name string) error {
@@ -354,9 +390,12 @@ func (db *Database) dropIndex(name string) error {
 		return errorf("no such index: %s", name)
 	}
 	tbl := db.table(def.Table)
+	var removed *tableIndex
+	var removedAt int
 	if tbl != nil {
 		for i, idx := range tbl.indexes {
 			if strings.EqualFold(idx.def.Name, name) {
+				removed, removedAt = idx, i
 				tbl.indexes = append(tbl.indexes[:i], tbl.indexes[i+1:]...)
 				break
 			}
@@ -364,7 +403,16 @@ func (db *Database) dropIndex(name string) error {
 	}
 	delete(db.indexes, key)
 	db.bumpEpoch()
-	return db.logCommit(&walRecord{Op: opDropIndex, Name: def.Name})
+	if err := db.logCommit(&walRecord{Op: opDropIndex, Name: def.Name}); err != nil {
+		if removed != nil {
+			tbl.indexes = append(tbl.indexes, nil)
+			copy(tbl.indexes[removedAt+1:], tbl.indexes[removedAt:])
+			tbl.indexes[removedAt] = removed
+		}
+		db.indexes[key] = def
+		return err
+	}
+	return nil
 }
 
 func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
@@ -410,15 +458,20 @@ func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
 		return row, nil
 	}
 
-	// applied collects the rows that actually landed; they are logged
-	// as the statement's effect (including a partial prefix when the
-	// statement errors mid-way, so durable state tracks memory).
+	// applied collects the rows that actually landed (and their rowids);
+	// they are logged as the statement's effect (including a partial
+	// prefix when the statement errors mid-way, so durable state tracks
+	// memory). If the commit itself cannot be logged, the applied rows
+	// are rolled back: memory must never hold state the WAL does not.
 	var applied [][]Value
+	var appliedRids []int64
 	finish := func(execErr error) (int, error) {
 		if len(applied) > 0 {
-			logErr := db.logCommit(&walRecord{Op: opInsert, Table: tbl.def.Name, Rows: applied})
-			if execErr == nil {
-				execErr = logErr
+			if logErr := db.logCommit(&walRecord{Op: opInsert, Table: tbl.def.Name, Rows: applied}); logErr != nil {
+				for i := len(appliedRids) - 1; i >= 0; i-- {
+					tbl.delete(appliedRids[i])
+				}
+				return 0, logErr
 			}
 		}
 		return len(applied), execErr
@@ -439,10 +492,12 @@ func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
 			if err != nil {
 				return finish(err)
 			}
-			if _, err := tbl.insert(row); err != nil {
+			rid, err := tbl.insert(row)
+			if err != nil {
 				return finish(err)
 			}
 			applied = append(applied, row)
+			appliedRids = append(appliedRids, rid)
 		}
 		return finish(nil)
 	}
@@ -464,10 +519,12 @@ func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
 		if err != nil {
 			return finish(err)
 		}
-		if _, err := tbl.insert(row); err != nil {
+		rid, err := tbl.insert(row)
+		if err != nil {
 			return finish(err)
 		}
 		applied = append(applied, row)
+		appliedRids = append(appliedRids, rid)
 	}
 	return finish(nil)
 }
@@ -511,9 +568,14 @@ func (db *Database) BulkInsert(tableName string, rows [][]Value) (int, error) {
 		}
 		inserted = append(inserted, rid)
 	}
+	// Phase 3: log the commit. A logging failure means the batch is not
+	// durable; undo it so memory equals what recovery will replay.
 	if len(coerced) > 0 {
 		if err := db.logCommit(&walRecord{Op: opInsert, Table: tbl.def.Name, Rows: coerced}); err != nil {
-			return len(inserted), err
+			for i := len(inserted) - 1; i >= 0; i-- {
+				tbl.delete(inserted[i])
+			}
+			return 0, err
 		}
 	}
 	return len(inserted), nil
@@ -531,15 +593,22 @@ func (db *Database) execDelete(s *DeleteStmt, args []Value) (int, error) {
 		return 0, err
 	}
 	images := make([][]Value, 0, len(rids))
+	imageRids := make([]int64, 0, len(rids))
 	for _, rid := range rids {
 		if row := tbl.rows[rid]; row != nil {
 			images = append(images, row)
+			imageRids = append(imageRids, rid)
 		}
 		tbl.delete(rid)
 	}
 	if len(images) > 0 {
 		if err := db.logCommit(&walRecord{Op: opDelete, Table: tbl.def.Name, Rows: images}); err != nil {
-			return len(rids), err
+			// Not durable: restore the deleted rows in place (same
+			// rowids, so heap order — document order — is preserved).
+			for i := len(imageRids) - 1; i >= 0; i-- {
+				tbl.undelete(imageRids[i], images[i])
+			}
+			return 0, err
 		}
 	}
 	return len(rids), nil
@@ -580,16 +649,25 @@ func (db *Database) execUpdate(s *UpdateStmt, args []Value) (int, error) {
 	ctx := &evalCtx{db: db, params: args}
 	// oldImages/newImages collect the (before, after) row pairs that
 	// actually applied; they are logged as the statement's effect (a
-	// partial prefix when the statement errors mid-way).
+	// partial prefix when the statement errors mid-way). If logging the
+	// commit fails the updates are reverted in reverse order, so memory
+	// matches what recovery will replay.
 	var oldImages, newImages [][]Value
+	var updatedRids []int64
 	finish := func(execErr error) (int, error) {
 		if len(newImages) > 0 {
 			logErr := db.logCommit(&walRecord{
 				Op: opUpdate, Table: tbl.def.Name,
 				OldRows: oldImages, Rows: newImages,
 			})
-			if execErr == nil {
-				execErr = logErr
+			if logErr != nil {
+				for i := len(updatedRids) - 1; i >= 0; i-- {
+					// Reverting to the prior image cannot violate
+					// uniqueness: in reverse order each step restores a
+					// state that held before.
+					_ = tbl.update(updatedRids[i], oldImages[i])
+				}
+				return 0, logErr
 			}
 		}
 		return len(newImages), execErr
@@ -615,6 +693,7 @@ func (db *Database) execUpdate(s *UpdateStmt, args []Value) (int, error) {
 		}
 		oldImages = append(oldImages, old)
 		newImages = append(newImages, row)
+		updatedRids = append(updatedRids, rid)
 	}
 	return finish(nil)
 }

@@ -49,18 +49,27 @@ func (n *seqScanNode) sch() schema { return n.schema }
 func (n *seqScanNode) estRows() float64 { return float64(n.tbl.live)*n.sel + 1 }
 
 func (n *seqScanNode) open(ctx *evalCtx) (rowIter, error) {
-	return &seqScanIter{node: n, ctx: ctx}, nil
+	it := &seqScanIter{node: n, ctx: ctx, end: len(n.tbl.rows)}
+	// Inside a gather worker, the scan that drives the parallel segment
+	// is restricted to the worker's claimed morsel. Pointer identity
+	// guarantees only the driver scan is clipped — any other table
+	// scanned by the segment (join build sides, subqueries) reads fully.
+	if m := ctx.morsel; m != nil && m.node == n {
+		it.pos, it.end = m.lo, m.hi
+	}
+	return it, nil
 }
 
 type seqScanIter struct {
 	node *seqScanNode
 	ctx  *evalCtx
 	pos  int
+	end  int
 }
 
 func (it *seqScanIter) next() ([]Value, error) {
 	rows := it.node.tbl.rows
-	for it.pos < len(rows) {
+	for it.pos < it.end {
 		row := rows[it.pos]
 		it.pos++
 		if row == nil {
@@ -316,15 +325,38 @@ func (n *nlJoinNode) open(ctx *evalCtx) (rowIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := materialize(ctx, n.right)
+	inner, built, err := n.innerRows(ctx)
 	if err != nil {
 		left.close()
 		return nil, err
 	}
 	if s := ctx.opStat(n); s != nil {
-		s.BuildRows += int64(len(inner))
+		s.BuildRows += built
 	}
 	return &nlJoinIter{node: n, ctx: ctx, left: left, inner: inner, ipos: -1}, nil
+}
+
+// innerRows materializes the inner side, sharing the result across a
+// parallel segment's per-morsel re-opens (the inner is loop-invariant).
+func (n *nlJoinNode) innerRows(ctx *evalCtx) ([][]Value, int64, error) {
+	if sh := ctx.shared; sh != nil {
+		e := sh.entry(n)
+		builtNow := false
+		e.once.Do(func() {
+			e.rows, e.err = materialize(ctx, n.right)
+			e.n = int64(len(e.rows))
+			builtNow = true
+		})
+		if e.err != nil {
+			return nil, 0, e.err
+		}
+		if builtNow {
+			return e.rows, e.n, nil
+		}
+		return e.rows, 0, nil
+	}
+	rows, err := materialize(ctx, n.right)
+	return rows, int64(len(rows)), err
 }
 
 type nlJoinIter struct {
@@ -383,6 +415,9 @@ type hashJoinNode struct {
 	extraCond           compiledExpr
 	leftOuter           bool
 	schema              schema
+	// buildPar is the degree of parallelism for the partitioned build
+	// (set by the planner's parallelize pass; 0/1 = serial build).
+	buildPar int
 }
 
 func (n *hashJoinNode) sch() schema { return n.schema }
@@ -423,33 +458,55 @@ func hashKey(vals []Value) (string, bool) {
 }
 
 func (n *hashJoinNode) open(ctx *evalCtx) (rowIter, error) {
-	rightRows, err := materialize(ctx, n.right)
+	ht, built, err := n.build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	ht := make(map[string][][]Value, len(rightRows))
-	keyBuf := make([]Value, len(n.rightKeys))
-	for _, r := range rightRows {
-		for i, ke := range n.rightKeys {
-			keyBuf[i], err = ke(ctx, r)
-			if err != nil {
-				return nil, err
-			}
-		}
-		k, ok := hashKey(keyBuf)
-		if !ok {
-			continue
-		}
-		ht[k] = append(ht[k], r)
-	}
 	if s := ctx.opStat(n); s != nil {
-		s.BuildRows += int64(len(rightRows))
+		s.BuildRows += built
 	}
 	left, err := openNode(ctx, n.left)
 	if err != nil {
 		return nil, err
 	}
 	return &hashJoinIter{node: n, ctx: ctx, left: left, ht: ht, rightWidth: len(n.right.sch())}, nil
+}
+
+// build produces the hash table for the right side. Inside a gather
+// worker the result is shared across the segment's per-morsel re-opens
+// (and across workers): the build side is loop-invariant, so it is
+// computed once, by whichever worker gets there first. The returned
+// count is non-zero only when this call actually built, keeping
+// BuildRows comparable with serial execution.
+func (n *hashJoinNode) build(ctx *evalCtx) (map[string][][]Value, int64, error) {
+	if sh := ctx.shared; sh != nil {
+		e := sh.entry(n)
+		builtNow := false
+		e.once.Do(func() {
+			e.ht, e.n, e.err = n.buildHashTable(ctx)
+			builtNow = true
+		})
+		if e.err != nil {
+			return nil, 0, e.err
+		}
+		if builtNow {
+			return e.ht, e.n, nil
+		}
+		return e.ht, 0, nil
+	}
+	return n.buildHashTable(ctx)
+}
+
+func (n *hashJoinNode) buildHashTable(ctx *evalCtx) (map[string][][]Value, int64, error) {
+	rightRows, err := materialize(ctx, n.right)
+	if err != nil {
+		return nil, 0, err
+	}
+	ht, err := hashRows(ctx, rightRows, n.rightKeys, n.buildPar)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ht, int64(len(rightRows)), nil
 }
 
 type hashJoinIter struct {

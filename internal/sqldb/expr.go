@@ -54,6 +54,13 @@ type evalCtx struct {
 	outer  []Value
 	// stats collects per-operator counters when non-nil (see metrics.go).
 	stats *runStats
+	// morsel, when non-nil, restricts the scan of exactly one
+	// seqScanNode (matched by pointer) to a rowid range; set by gather
+	// workers so each worker processes its claimed morsel (parallel.go).
+	morsel *morselRange
+	// shared caches join build sides across the morsel re-opens of one
+	// parallel segment; nil outside gather workers (parallel.go).
+	shared *sharedBuilds
 }
 
 // compiledExpr evaluates an expression against a row.

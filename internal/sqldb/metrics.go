@@ -83,6 +83,10 @@ func planChildren(n planNode) []planNode {
 		return []planNode{n.p.root}
 	case *cutNode:
 		return []planNode{n.in}
+	case *gatherNode:
+		return []planNode{n.seg}
+	case *parallelAggNode:
+		return []planNode{n.seg}
 	}
 	return nil
 }
@@ -126,6 +130,10 @@ func opKind(n planNode) string {
 		return "Values"
 	case *cutNode:
 		return "Cut"
+	case *gatherNode:
+		return "Gather"
+	case *parallelAggNode:
+		return "ParallelAggregate"
 	}
 	return "Unknown"
 }
@@ -145,12 +153,21 @@ type OpStats struct {
 	BuildRows int64
 	// Time is cumulative wall clock inside open/next, inclusive of
 	// children. Only populated when timing is enabled (EXPLAIN ANALYZE).
+	// For operators below a Gather the per-worker clocks are summed, so
+	// it reads as CPU time rather than wall time.
 	Time time.Duration
+	// Workers is the number of worker goroutines a parallel operator
+	// (Gather, ParallelAggregate) actually ran with; zero elsewhere.
+	Workers int
+	// WorkerRows holds per-worker produced-row totals for a Gather.
+	WorkerRows []int64
 }
 
-// runStats is the per-execution scratchpad. One execution runs on one
-// goroutine, so plain increments suffice; cross-query aggregation
-// happens in the registry under its mutex.
+// runStats is the per-execution scratchpad. Each scratchpad is written
+// by exactly one goroutine — parallel operators give every worker its
+// own runStats (sharing the read-only meta) and fold them into the
+// parent's after joining the workers — so plain increments suffice;
+// cross-query aggregation happens in the registry under its mutex.
 type runStats struct {
 	meta  *planOps
 	ops   []OpStats

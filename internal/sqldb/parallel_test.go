@@ -1,0 +1,339 @@
+package sqldb
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Differential battery for morsel-driven parallel execution: every
+// query must return byte-identical results (values AND order) under
+// serial and parallel execution, because the gather operator merges
+// morsels strictly in rowid order. The battery covers scans, joins on
+// all three join operators, exact and non-exact aggregations, DISTINCT,
+// ORDER BY/LIMIT, UNION ALL and subqueries.
+
+// parallelFixture loads identical data into n databases so plans can
+// differ only by the parallel decoration.
+func parallelFixture(t *testing.T, rows int, dops ...int) []*Database {
+	t.Helper()
+	dbs := make([]*Database, len(dops))
+	for i, dop := range dops {
+		db := New()
+		db.SetParallelism(dop)
+		db.MustExec(`CREATE TABLE big (id INTEGER PRIMARY KEY, grp TEXT, n INTEGER, f FLOAT, tag TEXT)`)
+		db.MustExec(`CREATE TABLE small (id INTEGER PRIMARY KEY, label TEXT)`)
+		db.MustExec(`CREATE INDEX big_n ON big (n)`)
+		batch := make([][]Value, 0, rows)
+		for k := 0; k < rows; k++ {
+			tag := Null
+			if k%3 == 0 {
+				tag = NewText(fmt.Sprintf("t%d", k%11))
+			}
+			batch = append(batch, []Value{
+				NewInt(int64(k)),
+				NewText(fmt.Sprintf("g%d", k%23)),
+				NewInt(int64(k % 101)),
+				NewFloat(float64(k) / 7),
+				tag,
+			})
+		}
+		if _, err := db.BulkInsert("big", batch); err != nil {
+			t.Fatal(err)
+		}
+		var sm [][]Value
+		for k := 0; k < 101; k++ {
+			sm = append(sm, []Value{NewInt(int64(k)), NewText(fmt.Sprintf("label-%d", k))})
+		}
+		if _, err := db.BulkInsert("small", sm); err != nil {
+			t.Fatal(err)
+		}
+		// Deletes punch tombstones into the heap so morsel ranges cross
+		// dead rows.
+		db.MustExec(`DELETE FROM big WHERE id % 37 = 0`)
+		dbs[i] = db
+	}
+	return dbs
+}
+
+var parallelBattery = []struct {
+	name string
+	sql  string
+	args []Value
+}{
+	{"scan-filter", `SELECT id, grp FROM big WHERE n % 7 = 0`, nil},
+	{"scan-expr", `SELECT id * 2 + n, f / 2 FROM big WHERE id > 100 AND id < 9000`, nil},
+	{"scan-param", `SELECT id FROM big WHERE n < ?`, []Value{NewInt(13)}},
+	{"null-filter", `SELECT id, tag FROM big WHERE tag IS NOT NULL AND n > 50`, nil},
+	{"hash-join", `SELECT b.id, s.label FROM big b, small s WHERE b.n = s.id AND b.id % 5 = 0`, nil},
+	{"self-join", `SELECT a.id, c.id FROM big a, big c WHERE a.id = c.n AND a.id < 40`, nil},
+	{"left-join", `SELECT b.id, s.label FROM big b LEFT JOIN small s ON b.n = s.id AND s.id < 10 WHERE b.id < 300`, nil},
+	{"nl-join", `SELECT b.id, s.id FROM big b, small s WHERE b.id < 30 AND s.id < b.n`, nil},
+	{"count-star", `SELECT COUNT(*) FROM big`, nil},
+	{"agg-exact", `SELECT grp, COUNT(*), SUM(n), MIN(id), MAX(n) FROM big GROUP BY grp`, nil},
+	{"agg-avg-int", `SELECT grp, AVG(n) FROM big GROUP BY grp`, nil},
+	{"agg-float", `SELECT grp, SUM(f) FROM big GROUP BY grp`, nil},
+	{"agg-distinct", `SELECT grp, COUNT(DISTINCT n) FROM big GROUP BY grp`, nil},
+	{"agg-having", `SELECT grp, COUNT(*) FROM big GROUP BY grp HAVING COUNT(*) > 400`, nil},
+	{"agg-global", `SELECT SUM(n), MIN(grp), MAX(grp) FROM big WHERE id % 2 = 0`, nil},
+	{"agg-empty", `SELECT COUNT(*), SUM(n) FROM big WHERE id < 0`, nil},
+	{"distinct", `SELECT DISTINCT grp FROM big WHERE n < 40`, nil},
+	{"order-by", `SELECT id, n FROM big WHERE n % 11 = 0 ORDER BY n DESC, id`, nil},
+	{"limit-offset", `SELECT id FROM big WHERE n > 20 LIMIT 25 OFFSET 10`, nil},
+	{"union-all", `SELECT id FROM big WHERE n = 3 UNION ALL SELECT id FROM big WHERE n = 5`, nil},
+	{"in-subquery", `SELECT id FROM big WHERE n IN (SELECT id FROM small WHERE id < 5)`, nil},
+	{"exists-subquery", `SELECT s.id FROM small s WHERE EXISTS (SELECT 1 FROM big b WHERE b.n = s.id AND b.id < 200)`, nil},
+	{"scalar-subquery", `SELECT id, (SELECT MAX(id) FROM small) FROM big WHERE id < 50`, nil},
+	{"index-range", `SELECT id, n FROM big WHERE n >= 90 AND n <= 95`, nil},
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	dbs := parallelFixture(t, 10000, 1, 4, 16)
+	serial := dbs[0]
+	for _, tc := range parallelBattery {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := serial.Query(tc.sql, tc.args...)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			for i, db := range dbs[1:] {
+				got, err := db.Query(tc.sql, tc.args...)
+				if err != nil {
+					t.Fatalf("parallel[%d]: %v", i, err)
+				}
+				if !reflect.DeepEqual(want.Columns, got.Columns) {
+					t.Fatalf("parallel[%d]: columns %v != %v", i, got.Columns, want.Columns)
+				}
+				if !reflect.DeepEqual(want.Data, got.Data) {
+					t.Fatalf("parallel[%d]: %d rows vs %d rows, or order/value drift\nserial: %.6v\nparallel: %.6v",
+						i, want.Len(), got.Len(), want.Data, got.Data)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelPreservesHeapOrder pins the order contract directly: with
+// no ORDER BY, rows come back in heap (rowid) order — the document
+// order every shredding scheme relies on.
+func TestParallelPreservesHeapOrder(t *testing.T) {
+	dbs := parallelFixture(t, 8000, 8)
+	rows, err := dbs[0].Query(`SELECT id FROM big WHERE n % 3 = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() == 0 {
+		t.Fatal("no rows")
+	}
+	last := int64(-1)
+	for _, r := range rows.Data {
+		if r[0].I <= last {
+			t.Fatalf("heap order violated: id %d after %d", r[0].I, last)
+		}
+		last = r[0].I
+	}
+}
+
+// TestParallelPlanAnnotations checks the planner decision points and
+// the EXPLAIN/EXPLAIN ANALYZE surfaces.
+func TestParallelPlanAnnotations(t *testing.T) {
+	dbs := parallelFixture(t, 9000, 1, 4)
+	serial, par := dbs[0], dbs[1]
+
+	sp, err := serial.Explain(`SELECT id FROM big WHERE n % 7 = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sp, "Gather") {
+		t.Fatalf("serial plan has a Gather:\n%s", sp)
+	}
+
+	pp, err := par.Explain(`SELECT id FROM big WHERE n % 7 = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pp, "Gather over big (dop 4") {
+		t.Fatalf("parallel plan lacks Gather:\n%s", pp)
+	}
+
+	ap, err := par.ExplainAnalyze(`SELECT id FROM big WHERE n % 7 = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ap, "workers=") || !strings.Contains(ap, "worker_rows=") {
+		t.Fatalf("analyzed parallel plan lacks worker annotations:\n%s", ap)
+	}
+
+	// Exact aggregation becomes a ParallelAggregate...
+	app, err := par.Explain(`SELECT grp, SUM(n) FROM big GROUP BY grp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(app, "ParallelAggregate") {
+		t.Fatalf("exact aggregation did not parallelize:\n%s", app)
+	}
+	// ...while a float SUM must not (non-associative), but still gets a
+	// Gather feeding the serial aggregate.
+	fpp, err := par.Explain(`SELECT grp, SUM(f) FROM big GROUP BY grp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(fpp, "ParallelAggregate") {
+		t.Fatalf("float SUM was parallelized:\n%s", fpp)
+	}
+	if !strings.Contains(fpp, "Gather") {
+		t.Fatalf("float SUM aggregation input not gathered:\n%s", fpp)
+	}
+
+	// Small tables stay serial even with the knob up.
+	small, err := par.Explain(`SELECT label FROM small WHERE id > 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(small, "Gather") {
+		t.Fatalf("sub-threshold table was parallelized:\n%s", small)
+	}
+
+	// Changing the knob bumps the epoch and re-decides cached plans.
+	par.SetParallelism(1)
+	rp, err := par.Explain(`SELECT id FROM big WHERE n % 7 = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(rp, "Gather") {
+		t.Fatalf("plan kept its Gather after SetParallelism(1):\n%s", rp)
+	}
+}
+
+// TestParallelErrorPropagation makes a worker fail mid-scan and checks
+// the error surfaces and the engine (and its worker pool) stays usable.
+func TestParallelErrorPropagation(t *testing.T) {
+	db := New()
+	db.SetParallelism(4)
+	db.MustExec(`CREATE TABLE t (a INTEGER)`)
+	db.MustExec(`CREATE TABLE dup (k INTEGER, v INTEGER)`)
+	// The scalar subquery yields two rows only for a = 5900, several
+	// morsels deep in the heap.
+	db.MustExec(`INSERT INTO dup VALUES (5900, 1), (5900, 2)`)
+	batch := make([][]Value, 0, 6000)
+	for i := 0; i < 6000; i++ {
+		batch = append(batch, []Value{NewInt(int64(i))})
+	}
+	if _, err := db.BulkInsert("t", batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT (SELECT v FROM dup WHERE k = t.a) FROM t`); err == nil {
+		t.Fatal("worker error did not surface through the gather")
+	}
+	rows, err := db.Query(`SELECT COUNT(*) FROM t WHERE a >= 5900`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][0].I != 100 {
+		t.Fatalf("engine wedged after worker error: count = %v", rows.Data[0][0])
+	}
+}
+
+// TestParallelQueriesUnderConcurrentMutations is the -race gate:
+// parallel readers hammer a durable store while writers insert, update
+// and delete, DDL creates and drops an index, and a checkpointer
+// rotates the WAL. Queries may fail transiently only with legitimate
+// engine errors; results that do arrive must be internally consistent.
+func TestParallelQueriesUnderConcurrentMutations(t *testing.T) {
+	inner := NewMemVFS()
+	d, err := OpenDurable(inner, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	db := d.DB()
+	db.SetParallelism(4)
+	db.MustExec(`CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER, c TEXT)`)
+	batch := make([][]Value, 0, 8000)
+	for i := 0; i < 8000; i++ {
+		batch = append(batch, []Value{NewInt(int64(i)), NewInt(int64(i % 64)), NewText(fmt.Sprintf("c%d", i%17))})
+	}
+	if _, err := db.BulkInsert("t", batch); err != nil {
+		t.Fatal(err)
+	}
+
+	const loops = 30
+	var wg sync.WaitGroup
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+	}
+
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			queries := []string{
+				`SELECT a, b FROM t WHERE b % 5 = 0`,
+				`SELECT c, COUNT(*), SUM(b) FROM t GROUP BY c`,
+				`SELECT x.a FROM t x, t y WHERE x.a = y.b AND x.a < 64`,
+			}
+			for i := 0; i < loops; i++ {
+				q := queries[(i+r)%len(queries)]
+				if _, err := db.Query(q); err != nil {
+					fail("reader %d: %v", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() { // writer: inserts + deletes
+		defer wg.Done()
+		for i := 0; i < loops; i++ {
+			k := int64(100000 + i)
+			if _, err := db.Exec(`INSERT INTO t VALUES (?, ?, 'w')`, NewInt(k), NewInt(k%64)); err != nil {
+				fail("insert: %v", err)
+				return
+			}
+			if i%3 == 0 {
+				if _, err := db.Exec(`DELETE FROM t WHERE a = ?`, NewInt(k)); err != nil {
+					fail("delete: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // updater
+		defer wg.Done()
+		for i := 0; i < loops; i++ {
+			if _, err := db.Exec(`UPDATE t SET b = b + 1 WHERE a % 997 = ?`, NewInt(int64(i%7))); err != nil {
+				fail("update: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // DDL: create/drop an index under the readers
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if _, err := db.Exec(`CREATE INDEX t_b ON t (b)`); err != nil {
+				fail("create index: %v", err)
+				return
+			}
+			if _, err := db.Exec(`DROP INDEX t_b`); err != nil {
+				fail("drop index: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // checkpointer
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			if err := d.Checkpoint(); err != nil {
+				fail("checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	checkIndexes(t, db)
+}

@@ -55,6 +55,9 @@ func planSelect(db *Database, stmt *SelectStmt, outer schema) (*plan, schema, er
 	if err != nil {
 		return nil, nil, err
 	}
+	if outer == nil {
+		root = parallelize(db, root)
+	}
 	return &plan{root: root, cols: outSch}, outSch, nil
 }
 
@@ -263,6 +266,13 @@ func planSingleSelect(db *Database, stmt *SelectStmt, outer schema) (*plan, sche
 			}
 		}
 		root = &limitNode{in: root, limit: limitFn, offset: offsetFn}
+	}
+	// Top-level plans get the parallel decoration; subqueries always run
+	// serially inside whichever worker evaluates them (outer != nil).
+	// The pass is idempotent over already-decorated subtrees, so UNION
+	// ALL members wrapped here are left alone by planSelect's own pass.
+	if outer == nil {
+		root = parallelize(db, root)
 	}
 	return &plan{root: root, cols: outSch}, outSch, nil
 }
@@ -1847,6 +1857,7 @@ func planAggregation(db *Database, stmt *SelectStmt, items []SelectItem, in plan
 			if a.Name != "COUNT" {
 				return nil, nil, nil, nil, errorf("%s(*) is not valid", a.Name)
 			}
+			spec.exact = true
 		} else {
 			if len(a.Args) != 1 {
 				return nil, nil, nil, nil, errorf("%s expects exactly one argument", a.Name)
@@ -1856,6 +1867,19 @@ func planAggregation(db *Database, stmt *SelectStmt, items []SelectItem, in plan
 				return nil, nil, nil, nil, err
 			}
 			spec.arg = ce
+			if !a.Distinct {
+				switch a.Name {
+				case "COUNT", "MIN", "MAX":
+					spec.exact = true
+				case "SUM", "AVG":
+					// Integer sums merge exactly; float addition does
+					// not associate, so float sums stay serial to keep
+					// parallel results byte-identical.
+					if t, ok := staticExprType(a.Args[0], inSch); ok && (t == TypeInt || t == TypeBool) {
+						spec.exact = true
+					}
+				}
+			}
 		}
 		specs = append(specs, spec)
 	}

@@ -123,6 +123,22 @@ func (t *table) delete(rid int64) {
 	t.live--
 }
 
+// undelete restores a just-deleted row at its original rowid,
+// re-adding index entries. It is the exact inverse of delete, used to
+// roll a statement back when its commit cannot be logged; the caller
+// guarantees row is the image delete removed from rid.
+func (t *table) undelete(rid int64, row []Value) {
+	if t.rows[rid] != nil {
+		return
+	}
+	t.rows[rid] = row
+	t.live++
+	t.bytes += t.rowBytes(row)
+	for _, idx := range t.indexes {
+		idx.tree.Insert(indexKey(idx, row), rid)
+	}
+}
+
 // update replaces the row at rid, maintaining indexes.
 func (t *table) update(rid int64, row []Value) error {
 	old := t.rows[rid]
