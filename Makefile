@@ -8,13 +8,14 @@ COVER_FLOOR ?= 60
 ## seed corpora already run as plain tests under `make test`).
 FUZZ_TIME ?= 5s
 
-.PHONY: check vet build test race cover bench-smoke bench fuzz crash pmatrix
+.PHONY: check vet build test race cover bench-smoke bench fuzz crash pmatrix concurrency
 
 ## check: the full CI gate — vet, build, tests (race-enabled where it
-## matters), the engine suite across a GOMAXPROCS matrix, per-package
-## coverage floors, the fault-injection battery, short fuzz sessions,
-## and a one-shot run of the query-cache benchmark.
-check: vet build test race pmatrix cover crash fuzz bench-smoke
+## matters), the engine suite across a GOMAXPROCS matrix, the snapshot
+## isolation battery, per-package coverage floors, the fault-injection
+## battery, short fuzz sessions, and a one-shot run of the query-cache
+## benchmark.
+check: vet build test race pmatrix concurrency cover crash fuzz bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +39,19 @@ pmatrix:
 	@for p in 1 2 4; do \
 		echo "pmatrix: GOMAXPROCS=$$p"; \
 		GOMAXPROCS=$$p $(GO) test -count=1 ./internal/sqldb || exit 1; \
+	done
+
+## concurrency: the snapshot-isolation gate — the reconstruction-
+## during-updates differential (snapshot XML byte-identical to serial
+## replay at every commit boundary, DOP 1/4/16), query cancellation,
+## and the concurrent cached-query/DDL races, under -race across a
+## GOMAXPROCS matrix.
+concurrency:
+	@for p in 1 2 4; do \
+		echo "concurrency: GOMAXPROCS=$$p"; \
+		GOMAXPROCS=$$p $(GO) test -race -count=1 \
+			-run 'TestSnapshotReconstructDuringUpdates|TestQueryContextCancel|TestConcurrentCachedQueriesWithDDL|TestParallelQueriesUnderConcurrentMutations' \
+			./internal/sqldb ./internal/core || exit 1; \
 	done
 
 ## cover: per-package statement-coverage floors for the packages that

@@ -14,20 +14,23 @@
 // Actions (pick one):
 //
 //	-query '/site//item/name'   run an XPath query, print id/value rows
+//	-timeout 500ms              with -query: cancel execution at the deadline
 //	-sql                        with -query: also print the generated SQL
 //	-explain                    with -query: also print the physical plan
 //	-analyze                    with -query: execute under EXPLAIN ANALYZE and
 //	                            print the plan annotated with actual rows/time
 //	-publish                    reconstruct and print the whole document
 //	-results                    with -query: publish matches as XML
-//	-stats                      print storage, cache, query-metrics and
-//	                            phase-timing statistics (after any -query run)
+//	-stats                      print storage, cache, snapshot, query-metrics
+//	                            and phase-timing statistics (after any -query run)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/publish"
@@ -45,6 +48,7 @@ func main() {
 		valueIdx = flag.Bool("value-index", false, "create content-value indexes")
 		parallel = flag.Int("parallel", 0, "intra-query parallelism: 0=auto (GOMAXPROCS), 1=serial, n=worker cap")
 		query    = flag.String("query", "", "XPath query to run")
+		timeout  = flag.Duration("timeout", 0, "query deadline (e.g. 500ms); 0 = no limit")
 		showSQL  = flag.Bool("sql", false, "print the generated SQL")
 		explain  = flag.Bool("explain", false, "print the physical plan")
 		analyze  = flag.Bool("analyze", false, "execute under EXPLAIN ANALYZE and print actual rows/time per operator")
@@ -166,7 +170,13 @@ func main() {
 			}
 			fmt.Println()
 		} else {
-			res, err := st.Query(*query)
+			ctx := context.Background()
+			if *timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, *timeout)
+				defer cancel()
+			}
+			res, err := st.QueryContext(ctx, *query)
 			if err != nil {
 				fail("querying: %v", err)
 			}
@@ -212,6 +222,13 @@ func printStats(st *core.Store) {
 		plans.Entries, plans.Capacity, plans.Hits, plans.Misses, plans.Evictions, plans.Invalidations)
 	fmt.Printf("  translation cache: %d/%d entries  %d hits  %d misses  %d evictions  %d invalidations\n",
 		trans.Entries, trans.Capacity, trans.Hits, trans.Misses, trans.Evictions, trans.Invalidations)
+
+	sn := dbStats.Snapshots
+	fmt.Printf("snapshots:\n")
+	fmt.Printf("  acquired: %d  pinned: %d (oldest %s)  publishes: %d\n",
+		sn.Acquired, sn.Pinned, sn.OldestAge.Round(time.Microsecond), sn.Publishes)
+	fmt.Printf("  writer waits: %d in %s  versions reclaimed: %d\n",
+		sn.PublishWaits, sn.PublishWaitTime.Round(time.Microsecond), sn.VersionsReclaimed)
 
 	m := dbStats.Metrics
 	fmt.Printf("query metrics:\n")

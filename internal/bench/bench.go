@@ -64,6 +64,7 @@ func All() []Experiment {
 		{ID: "A2", Title: "Ablation: interval child step, parent probe vs region predicate", Run: runA2},
 		{ID: "R1", Title: "Durability: WAL overhead, checkpoint and recovery time", Run: runR1},
 		{ID: "Q1", Title: "Morsel-parallel speedup on the F1 mix across DOP", Run: runQ1},
+		{ID: "C1", Title: "Reader throughput/latency under concurrent ordered inserts (snapshot isolation)", Run: runC1},
 	}
 }
 

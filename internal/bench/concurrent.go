@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/shred"
+	"repro/internal/xmldom"
+	"repro/internal/xmlgen"
+	"repro/internal/xpath"
+)
+
+// C1: reader throughput and latency under concurrent ordered inserts.
+//
+// The snapshot-isolation claim made concrete: with versioned tables and
+// lock-free readers, a query never waits for a writer — it pins the
+// latest published version set and runs against it while the writer
+// renumbers, relabels and publishes new versions. The experiment runs a
+// fixed reader pool twice per scheme — once against an idle store, once
+// while a writer loops ordered subtree insertions — and reports
+// throughput plus the p50/p99 latency shift. Under the seed engine's
+// single RWMutex, the contended p99 tracked the writer's full insert
+// time (document-wide renumbering for interval); under snapshots it
+// should stay within small factors of idle. Interval is the heavy-write
+// case (every insert rewrites the region encoding), dewey the
+// light-write case (local relabel).
+
+func runC1(w io.Writer, cfg Config) error {
+	f := cfg.Factor
+	window := 600 * time.Millisecond
+	if cfg.Quick {
+		f = 0.05
+		window = 150 * time.Millisecond
+	}
+	doc := xmlgen.Auction(xmlgen.Config{Factor: f, Seed: cfg.Seed})
+	const readers = 2
+	readerQuery := "//item/name"
+
+	t := newTable("scheme", "writer", "reads", "reads/s", "p50 ms", "p99 ms", "inserts/s")
+	for _, name := range []string{"interval", "dewey"} {
+		s, err := remakeByName(name)
+		if err != nil {
+			return err
+		}
+		db, err := shred.LoadDocument(s, doc)
+		if err != nil {
+			return err
+		}
+		sql, err := s.Translate(xpath.MustParse(readerQuery))
+		if err != nil {
+			return err
+		}
+		oas := xpath.Eval(doc, xpath.MustParse("/site/open_auctions"))
+		if len(oas) != 1 {
+			return fmt.Errorf("expected one open_auctions element")
+		}
+		parentID := int64(oas[0].Pre)
+		nChildren := len(oas[0].Children)
+
+		for _, withWriter := range []bool{false, true} {
+			stop := make(chan struct{})
+			var writerWG sync.WaitGroup
+			inserts := 0
+			if withWriter {
+				writerWG.Add(1)
+				go func() {
+					defer writerWG.Done()
+					rng := xmlgen.NewRNG(cfg.Seed)
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						frag, err := xmldom.ParseString(fmt.Sprintf(insertFragment, i))
+						if err != nil {
+							return
+						}
+						pos := rng.Intn(nChildren + inserts)
+						if err := s.InsertSubtree(db, parentID, pos, frag.RootElement().Copy()); err != nil {
+							return // e.g. dewey label-gap exhaustion: stop writing, readers continue
+						}
+						inserts++
+					}
+				}()
+			}
+
+			var mu sync.Mutex
+			var lats []time.Duration
+			var readerWG sync.WaitGroup
+			var readErr error
+			start := time.Now()
+			for r := 0; r < readers; r++ {
+				readerWG.Add(1)
+				go func() {
+					defer readerWG.Done()
+					var local []time.Duration
+					for time.Since(start) < window {
+						t0 := time.Now()
+						if _, err := db.Query(sql); err != nil {
+							mu.Lock()
+							readErr = err
+							mu.Unlock()
+							return
+						}
+						local = append(local, time.Since(t0))
+					}
+					mu.Lock()
+					lats = append(lats, local...)
+					mu.Unlock()
+				}()
+			}
+			readerWG.Wait()
+			elapsed := time.Since(start)
+			close(stop)
+			writerWG.Wait()
+			if readErr != nil {
+				return fmt.Errorf("C1 reader (%s): %w", name, readErr)
+			}
+			if len(lats) == 0 {
+				return fmt.Errorf("C1 (%s): no reads completed in the window", name)
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			p50 := lats[len(lats)/2]
+			p99 := lats[len(lats)*99/100]
+			mode := "idle"
+			ips := "-"
+			if withWriter {
+				mode = "inserting"
+				ips = fmt.Sprintf("%.0f", float64(inserts)/elapsed.Seconds())
+			}
+			t.add(name, mode, fmt.Sprintf("%d", len(lats)),
+				fmt.Sprintf("%.0f", float64(len(lats))/elapsed.Seconds()),
+				ms(p50), ms(p99), ips)
+		}
+	}
+	t.write(w)
+	fmt.Fprintln(w, "readers pin a snapshot per query and never block on the writer; contended p99 near idle is the win;")
+	fmt.Fprintln(w, "on a single-core host reader and writer still timeshare one CPU, so some contended slowdown is scheduling, not locking")
+	return nil
+}

@@ -18,6 +18,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -270,16 +271,28 @@ func (st *Store) Translate(query string) (string, error) {
 
 // Query compiles and executes an XPath query.
 func (st *Store) Query(query string) (*Result, error) {
+	return st.QueryContext(context.Background(), query)
+}
+
+// QueryContext is Query honoring a context: cancellation or deadline
+// expiry aborts the SQL execution at its next operator chokepoint and
+// returns the context's error.
+func (st *Store) QueryContext(ctx context.Context, query string) (*Result, error) {
 	sql, err := st.Translate(query)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	rows, err := st.db.Query(sql)
+	rows, err := st.db.QueryContext(ctx, sql)
 	if err != nil {
 		return nil, fmt.Errorf("core: executing translation of %q: %w", query, err)
 	}
 	st.execPhase.add(time.Since(start))
+	return resultFrom(query, sql, rows), nil
+}
+
+// resultFrom extracts Matches from a translated query's row set.
+func resultFrom(query, sql string, rows *sqldb.Rows) *Result {
 	res := &Result{Query: query, SQL: sql, Matches: make([]Match, 0, rows.Len())}
 	for _, r := range rows.Data {
 		m := Match{ID: r[0].Int()}
@@ -289,7 +302,7 @@ func (st *Store) Query(query string) (*Result, error) {
 		}
 		res.Matches = append(res.Matches, m)
 	}
-	return res, nil
+	return res
 }
 
 // ExplainAnalyze translates an XPath query and executes it under full

@@ -216,7 +216,7 @@ func (bn *Binary) Translate(q *xpath.Path) (string, error) {
 
 // Reconstruct implements Scheme: the partitions are unioned back into
 // edge form and assembled.
-func (bn *Binary) Reconstruct(db *sqldb.Database) (*xmldom.Document, error) {
+func (bn *Binary) Reconstruct(db sqldb.Queryer) (*xmldom.Document, error) {
 	type edgeRow struct {
 		source, ordinal, target int64
 		name, kind, value       string

@@ -126,7 +126,7 @@ func (d *Dewey) Translate(q *xpath.Path) (string, error) {
 }
 
 // Reconstruct implements Scheme.
-func (d *Dewey) Reconstruct(db *sqldb.Database) (*xmldom.Document, error) {
+func (d *Dewey) Reconstruct(db sqldb.Queryer) (*xmldom.Document, error) {
 	rows, err := db.Query(`SELECT path, kind, name, value FROM dewey ORDER BY path`)
 	if err != nil {
 		return nil, err

@@ -134,7 +134,7 @@ func catalogPath(n *xmldom.Node) string {
 }
 
 // Reconstruct implements Scheme.
-func (e *Edge) Reconstruct(db *sqldb.Database) (*xmldom.Document, error) {
+func (e *Edge) Reconstruct(db sqldb.Queryer) (*xmldom.Document, error) {
 	rows, err := db.Query(`SELECT source, ordinal, name, kind, target, value FROM edge`)
 	if err != nil {
 		return nil, err

@@ -244,7 +244,7 @@ func (in *Inline) Translate(q *xpath.Path) (string, error) {
 // Reconstruct implements Scheme: rebuilds the canonical document
 // (element structure, attributes, text — without comments/PIs or mixed
 // interleaving, per the mapping's documented loss).
-func (in *Inline) Reconstruct(db *sqldb.Database) (*xmldom.Document, error) {
+func (in *Inline) Reconstruct(db sqldb.Queryer) (*xmldom.Document, error) {
 	type relRow struct {
 		rel    *translate.InlineRelation
 		id     int64

@@ -99,7 +99,7 @@ func (iv *Interval) Translate(q *xpath.Path) (string, error) {
 }
 
 // Reconstruct implements Scheme.
-func (iv *Interval) Reconstruct(db *sqldb.Database) (*xmldom.Document, error) {
+func (iv *Interval) Reconstruct(db sqldb.Queryer) (*xmldom.Document, error) {
 	rows, err := db.Query(`SELECT pre, parent, kind, name, value, ordinal FROM accel ORDER BY pre`)
 	if err != nil {
 		return nil, err

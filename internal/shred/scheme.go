@@ -32,8 +32,11 @@ type Scheme interface {
 	// Translate compiles an XPath query to SQL with result columns
 	// (id, val) in document order.
 	Translate(q *xpath.Path) (string, error)
-	// Reconstruct rebuilds the stored document from tuples.
-	Reconstruct(db *sqldb.Database) (*xmldom.Document, error)
+	// Reconstruct rebuilds the stored document from tuples. It takes
+	// the read-only Queryer surface so it can run either against the
+	// live database or against one pinned snapshot version
+	// (reconstruct-while-updating).
+	Reconstruct(db sqldb.Queryer) (*xmldom.Document, error)
 	// InsertSubtree inserts subtree as the position-th element child
 	// (0-based, counted among non-attribute children) of the element
 	// with the given node id. Schemes that cannot express ordered

@@ -192,7 +192,7 @@ func (u *Universal) Translate(q *xpath.Path) (string, error) {
 }
 
 // Reconstruct implements Scheme: merge the leaf rows' ancestor chains.
-func (u *Universal) Reconstruct(db *sqldb.Database) (*xmldom.Document, error) {
+func (u *Universal) Reconstruct(db sqldb.Queryer) (*xmldom.Document, error) {
 	rows, err := db.Query(`SELECT * FROM universal ORDER BY leaf`)
 	if err != nil {
 		return nil, err

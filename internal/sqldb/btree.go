@@ -1,9 +1,15 @@
 package sqldb
 
 // B+tree index over composite Value keys. Entries are (key, rowid) pairs;
-// rowid acts as a tiebreaker so duplicate keys are supported. Leaves are
-// chained for range scans, which is what the interval-encoding (pre/post)
-// and Dewey-prefix query translations depend on.
+// rowid acts as a tiebreaker so duplicate keys are supported.
+//
+// The tree is copy-on-write: every node carries the generation that
+// created it, and a writer first calls beginWrite to obtain a private
+// tree handle stamped with a fresh generation. Mutations path-copy any
+// node from an older generation before touching it, so all nodes
+// reachable from a previously published root stay immutable and
+// lock-free readers can walk them while the writer works. Nodes the
+// writer itself created (same generation) are mutated in place.
 
 const btreeOrder = 64 // max entries per node
 
@@ -13,14 +19,15 @@ type btreeEntry struct {
 }
 
 type btreeNode struct {
+	gen      uint64
 	leaf     bool
 	entries  []btreeEntry // in leaf: data; in inner: separator keys
 	children []*btreeNode // inner only; len = len(entries)+1
-	next     *btreeNode   // leaf chain
 }
 
-// btree is the index structure. Not safe for concurrent mutation; the
-// Database serializes writers.
+// btree is the index structure. A given handle is not safe for
+// concurrent mutation; the Database serializes writers, and readers
+// only ever see published (immutable) handles.
 //
 // The tree maintains approximate distinct-prefix counts per key column
 // (distinct[L-1] = number of distinct L-column key prefixes). They are
@@ -28,14 +35,43 @@ type btreeNode struct {
 // neighbors, which miscounts slightly at leaf boundaries — fine for the
 // planner's cardinality estimates, their only consumer.
 type btree struct {
+	gen      uint64
 	root     *btreeNode
 	size     int
 	width    int
 	distinct []int
 }
 
-func newBtree() *btree {
-	return &btree{root: &btreeNode{leaf: true}}
+func newBtree(gen uint64) *btree {
+	return &btree{gen: gen, root: &btreeNode{gen: gen, leaf: true}}
+}
+
+// beginWrite returns a private handle for a writer at generation gen.
+// The handle shares all nodes with the receiver; mutations through it
+// copy shared nodes on first touch and never disturb the original.
+func (t *btree) beginWrite(gen uint64) *btree {
+	return &btree{
+		gen:      gen,
+		root:     t.root,
+		size:     t.size,
+		width:    t.width,
+		distinct: append([]int(nil), t.distinct...),
+	}
+}
+
+// mutable returns n if it already belongs to this writer's generation,
+// else a copy stamped with it. The caller must link the returned node
+// in place of n (path copying).
+func (t *btree) mutable(n *btreeNode) *btreeNode {
+	if n.gen == t.gen {
+		return n
+	}
+	c := &btreeNode{gen: t.gen, leaf: n.leaf}
+	c.entries = append([]btreeEntry(nil), n.entries...)
+	if len(n.children) > 0 {
+		c.children = append([]*btreeNode(nil), n.children...)
+	}
+	return c
 }
 
 // DistinctPrefix estimates the number of distinct L-column key prefixes.
@@ -121,30 +157,21 @@ func (n *btreeNode) childIndex(key []Value, rid int64) int {
 
 // Insert adds (key, rid). Duplicate (key, rid) pairs are ignored.
 func (t *btree) Insert(key []Value, rid int64) {
-	newRoot := t.insertRec(t.root, key, rid)
-	if newRoot != nil {
-		t.root = newRoot
+	t.root = t.mutable(t.root)
+	promoted, right := t.insertInto(t.root, key, rid)
+	if right != nil {
+		t.root = &btreeNode{
+			gen:      t.gen,
+			leaf:     false,
+			entries:  []btreeEntry{promoted},
+			children: []*btreeNode{t.root, right},
+		}
 	}
 }
 
-// insertRec inserts into the subtree at n and returns a new root if the
-// node split and n was the root, else nil. Splits propagate by having
-// the caller patch its child/entry slices via the returned promotion.
-func (t *btree) insertRec(n *btreeNode, key []Value, rid int64) *btreeNode {
-	promoted, right := t.insertInto(n, key, rid)
-	if right == nil {
-		return nil
-	}
-	root := &btreeNode{
-		leaf:     false,
-		entries:  []btreeEntry{promoted},
-		children: []*btreeNode{n, right},
-	}
-	return root
-}
-
-// insertInto performs the recursive insert. On split it returns the
-// promoted separator and the new right sibling.
+// insertInto performs the recursive insert into n, which the caller has
+// already made mutable. On split it returns the promoted separator and
+// the new right sibling.
 func (t *btree) insertInto(n *btreeNode, key []Value, rid int64) (btreeEntry, *btreeNode) {
 	if n.leaf {
 		i := n.lowerBound(key, rid)
@@ -159,10 +186,12 @@ func (t *btree) insertInto(n *btreeNode, key []Value, rid int64) (btreeEntry, *b
 		if len(n.entries) <= btreeOrder {
 			return btreeEntry{}, nil
 		}
-		return n.splitLeaf()
+		return t.splitLeaf(n)
 	}
 	i := n.childIndex(key, rid)
-	promoted, right := t.insertInto(n.children[i], key, rid)
+	child := t.mutable(n.children[i])
+	n.children[i] = child
+	promoted, right := t.insertInto(child, key, rid)
 	if right == nil {
 		return btreeEntry{}, nil
 	}
@@ -175,24 +204,22 @@ func (t *btree) insertInto(n *btreeNode, key []Value, rid int64) (btreeEntry, *b
 	if len(n.entries) <= btreeOrder {
 		return btreeEntry{}, nil
 	}
-	return n.splitInner()
+	return t.splitInner(n)
 }
 
-func (n *btreeNode) splitLeaf() (btreeEntry, *btreeNode) {
+func (t *btree) splitLeaf(n *btreeNode) (btreeEntry, *btreeNode) {
 	mid := len(n.entries) / 2
-	right := &btreeNode{leaf: true}
+	right := &btreeNode{gen: t.gen, leaf: true}
 	right.entries = append(right.entries, n.entries[mid:]...)
 	n.entries = n.entries[:mid:mid]
-	right.next = n.next
-	n.next = right
 	// Leaf split promotes a copy of the right node's first entry.
 	return right.entries[0], right
 }
 
-func (n *btreeNode) splitInner() (btreeEntry, *btreeNode) {
+func (t *btree) splitInner(n *btreeNode) (btreeEntry, *btreeNode) {
 	mid := len(n.entries) / 2
 	promoted := n.entries[mid]
-	right := &btreeNode{leaf: false}
+	right := &btreeNode{gen: t.gen, leaf: false}
 	right.entries = append(right.entries, n.entries[mid+1:]...)
 	right.children = append(right.children, n.children[mid+1:]...)
 	n.entries = n.entries[:mid:mid]
@@ -204,15 +231,24 @@ func (n *btreeNode) splitInner() (btreeEntry, *btreeNode) {
 // the tree stays correct and scans skip empty leaves. Returns whether the
 // entry existed.
 func (t *btree) Delete(key []Value, rid int64) bool {
+	// Probe first so a missing entry does not path-copy for nothing.
 	n := t.root
 	for !n.leaf {
-		i := n.childIndex(key, rid)
-		n = n.children[i]
+		n = n.children[n.childIndex(key, rid)]
 	}
 	i := n.lowerBound(key, rid)
 	if i >= len(n.entries) || compareEntry(n.entries[i], key, rid) != 0 {
 		return false
 	}
+	t.root = t.mutable(t.root)
+	n = t.root
+	for !n.leaf {
+		ci := n.childIndex(key, rid)
+		c := t.mutable(n.children[ci])
+		n.children[ci] = c
+		n = c
+	}
+	i = n.lowerBound(key, rid)
 	t.countDelete(n, i, key)
 	n.entries = append(n.entries[:i], n.entries[i+1:]...)
 	t.size--
@@ -252,42 +288,55 @@ func (t *btree) countDelete(n *btreeNode, i int, key []Value) {
 // Len returns the number of entries.
 func (t *btree) Len() int { return t.size }
 
-// btreeCursor walks leaf entries in key order.
-type btreeCursor struct {
+// cursorFrame is one level of a cursor's root-to-leaf path. For an
+// inner node, pos is the index of the child the cursor descended into;
+// for the leaf it is the current entry index.
+type cursorFrame struct {
 	node *btreeNode
 	pos  int
+}
+
+// btreeCursor walks leaf entries in key order. Leaves carry no sibling
+// links (copy-on-write would dangle them), so the cursor keeps the full
+// descent path and climbs it to step across leaf boundaries. The zero
+// value is an exhausted (invalid) cursor.
+type btreeCursor struct {
+	frames []cursorFrame
 }
 
 // seek positions the cursor at the first entry with key >= bound,
 // comparing only len(bound) key columns (prefix semantics). A nil bound
 // seeks to the first entry.
 func (t *btree) seek(bound []Value) btreeCursor {
+	var c btreeCursor
 	n := t.root
-	if bound == nil {
-		for !n.leaf {
-			n = n.children[0]
+	for {
+		i := 0
+		if bound != nil {
+			i = prefixLowerBound(n.entries, bound)
 		}
-		return btreeCursor{node: n, pos: 0}
-	}
-	for !n.leaf {
-		i := prefixLowerBound(n.entries, bound)
+		c.frames = append(c.frames, cursorFrame{node: n, pos: i})
+		if n.leaf {
+			break
+		}
 		n = n.children[i]
 	}
-	i := prefixLowerBound(n.entries, bound)
-	c := btreeCursor{node: n, pos: i}
 	c.skipEmpty()
 	return c
 }
 
 // seekAfter positions at the first entry with key prefix > bound.
 func (t *btree) seekAfter(bound []Value) btreeCursor {
+	var c btreeCursor
 	n := t.root
-	for !n.leaf {
+	for {
 		i := prefixUpperBound(n.entries, bound)
+		c.frames = append(c.frames, cursorFrame{node: n, pos: i})
+		if n.leaf {
+			break
+		}
 		n = n.children[i]
 	}
-	i := prefixUpperBound(n.entries, bound)
-	c := btreeCursor{node: n, pos: i}
 	c.skipEmpty()
 	return c
 }
@@ -335,21 +384,51 @@ func prefixUpperBound(entries []btreeEntry, bound []Value) int {
 	return lo
 }
 
+// skipEmpty normalizes the cursor so its top frame is a leaf with a
+// valid entry index, climbing and re-descending across leaf boundaries
+// (and over empty leaves, which deletes tolerate) as needed. When the
+// tree is exhausted the frame stack empties and the cursor is invalid.
 func (c *btreeCursor) skipEmpty() {
-	for c.node != nil && c.pos >= len(c.node.entries) {
-		c.node = c.node.next
-		c.pos = 0
+	for len(c.frames) > 0 {
+		top := &c.frames[len(c.frames)-1]
+		if top.node.leaf {
+			if top.pos < len(top.node.entries) {
+				return
+			}
+			c.frames = c.frames[:len(c.frames)-1]
+			continue
+		}
+		if top.pos+1 <= len(top.node.entries) {
+			top.pos++
+			n := top.node.children[top.pos]
+			for !n.leaf {
+				c.frames = append(c.frames, cursorFrame{node: n, pos: 0})
+				n = n.children[0]
+			}
+			c.frames = append(c.frames, cursorFrame{node: n, pos: 0})
+			continue
+		}
+		c.frames = c.frames[:len(c.frames)-1]
 	}
 }
 
 // valid reports whether the cursor points at an entry.
-func (c *btreeCursor) valid() bool { return c.node != nil && c.pos < len(c.node.entries) }
+func (c *btreeCursor) valid() bool {
+	if len(c.frames) == 0 {
+		return false
+	}
+	top := c.frames[len(c.frames)-1]
+	return top.node.leaf && top.pos < len(top.node.entries)
+}
 
 // entry returns the current entry; caller must check valid first.
-func (c *btreeCursor) entry() btreeEntry { return c.node.entries[c.pos] }
+func (c *btreeCursor) entry() btreeEntry {
+	top := c.frames[len(c.frames)-1]
+	return top.node.entries[top.pos]
+}
 
 // advance moves to the next entry in key order.
 func (c *btreeCursor) advance() {
-	c.pos++
+	c.frames[len(c.frames)-1].pos++
 	c.skipEmpty()
 }

@@ -18,7 +18,7 @@ func collectAll(t *btree) []btreeEntry {
 }
 
 func TestBtreeOrderedInsertScan(t *testing.T) {
-	tr := newBtree()
+	tr := newBtree(1)
 	const n = 1000
 	for i := 0; i < n; i++ {
 		tr.Insert([]Value{NewInt(int64(i))}, int64(i))
@@ -45,7 +45,7 @@ func TestBtreeOrderedInsertScan(t *testing.T) {
 // re-inserting every (key, rid) must not duplicate or lose entries.
 // This is exactly what an UPDATE on a non-key column does to an index.
 func TestBtreeEqualKeyDeleteReinsert(t *testing.T) {
-	tr := newBtree()
+	tr := newBtree(1)
 	const n = 300
 	key := []Value{NewText("same")}
 	for i := 0; i < n; i++ {
@@ -77,7 +77,7 @@ func TestBtreeEqualKeyDeleteReinsert(t *testing.T) {
 }
 
 func TestBtreeRangeScan(t *testing.T) {
-	tr := newBtree()
+	tr := newBtree(1)
 	for i := 0; i < 500; i++ {
 		tr.Insert([]Value{NewInt(int64(i % 50)), NewInt(int64(i))}, int64(i))
 	}
@@ -114,7 +114,7 @@ func TestBtreeAgainstReferenceModel(t *testing.T) {
 		Del bool
 	}
 	check := func(ops []op) bool {
-		tr := newBtree()
+		tr := newBtree(1)
 		ref := map[string]bool{}
 		for _, o := range ops {
 			key := []Value{NewInt(int64(o.Key % 16))}
@@ -166,7 +166,7 @@ func TestBtreeAgainstReferenceModel(t *testing.T) {
 }
 
 func TestBtreeDistinctPrefixTracking(t *testing.T) {
-	tr := newBtree()
+	tr := newBtree(1)
 	// 20 names × 5 values each.
 	for n := 0; n < 20; n++ {
 		for v := 0; v < 5; v++ {

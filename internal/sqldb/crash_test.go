@@ -283,13 +283,13 @@ func TestConcurrentCommitsWithCheckpoint(t *testing.T) {
 				t.Fatalf("recovery: %v", err)
 			}
 			rdb := d2.DB()
-			tbl := rdb.table("kv")
+			tbl := rdb.readState().table("kv")
 			if tbl == nil {
 				t.Fatal("kv table missing after recovery")
 			}
 			got := map[int64]bool{}
-			for _, row := range tbl.rows {
-				if row != nil {
+			for rid := int64(0); rid < tbl.slotCount(); rid++ {
+				if row := tbl.row(rid); row != nil {
 					got[row[0].I] = true
 				}
 			}

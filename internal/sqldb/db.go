@@ -1,72 +1,202 @@
 package sqldb
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Database is an in-memory relational database. It is safe for
-// concurrent use: readers share an RLock, writers serialize.
+// dbState is one immutable published version of the entire database:
+// the catalog plus every table version, stamped with the schema epoch
+// and the commit sequence that produced it. Readers load the current
+// state with one atomic pointer read and run against it with no lock
+// held; writers clone it, mutate the clone privately, and publish at
+// commit. A state, once published, is never mutated.
+type dbState struct {
+	// seq is the commit sequence of the publish. It is unified with the
+	// WAL: under a DurableDB every committed record's WAL sequence is
+	// the state's seq, so "snapshot at seq S" names both an in-memory
+	// version and a WAL position.
+	seq uint64
+	// epoch is the schema version, advanced by every DDL statement (and
+	// by SetParallelism). Compiled plans — cached or prepared — are
+	// valid only for the epoch they were planned at (see plancache.go).
+	epoch       uint64
+	tables      map[string]*table
+	indexes     map[string]*IndexDef // index name -> def (table lookup)
+	parallelism int
+}
+
+func (st *dbState) table(name string) *table {
+	return st.tables[lowerName(name)]
+}
+
+func (st *dbState) shallowClone() *dbState {
+	c := &dbState{
+		seq:         st.seq,
+		epoch:       st.epoch,
+		parallelism: st.parallelism,
+		tables:      make(map[string]*table, len(st.tables)),
+		indexes:     make(map[string]*IndexDef, len(st.indexes)),
+	}
+	for k, v := range st.tables {
+		c.tables[k] = v
+	}
+	for k, v := range st.indexes {
+		c.indexes[k] = v
+	}
+	return c
+}
+
+func lowerName(name string) string { return strings.ToLower(name) }
+
+// Database is an in-memory relational database with snapshot-isolated
+// reads: queries, EXPLAIN ANALYZE and reconstruction pin the latest
+// published dbState and never block (or are blocked by) writers.
+// Writers serialize among themselves on writeMu, mutate a private
+// copy-on-write clone of the state, and publish it atomically at
+// commit.
 type Database struct {
-	mu      sync.RWMutex
-	tables  map[string]*table
-	indexes map[string]*IndexDef // index name -> def (table lookup)
-	// epoch is the schema version, bumped (under mu) by every DDL
-	// statement. Compiled plans — cached or prepared — are valid only
-	// for the epoch they were planned at (see plancache.go).
-	epoch uint64
+	state   atomic.Pointer[dbState]
+	writeMu sync.Mutex
+	// gen numbers writer transactions; copy-on-write storage uses it to
+	// distinguish nodes/pages a transaction owns (mutate in place) from
+	// shared ones (copy first).
+	gen atomic.Uint64
+	// seq issues commit sequence numbers when no durability layer is
+	// attached; with a logger, the WAL assigns them (see logCommit).
+	seq   atomic.Uint64
 	plans *planCache
 	// metrics is the runtime observability registry: query-latency
 	// histograms by SQL template, per-operator totals, slow-query log.
-	// It has its own mutex and is safe under any db.mu mode.
+	// It has its own mutex and is safe from any goroutine.
 	metrics *metricsRegistry
+	// snaps tracks snapshot activity: acquisitions, pinned snapshots and
+	// their ages, writer publish waits, superseded-version counts.
+	snaps *snapTracker
 	// logger, when set (by DurableDB), receives one logical record per
-	// committed mutation, invoked while the write lock is still held so
-	// log order equals commit order. A non-nil error means the commit
-	// is not durable: the caller must roll the in-memory mutation back
-	// before releasing the lock, so memory never diverges from the WAL.
+	// committed mutation, invoked while writeMu is held so log order
+	// equals commit order. A non-nil error means the commit is not
+	// durable: the writer must then discard its pending state without
+	// publishing, so memory never diverges from the WAL.
 	logger func(*walRecord) error
-	// parallelism is the degree-of-parallelism knob for intra-query
-	// execution (see parallel.go): 0 = auto (GOMAXPROCS), 1 = serial.
-	// Guarded by mu; changing it bumps the epoch so cached plans
-	// re-decide their parallel wrapping.
-	parallelism int
 }
 
 // setCommitLogger attaches (or detaches, with nil) the durability
 // layer's commit logger.
 func (db *Database) setCommitLogger(fn func(*walRecord) error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 	db.logger = fn
-}
-
-// logCommit hands a committed mutation to the durability layer.
-// Caller holds the write lock.
-func (db *Database) logCommit(rec *walRecord) error {
-	if db.logger == nil {
-		return nil
-	}
-	return db.logger(rec)
 }
 
 // New creates an empty database.
 func New() *Database {
-	return &Database{
-		tables:  map[string]*table{},
-		indexes: map[string]*IndexDef{},
+	db := &Database{
 		plans:   newPlanCache(defaultPlanCacheCap),
 		metrics: newMetricsRegistry(),
+		snaps:   newSnapTracker(),
+	}
+	db.state.Store(&dbState{
+		tables:  map[string]*table{},
+		indexes: map[string]*IndexDef{},
+	})
+	return db
+}
+
+// readState pins the current published state for one read operation.
+func (db *Database) readState() *dbState {
+	db.snaps.recordAcquire()
+	return db.state.Load()
+}
+
+// setSeq forces the commit sequence (and the published state's seq) to
+// n. The durability layer calls it after recovery so the in-memory
+// sequence exactly matches the WAL high-water mark.
+func (db *Database) setSeq(n uint64) {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.seq.Store(n)
+	base := db.state.Load()
+	if base.seq != n {
+		st := base.shallowClone()
+		st.seq = n
+		db.state.Store(st)
 	}
 }
 
-// bumpEpoch advances the schema version. Caller holds the write lock.
-func (db *Database) bumpEpoch() { db.epoch++ }
+// writeTx is one writer transaction: a private clone of the published
+// state at begin time. Tables are cloned copy-on-write on first touch
+// (wtable); commit logs the statement's record and publishes the clone,
+// while abort simply drops it — nothing the transaction did is ever
+// visible.
+type writeTx struct {
+	db   *Database
+	base *dbState
+	st   *dbState
+	gen  uint64
+}
 
-func (db *Database) table(name string) *table {
-	return db.tables[strings.ToLower(name)]
+// beginWrite acquires the writer slot and clones the current state.
+func (db *Database) beginWrite() *writeTx {
+	waitStart := time.Now()
+	db.writeMu.Lock()
+	db.snaps.recordPublishWait(time.Since(waitStart))
+	base := db.state.Load()
+	return &writeTx{db: db, base: base, st: base.shallowClone(), gen: db.gen.Add(1)}
+}
+
+// wtable returns a writable version of the named table in the pending
+// state, cloning the published version on first touch. Nil when the
+// table does not exist.
+func (tx *writeTx) wtable(name string) *table {
+	key := lowerName(name)
+	t := tx.st.tables[key]
+	if t == nil {
+		return nil
+	}
+	if t.gen != tx.gen {
+		t = t.beginWrite(tx.gen)
+		tx.st.tables[key] = t
+	}
+	return t
+}
+
+// commit logs rec (nil for a metadata-only change that has no WAL
+// effect) and publishes the pending state. If logging fails the pending
+// state is discarded — "rollback" is simply never publishing — and the
+// error is returned.
+func (tx *writeTx) commit(rec *walRecord) error {
+	if rec != nil {
+		if tx.db.logger != nil {
+			if err := tx.db.logger(rec); err != nil {
+				tx.db.writeMu.Unlock()
+				return err
+			}
+			tx.st.seq = rec.Seq
+			tx.db.seq.Store(rec.Seq)
+		} else {
+			tx.st.seq = tx.db.seq.Add(1)
+		}
+	}
+	reclaimed := 0
+	for k, t := range tx.base.tables {
+		if tx.st.tables[k] != t {
+			reclaimed++
+		}
+	}
+	tx.db.state.Store(tx.st)
+	tx.db.snaps.recordPublish(reclaimed)
+	tx.db.writeMu.Unlock()
+	return nil
+}
+
+// abort discards the pending state.
+func (tx *writeTx) abort() {
+	tx.db.writeMu.Unlock()
 }
 
 // Rows is a fully materialized query result.
@@ -77,6 +207,13 @@ type Rows struct {
 
 // Len returns the number of result rows.
 func (r *Rows) Len() int { return len(r.Data) }
+
+// Queryer is the read surface shared by Database and Snapshot: direct
+// SQL queries against either the live database or one pinned version.
+type Queryer interface {
+	Query(sql string, args ...Value) (*Rows, error)
+	QueryScalar(sql string, args ...Value) (Value, error)
+}
 
 // Exec runs a DDL or DML statement. It returns the number of affected
 // rows (0 for DDL). Args bind ? placeholders in order.
@@ -94,7 +231,7 @@ func (db *Database) ExecStmt(stmt Stmt, args ...Value) (int, error) {
 	case *SelectStmt:
 		return 0, errorf("use Query for SELECT statements")
 	case *CreateTableStmt:
-		return 0, db.createTable(s)
+		return 0, db.createTableDef(s.Def)
 	case *CreateIndexStmt:
 		return 0, db.createIndex(s)
 	case *DropTableStmt:
@@ -118,15 +255,23 @@ func (db *Database) MustExec(sql string, args ...Value) {
 	}
 }
 
-// Query runs a SELECT and returns the materialized result. Plans are
-// served from the epoch-validated plan cache: repeated statements skip
-// parsing and planning entirely. Every execution is instrumented: row
-// counters per operator plus end-to-end latency feed the metrics
-// registry (see Metrics). A statement may be prefixed with
+// Query runs a SELECT and returns the materialized result. The query
+// pins the latest published snapshot and runs lock-free against it.
+// Plans are served from the epoch-validated plan cache: repeated
+// statements skip parsing and planning entirely. Every execution is
+// instrumented: row counters per operator plus end-to-end latency feed
+// the metrics registry (see Metrics). A statement may be prefixed with
 // EXPLAIN or EXPLAIN ANALYZE, in which case the result is the plan text
 // (one line per row in a single "plan" column), the latter after really
 // executing the query.
 func (db *Database) Query(sql string, args ...Value) (*Rows, error) {
+	return db.QueryContext(context.Background(), sql, args...)
+}
+
+// QueryContext is Query honoring a context: cancellation or deadline
+// expiry aborts execution at the next operator chokepoint and returns
+// the context's error.
+func (db *Database) QueryContext(qctx context.Context, sql string, args ...Value) (*Rows, error) {
 	if mode, rest := stripExplainPrefix(sql); mode != explainNone {
 		var text string
 		var err error
@@ -145,14 +290,17 @@ func (db *Database) Query(sql string, args ...Value) (*Rows, error) {
 		}
 		return rows, nil
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	e, _, err := db.cachedPlanFor(sql, "Query")
+	return db.queryAt(qctx, db.readState(), sql, args)
+}
+
+// queryAt executes a SELECT against one pinned state.
+func (db *Database) queryAt(qctx context.Context, st *dbState, sql string, args []Value) (*Rows, error) {
+	e, _, err := db.cachedPlanFor(st, sql, "Query")
 	if err != nil {
 		return nil, err
 	}
 	rs := newRunStats(e.p, false)
-	ctx := &evalCtx{db: db, params: args, stats: rs}
+	ctx := &evalCtx{snap: st, qctx: qctx, params: args, stats: rs}
 	start := time.Now()
 	data, err := materialize(ctx, e.p.root)
 	if err != nil {
@@ -166,7 +314,10 @@ func (db *Database) Query(sql string, args ...Value) (*Rows, error) {
 // QueryScalar runs a SELECT expected to return a single value; it
 // returns NULL for an empty result.
 func (db *Database) QueryScalar(sql string, args ...Value) (Value, error) {
-	rows, err := db.Query(sql, args...)
+	return scalarOf(db.Query(sql, args...))
+}
+
+func scalarOf(rows *Rows, err error) (Value, error) {
 	if err != nil {
 		return Null, err
 	}
@@ -199,10 +350,9 @@ func (db *Database) Prepare(sql string) (*Prepared, error) {
 	if !ok {
 		return nil, errorf("Prepare requires a SELECT statement")
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	st := db.readState()
 	start := time.Now()
-	p, sch, err := planSelect(db, sel, nil)
+	p, sch, err := planSelect(st, sel, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -212,22 +362,26 @@ func (db *Database) Prepare(sql string) (*Prepared, error) {
 	for i, c := range sch {
 		cols[i] = c.name
 	}
-	return &Prepared{db: db, sql: sql, plan: p, cols: cols, epoch: db.epoch}, nil
+	return &Prepared{db: db, sql: sql, plan: p, cols: cols, epoch: st.epoch}, nil
 }
 
-// Query executes the prepared statement. It fails with a "prepared
-// statement is stale" error if any DDL ran since Prepare: the compiled
-// plan references the exact tables and indexes that existed at prepare
-// time, and executing it after a schema change would silently read
-// orphaned storage.
+// Query executes the prepared statement against the latest published
+// snapshot. It fails with a "prepared statement is stale" error if any
+// DDL ran since Prepare: the compiled plan references the exact tables
+// and indexes that existed at prepare time, and executing it after a
+// schema change would silently read orphaned storage.
 func (p *Prepared) Query(args ...Value) (*Rows, error) {
-	p.db.mu.RLock()
-	defer p.db.mu.RUnlock()
-	if p.epoch != p.db.epoch {
+	return p.QueryContext(context.Background(), args...)
+}
+
+// QueryContext is Query honoring a context deadline/cancellation.
+func (p *Prepared) QueryContext(qctx context.Context, args ...Value) (*Rows, error) {
+	st := p.db.readState()
+	if p.epoch != st.epoch {
 		return nil, errorf("prepared statement is stale: schema changed since Prepare (%s)", p.sql)
 	}
 	rs := newRunStats(p.plan, false)
-	ctx := &evalCtx{db: p.db, params: args, stats: rs}
+	ctx := &evalCtx{snap: st, qctx: qctx, params: args, stats: rs}
 	start := time.Now()
 	data, err := materialize(ctx, p.plan.root)
 	if err != nil {
@@ -238,188 +392,143 @@ func (p *Prepared) Query(args ...Value) (*Rows, error) {
 	return &Rows{Columns: p.cols, Data: data}, nil
 }
 
-func (db *Database) createTable(s *CreateTableStmt) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	key := strings.ToLower(s.Def.Name)
-	if _, ok := db.tables[key]; ok {
-		return errorf("table %s already exists", s.Def.Name)
-	}
-	def := s.Def
-	db.purgeStaleIndexDefs(def.Name)
-	db.tables[key] = newTable(&def)
-	db.bumpEpoch()
-	if err := db.logCommit(&walRecord{Op: opCreateTable, Def: &def}); err != nil {
-		delete(db.tables, key)
-		return err
-	}
-	return nil
+// CreateTableDef registers a table programmatically (used by the
+// shredding schemes for bulk setup without SQL round trips, by SQL
+// CREATE TABLE, and by snapshot restore/WAL replay).
+func (db *Database) CreateTableDef(def TableDef) error {
+	return db.createTableDef(def)
 }
 
-// CreateTableDef registers a table programmatically (used by the
-// shredding schemes for bulk setup without SQL round trips).
-func (db *Database) CreateTableDef(def TableDef) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	key := strings.ToLower(def.Name)
-	if _, ok := db.tables[key]; ok {
+func (db *Database) createTableDef(def TableDef) error {
+	tx := db.beginWrite()
+	key := lowerName(def.Name)
+	if _, ok := tx.st.tables[key]; ok {
+		tx.abort()
 		return errorf("table %s already exists", def.Name)
 	}
-	db.purgeStaleIndexDefs(def.Name)
-	db.tables[key] = newTable(&def)
-	db.bumpEpoch()
-	if err := db.logCommit(&walRecord{Op: opCreateTable, Def: &def}); err != nil {
-		delete(db.tables, key)
-		return err
-	}
-	return nil
+	tx.purgeStaleIndexDefs(def.Name)
+	d := def
+	tx.st.tables[key] = newTable(&d, tx.gen)
+	tx.st.epoch++
+	return tx.commit(&walRecord{Op: opCreateTable, Def: &d})
 }
 
 // purgeStaleIndexDefs drops catalog index definitions claiming a table
 // that is about to be (re)created. The table does not exist at this
 // point, so any such definition is a leftover from a dropped
 // incarnation; keeping it would let a recreated table resurrect or
-// collide with indexes it never defined. Caller holds the write lock.
-func (db *Database) purgeStaleIndexDefs(tableName string) {
-	for k, def := range db.indexes {
+// collide with indexes it never defined.
+func (tx *writeTx) purgeStaleIndexDefs(tableName string) {
+	for k, def := range tx.st.indexes {
 		if strings.EqualFold(def.Table, tableName) {
-			delete(db.indexes, k)
+			delete(tx.st.indexes, k)
 		}
 	}
 }
 
 func (db *Database) createIndex(s *CreateIndexStmt) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	key := strings.ToLower(s.Name)
-	if _, ok := db.indexes[key]; ok {
+	tx := db.beginWrite()
+	key := lowerName(s.Name)
+	if _, ok := tx.st.indexes[key]; ok {
+		tx.abort()
 		return errorf("index %s already exists", s.Name)
 	}
-	tbl := db.table(s.Table)
+	tbl := tx.wtable(s.Table)
 	if tbl == nil {
+		tx.abort()
 		return errorf("no such table: %s", s.Table)
 	}
 	def := IndexDef{Name: s.Name, Table: tbl.def.Name, Unique: s.Unique}
 	for _, c := range s.Columns {
 		ci := tbl.def.ColumnIndex(c)
 		if ci < 0 {
+			tx.abort()
 			return errorf("no such column %s in table %s", c, s.Table)
 		}
 		def.Columns = append(def.Columns, ci)
 	}
 	if _, err := tbl.addIndex(def); err != nil {
+		tx.abort()
 		return err
 	}
-	db.indexes[key] = &def
-	db.bumpEpoch()
-	if err := db.logCommit(&walRecord{Op: opCreateIndex, Index: &def}); err != nil {
-		tbl.indexes = tbl.indexes[:len(tbl.indexes)-1]
-		delete(db.indexes, key)
-		return err
-	}
-	return nil
+	tx.st.indexes[key] = &def
+	tx.st.epoch++
+	return tx.commit(&walRecord{Op: opCreateIndex, Index: &def})
 }
 
 // createIndexDef registers an index from a definition (snapshot
 // restore and WAL replay; column ordinals are already resolved).
 func (db *Database) createIndexDef(def IndexDef) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	key := strings.ToLower(def.Name)
-	if _, ok := db.indexes[key]; ok {
+	tx := db.beginWrite()
+	key := lowerName(def.Name)
+	if _, ok := tx.st.indexes[key]; ok {
+		tx.abort()
 		return errorf("index %s already exists", def.Name)
 	}
-	tbl := db.table(def.Table)
+	tbl := tx.wtable(def.Table)
 	if tbl == nil {
+		tx.abort()
 		return errorf("no such table: %s", def.Table)
 	}
 	for _, c := range def.Columns {
 		if c < 0 || c >= len(tbl.def.Columns) {
+			tx.abort()
 			return errorf("index %s: column ordinal %d out of range", def.Name, c)
 		}
 	}
 	d := def
 	d.Columns = append([]int{}, def.Columns...)
 	if _, err := tbl.addIndex(d); err != nil {
+		tx.abort()
 		return err
 	}
-	db.indexes[key] = &d
-	db.bumpEpoch()
-	if err := db.logCommit(&walRecord{Op: opCreateIndex, Index: &d}); err != nil {
-		tbl.indexes = tbl.indexes[:len(tbl.indexes)-1]
-		delete(db.indexes, key)
-		return err
-	}
-	return nil
+	tx.st.indexes[key] = &d
+	tx.st.epoch++
+	return tx.commit(&walRecord{Op: opCreateIndex, Index: &d})
 }
 
 func (db *Database) dropTable(name string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	key := strings.ToLower(name)
-	tbl, ok := db.tables[key]
+	tx := db.beginWrite()
+	key := lowerName(name)
+	tbl, ok := tx.st.tables[key]
 	if !ok {
+		tx.abort()
 		return errorf("no such table: %s", name)
 	}
-	var droppedDefs []*IndexDef
 	for _, idx := range tbl.indexes {
-		ikey := strings.ToLower(idx.def.Name)
-		if def, ok := db.indexes[ikey]; ok {
-			droppedDefs = append(droppedDefs, def)
-			delete(db.indexes, ikey)
-		}
+		delete(tx.st.indexes, lowerName(idx.def.Name))
 	}
-	delete(db.tables, key)
-	db.bumpEpoch()
-	if err := db.logCommit(&walRecord{Op: opDropTable, Table: tbl.def.Name}); err != nil {
-		db.tables[key] = tbl
-		for _, def := range droppedDefs {
-			db.indexes[strings.ToLower(def.Name)] = def
-		}
-		return err
-	}
-	return nil
+	delete(tx.st.tables, key)
+	tx.st.epoch++
+	return tx.commit(&walRecord{Op: opDropTable, Table: tbl.def.Name})
 }
 
 func (db *Database) dropIndex(name string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	key := strings.ToLower(name)
-	def, ok := db.indexes[key]
+	tx := db.beginWrite()
+	key := lowerName(name)
+	def, ok := tx.st.indexes[key]
 	if !ok {
+		tx.abort()
 		return errorf("no such index: %s", name)
 	}
-	tbl := db.table(def.Table)
-	var removed *tableIndex
-	var removedAt int
-	if tbl != nil {
+	if tbl := tx.wtable(def.Table); tbl != nil {
 		for i, idx := range tbl.indexes {
 			if strings.EqualFold(idx.def.Name, name) {
-				removed, removedAt = idx, i
 				tbl.indexes = append(tbl.indexes[:i], tbl.indexes[i+1:]...)
 				break
 			}
 		}
 	}
-	delete(db.indexes, key)
-	db.bumpEpoch()
-	if err := db.logCommit(&walRecord{Op: opDropIndex, Name: def.Name}); err != nil {
-		if removed != nil {
-			tbl.indexes = append(tbl.indexes, nil)
-			copy(tbl.indexes[removedAt+1:], tbl.indexes[removedAt:])
-			tbl.indexes[removedAt] = removed
-		}
-		db.indexes[key] = def
-		return err
-	}
-	return nil
+	delete(tx.st.indexes, key)
+	tx.st.epoch++
+	return tx.commit(&walRecord{Op: opDropIndex, Name: def.Name})
 }
 
 func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	tbl := db.table(s.Table)
+	tx := db.beginWrite()
+	tbl := tx.wtable(s.Table)
 	if tbl == nil {
+		tx.abort()
 		return 0, errorf("no such table: %s", s.Table)
 	}
 	// Column mapping: target ordinal for each provided value position.
@@ -428,6 +537,7 @@ func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
 		for _, c := range s.Columns {
 			ci := tbl.def.ColumnIndex(c)
 			if ci < 0 {
+				tx.abort()
 				return 0, errorf("no such column %s in table %s", c, s.Table)
 			}
 			mapping = append(mapping, ci)
@@ -458,33 +568,34 @@ func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
 		return row, nil
 	}
 
-	// applied collects the rows that actually landed (and their rowids);
-	// they are logged as the statement's effect (including a partial
+	// applied collects the rows that actually landed; they are logged
+	// and published as the statement's effect (including a partial
 	// prefix when the statement errors mid-way, so durable state tracks
-	// memory). If the commit itself cannot be logged, the applied rows
-	// are rolled back: memory must never hold state the WAL does not.
+	// memory). If the commit itself cannot be logged, the pending state
+	// is discarded unpublished: memory never holds state the WAL does
+	// not.
 	var applied [][]Value
-	var appliedRids []int64
 	finish := func(execErr error) (int, error) {
-		if len(applied) > 0 {
-			if logErr := db.logCommit(&walRecord{Op: opInsert, Table: tbl.def.Name, Rows: applied}); logErr != nil {
-				for i := len(appliedRids) - 1; i >= 0; i-- {
-					tbl.delete(appliedRids[i])
-				}
-				return 0, logErr
-			}
+		if len(applied) == 0 {
+			tx.abort()
+			return 0, execErr
+		}
+		if logErr := tx.commit(&walRecord{Op: opInsert, Table: tbl.def.Name, Rows: applied}); logErr != nil {
+			return 0, logErr
 		}
 		return len(applied), execErr
 	}
 
-	ctx := &evalCtx{db: db, params: args}
+	ctx := &evalCtx{snap: tx.st, qctx: context.Background(), params: args}
 	if s.Select != nil {
-		p, _, err := planSelect(db, s.Select, nil)
+		p, _, err := planSelect(tx.st, s.Select, nil)
 		if err != nil {
+			tx.abort()
 			return 0, err
 		}
 		data, err := materialize(ctx, p.root)
 		if err != nil {
+			tx.abort()
 			return 0, err
 		}
 		for _, vals := range data {
@@ -492,17 +603,15 @@ func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
 			if err != nil {
 				return finish(err)
 			}
-			rid, err := tbl.insert(row)
-			if err != nil {
+			if _, err := tbl.insert(row); err != nil {
 				return finish(err)
 			}
 			applied = append(applied, row)
-			appliedRids = append(appliedRids, rid)
 		}
 		return finish(nil)
 	}
 
-	comp := &compiler{db: db, sch: schema{}}
+	comp := &compiler{st: tx.st, sch: schema{}}
 	for _, exprs := range s.Rows {
 		vals := make([]Value, len(exprs))
 		for i, e := range exprs {
@@ -519,12 +628,10 @@ func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
 		if err != nil {
 			return finish(err)
 		}
-		rid, err := tbl.insert(row)
-		if err != nil {
+		if _, err := tbl.insert(row); err != nil {
 			return finish(err)
 		}
 		applied = append(applied, row)
-		appliedRids = append(appliedRids, rid)
 	}
 	return finish(nil)
 }
@@ -532,100 +639,94 @@ func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
 // BulkInsert appends rows to a table without SQL parsing, for loaders.
 // Values are coerced to the declared column types. The batch is atomic:
 // every row is validated before any is stored, and a constraint failure
-// mid-batch (duplicate key, unique index) rolls back the rows already
-// inserted, leaving the table and its indexes unchanged.
+// mid-batch (duplicate key, unique index) discards the pending version,
+// leaving the published table and its indexes unchanged.
 func (db *Database) BulkInsert(tableName string, rows [][]Value) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	tbl := db.table(tableName)
+	tx := db.beginWrite()
+	tbl := tx.wtable(tableName)
 	if tbl == nil {
+		tx.abort()
 		return 0, errorf("no such table: %s", tableName)
 	}
 	// Phase 1: coerce and validate every row before touching storage.
 	coerced := make([][]Value, len(rows))
 	for ri, vals := range rows {
 		if len(vals) != len(tbl.def.Columns) {
+			tx.abort()
 			return 0, errorf("table %s: expected %d values, got %d", tableName, len(tbl.def.Columns), len(vals))
 		}
 		row := make([]Value, len(vals))
 		for i, v := range vals {
 			row[i] = coerceTo(v, tbl.def.Columns[i].Type)
 			if tbl.def.Columns[i].NotNull && row[i].IsNull() {
+				tx.abort()
 				return 0, errorf("table %s: column %s is NOT NULL", tableName, tbl.def.Columns[i].Name)
 			}
 		}
 		coerced[ri] = row
 	}
-	// Phase 2: insert; on a constraint violation undo what went in.
-	inserted := make([]int64, 0, len(coerced))
+	// Phase 2: insert into the pending version; a constraint violation
+	// discards it whole, so the batch is all-or-nothing.
 	for _, row := range coerced {
-		rid, err := tbl.insert(row)
-		if err != nil {
-			for _, undo := range inserted {
-				tbl.delete(undo)
-			}
-			return 0, err
-		}
-		inserted = append(inserted, rid)
-	}
-	// Phase 3: log the commit. A logging failure means the batch is not
-	// durable; undo it so memory equals what recovery will replay.
-	if len(coerced) > 0 {
-		if err := db.logCommit(&walRecord{Op: opInsert, Table: tbl.def.Name, Rows: coerced}); err != nil {
-			for i := len(inserted) - 1; i >= 0; i-- {
-				tbl.delete(inserted[i])
-			}
+		if _, err := tbl.insert(row); err != nil {
+			tx.abort()
 			return 0, err
 		}
 	}
-	return len(inserted), nil
+	if len(coerced) == 0 {
+		tx.abort()
+		return 0, nil
+	}
+	// Phase 3: log the commit and publish. A logging failure means the
+	// batch is not durable; the pending version is dropped so memory
+	// equals what recovery will replay.
+	if err := tx.commit(&walRecord{Op: opInsert, Table: tbl.def.Name, Rows: coerced}); err != nil {
+		return 0, err
+	}
+	return len(coerced), nil
 }
 
 func (db *Database) execDelete(s *DeleteStmt, args []Value) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	tbl := db.table(s.Table)
+	tx := db.beginWrite()
+	tbl := tx.wtable(s.Table)
 	if tbl == nil {
+		tx.abort()
 		return 0, errorf("no such table: %s", s.Table)
 	}
-	rids, err := db.matchRows(tbl, s.Where, args)
+	rids, err := matchRows(tx.st, tbl, s.Where, args)
 	if err != nil {
+		tx.abort()
 		return 0, err
 	}
 	images := make([][]Value, 0, len(rids))
-	imageRids := make([]int64, 0, len(rids))
 	for _, rid := range rids {
-		if row := tbl.rows[rid]; row != nil {
+		if row := tbl.row(rid); row != nil {
 			images = append(images, row)
-			imageRids = append(imageRids, rid)
 		}
 		tbl.delete(rid)
 	}
-	if len(images) > 0 {
-		if err := db.logCommit(&walRecord{Op: opDelete, Table: tbl.def.Name, Rows: images}); err != nil {
-			// Not durable: restore the deleted rows in place (same
-			// rowids, so heap order — document order — is preserved).
-			for i := len(imageRids) - 1; i >= 0; i-- {
-				tbl.undelete(imageRids[i], images[i])
-			}
-			return 0, err
-		}
+	if len(images) == 0 {
+		tx.abort()
+		return len(rids), nil
+	}
+	if err := tx.commit(&walRecord{Op: opDelete, Table: tbl.def.Name, Rows: images}); err != nil {
+		return 0, err
 	}
 	return len(rids), nil
 }
 
 func (db *Database) execUpdate(s *UpdateStmt, args []Value) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	tbl := db.table(s.Table)
+	tx := db.beginWrite()
+	tbl := tx.wtable(s.Table)
 	if tbl == nil {
+		tx.abort()
 		return 0, errorf("no such table: %s", s.Table)
 	}
 	sch := make(schema, len(tbl.def.Columns))
 	for i, c := range tbl.def.Columns {
 		sch[i] = colInfo{alias: tbl.def.Name, name: c.Name}
 	}
-	comp := &compiler{db: db, sch: sch}
+	comp := &compiler{st: tx.st, sch: sch}
 	type setOp struct {
 		col int
 		fn  compiledExpr
@@ -634,46 +735,44 @@ func (db *Database) execUpdate(s *UpdateStmt, args []Value) (int, error) {
 	for _, sc := range s.Sets {
 		ci := tbl.def.ColumnIndex(sc.Column)
 		if ci < 0 {
+			tx.abort()
 			return 0, errorf("no such column %s in table %s", sc.Column, s.Table)
 		}
 		fn, err := comp.compile(sc.Value)
 		if err != nil {
+			tx.abort()
 			return 0, err
 		}
 		sets = append(sets, setOp{col: ci, fn: fn})
 	}
-	rids, err := db.matchRows(tbl, s.Where, args)
+	rids, err := matchRows(tx.st, tbl, s.Where, args)
 	if err != nil {
+		tx.abort()
 		return 0, err
 	}
-	ctx := &evalCtx{db: db, params: args}
+	ctx := &evalCtx{snap: tx.st, qctx: context.Background(), params: args}
 	// oldImages/newImages collect the (before, after) row pairs that
 	// actually applied; they are logged as the statement's effect (a
 	// partial prefix when the statement errors mid-way). If logging the
-	// commit fails the updates are reverted in reverse order, so memory
-	// matches what recovery will replay.
+	// commit fails the pending version is discarded unpublished, so
+	// memory matches what recovery will replay.
 	var oldImages, newImages [][]Value
-	var updatedRids []int64
 	finish := func(execErr error) (int, error) {
-		if len(newImages) > 0 {
-			logErr := db.logCommit(&walRecord{
-				Op: opUpdate, Table: tbl.def.Name,
-				OldRows: oldImages, Rows: newImages,
-			})
-			if logErr != nil {
-				for i := len(updatedRids) - 1; i >= 0; i-- {
-					// Reverting to the prior image cannot violate
-					// uniqueness: in reverse order each step restores a
-					// state that held before.
-					_ = tbl.update(updatedRids[i], oldImages[i])
-				}
-				return 0, logErr
-			}
+		if len(newImages) == 0 {
+			tx.abort()
+			return 0, execErr
+		}
+		logErr := tx.commit(&walRecord{
+			Op: opUpdate, Table: tbl.def.Name,
+			OldRows: oldImages, Rows: newImages,
+		})
+		if logErr != nil {
+			return 0, logErr
 		}
 		return len(newImages), execErr
 	}
 	for _, rid := range rids {
-		old := tbl.rows[rid]
+		old := tbl.row(rid)
 		if old == nil {
 			continue
 		}
@@ -693,30 +792,30 @@ func (db *Database) execUpdate(s *UpdateStmt, args []Value) (int, error) {
 		}
 		oldImages = append(oldImages, old)
 		newImages = append(newImages, row)
-		updatedRids = append(updatedRids, rid)
 	}
 	return finish(nil)
 }
 
-// matchRows returns rowids matching a WHERE predicate (all live rows when
-// where is nil). Caller holds the write lock.
-func (db *Database) matchRows(tbl *table, where Expr, args []Value) ([]int64, error) {
+// matchRows returns rowids matching a WHERE predicate (all live rows
+// when where is nil), evaluated against st.
+func matchRows(st *dbState, tbl *table, where Expr, args []Value) ([]int64, error) {
 	var pred compiledExpr
 	if where != nil {
 		sch := make(schema, len(tbl.def.Columns))
 		for i, c := range tbl.def.Columns {
 			sch[i] = colInfo{alias: tbl.def.Name, name: c.Name}
 		}
-		comp := &compiler{db: db, sch: sch}
+		comp := &compiler{st: st, sch: sch}
 		var err error
 		pred, err = comp.compile(where)
 		if err != nil {
 			return nil, err
 		}
 	}
-	ctx := &evalCtx{db: db, params: args}
+	ctx := &evalCtx{snap: st, qctx: context.Background(), params: args}
 	var rids []int64
-	for rid, row := range tbl.rows {
+	for rid := int64(0); rid < tbl.slotCount(); rid++ {
+		row := tbl.row(rid)
 		if row == nil {
 			continue
 		}
@@ -729,7 +828,7 @@ func (db *Database) matchRows(tbl *table, where Expr, args []Value) ([]int64, er
 				continue
 			}
 		}
-		rids = append(rids, int64(rid))
+		rids = append(rids, rid)
 	}
 	return rids, nil
 }
@@ -743,21 +842,23 @@ type TableStats struct {
 }
 
 // DatabaseStats bundles per-table storage statistics with the engine's
-// cache activity, the runtime metrics registry and the current schema
-// epoch.
+// cache activity, the runtime metrics registry, snapshot/concurrency
+// counters, and the current schema epoch and commit sequence.
 type DatabaseStats struct {
 	Tables      []TableStats
 	PlanCache   CacheStats
 	Metrics     MetricsSnapshot
+	Snapshots   SnapshotStats
 	SchemaEpoch uint64
+	CommitSeq   uint64
 }
 
-// Stats returns storage and cache statistics; tables are sorted by name.
+// Stats returns storage, cache and snapshot statistics; tables are
+// sorted by name.
 func (db *Database) Stats() DatabaseStats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	tables := make([]TableStats, 0, len(db.tables))
-	for _, t := range db.tables {
+	st := db.state.Load()
+	tables := make([]TableStats, 0, len(st.tables))
+	for _, t := range st.tables {
 		tables = append(tables, TableStats{
 			Name:    t.def.Name,
 			Rows:    t.live,
@@ -770,16 +871,17 @@ func (db *Database) Stats() DatabaseStats {
 		Tables:      tables,
 		PlanCache:   db.plans.stats(),
 		Metrics:     db.metrics.snapshot(),
-		SchemaEpoch: db.epoch,
+		Snapshots:   db.snaps.stats(),
+		SchemaEpoch: st.epoch,
+		CommitSeq:   st.seq,
 	}
 }
 
 // TableNames lists the tables, sorted.
 func (db *Database) TableNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.tables))
-	for _, t := range db.tables {
+	st := db.state.Load()
+	out := make([]string, 0, len(st.tables))
+	for _, t := range st.tables {
 		out = append(out, t.def.Name)
 	}
 	sort.Strings(out)
@@ -788,9 +890,7 @@ func (db *Database) TableNames() []string {
 
 // TableDef returns the schema of a table, or nil if absent.
 func (db *Database) TableDef(name string) *TableDef {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t := db.table(name)
+	t := db.state.Load().table(name)
 	if t == nil {
 		return nil
 	}
@@ -800,10 +900,8 @@ func (db *Database) TableDef(name string) *TableDef {
 
 // TotalBytes sums the payload bytes across all tables.
 func (db *Database) TotalBytes() int64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	var n int64
-	for _, t := range db.tables {
+	for _, t := range db.state.Load().tables {
 		n += t.bytes
 	}
 	return n
@@ -811,10 +909,8 @@ func (db *Database) TotalBytes() int64 {
 
 // TotalRows sums live rows across all tables.
 func (db *Database) TotalRows() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	n := 0
-	for _, t := range db.tables {
+	for _, t := range db.state.Load().tables {
 		n += t.live
 	}
 	return n

@@ -145,6 +145,10 @@ func OpenDurable(fs VFS, opts DurableOptions) (*DurableDB, error) {
 	d.wal = wal
 	d.walSize = goodLen
 	d.seq.Store(maxSeq)
+	// Align the in-memory commit sequence (and the published state's
+	// seq) with the WAL high-water mark, so the next commit's WAL
+	// sequence and snapshot sequence continue as one numbering.
+	d.db.setSeq(maxSeq)
 	// The wal file may have just been created: persist its directory
 	// entry now, or the first acked commits could vanish with an
 	// unsynced name on power loss.
@@ -264,14 +268,12 @@ func (d *DurableDB) Checkpoint() error {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
 
-	// 1. Capture. SaveSnapshot holds the database read lock, which
-	// excludes writers, so the sequence read inside is exact.
+	// 1. Capture. SaveSnapshot pins the latest published state with one
+	// atomic read — writers are not quiesced; the state's own commit
+	// sequence names exactly which WAL records it contains.
 	var buf bytes.Buffer
-	var snapSeq uint64
-	if err := d.db.SaveSnapshot(&buf, func() uint64 {
-		snapSeq = d.seq.Load()
-		return snapSeq
-	}); err != nil {
+	snapSeq, err := d.db.SaveSnapshot(&buf)
+	if err != nil {
 		return err
 	}
 

@@ -23,6 +23,45 @@ type planNode interface {
 	estRows() float64
 }
 
+// resolveTable maps a plan-time table pointer to the version the
+// running snapshot sees. Plans capture *table pointers at planning
+// time; with versioned storage every DML publishes a fresh version, so
+// scans re-resolve by catalog key when they open. The schema-epoch
+// validation on cached and prepared plans guarantees the key still
+// denotes the same relation (same definition), so the fallback to the
+// plan-time version is only reachable when snap IS the planning state.
+func (ctx *evalCtx) resolveTable(t *table) *table {
+	if cur := ctx.snap.tables[t.key]; cur != nil {
+		return cur
+	}
+	return t
+}
+
+// resolveIndex finds idx's counterpart inside the resolved table
+// version t (index identity is the definition name).
+func resolveIndex(t *table, idx *tableIndex) *tableIndex {
+	if cur := t.index(idx.def.Name); cur != nil {
+		return cur
+	}
+	return idx
+}
+
+// canceled polls the execution context for cancellation or deadline
+// expiry. Chokepoints (statIter.next, materialize) call it on a coarse
+// stride so the hot path stays cheap.
+func (ctx *evalCtx) canceled() error {
+	if ctx.qctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.qctx.Done():
+		return ctx.qctx.Err()
+	default:
+		return nil
+	}
+}
+
+
 // ---------------------------------------------------------------------------
 // Sequential scan
 
@@ -49,13 +88,14 @@ func (n *seqScanNode) sch() schema { return n.schema }
 func (n *seqScanNode) estRows() float64 { return float64(n.tbl.live)*n.sel + 1 }
 
 func (n *seqScanNode) open(ctx *evalCtx) (rowIter, error) {
-	it := &seqScanIter{node: n, ctx: ctx, end: len(n.tbl.rows)}
+	tbl := ctx.resolveTable(n.tbl)
+	it := &seqScanIter{node: n, ctx: ctx, tbl: tbl, end: tbl.slotCount()}
 	// Inside a gather worker, the scan that drives the parallel segment
 	// is restricted to the worker's claimed morsel. Pointer identity
 	// guarantees only the driver scan is clipped — any other table
 	// scanned by the segment (join build sides, subqueries) reads fully.
 	if m := ctx.morsel; m != nil && m.node == n {
-		it.pos, it.end = m.lo, m.hi
+		it.pos, it.end = int64(m.lo), int64(m.hi)
 	}
 	return it, nil
 }
@@ -63,14 +103,14 @@ func (n *seqScanNode) open(ctx *evalCtx) (rowIter, error) {
 type seqScanIter struct {
 	node *seqScanNode
 	ctx  *evalCtx
-	pos  int
-	end  int
+	tbl  *table
+	pos  int64
+	end  int64
 }
 
 func (it *seqScanIter) next() ([]Value, error) {
-	rows := it.node.tbl.rows
 	for it.pos < it.end {
-		row := rows[it.pos]
+		row := it.tbl.row(it.pos)
 		it.pos++
 		if row == nil {
 			continue
@@ -116,6 +156,8 @@ func (n *indexScanNode) sch() schema { return n.schema }
 func (n *indexScanNode) estRows() float64 { return float64(n.tbl.live)*n.sel + 1 }
 
 func (n *indexScanNode) open(ctx *evalCtx) (rowIter, error) {
+	tbl := ctx.resolveTable(n.tbl)
+	idx := resolveIndex(tbl, n.idx)
 	prefix := make([]Value, 0, len(n.eq)+1)
 	for _, e := range n.eq {
 		v, err := e(ctx, nil)
@@ -130,7 +172,7 @@ func (n *indexScanNode) open(ctx *evalCtx) (rowIter, error) {
 	}
 	var cur btreeCursor
 	var stop func(key []Value) bool
-	tree := n.idx.tree
+	tree := idx.tree
 
 	loBound := prefix
 	switch {
@@ -176,12 +218,13 @@ func (n *indexScanNode) open(ctx *evalCtx) (rowIter, error) {
 		p := prefix
 		stop = func(key []Value) bool { return prefixCompare(key, p) > 0 }
 	}
-	return &indexScanIter{node: n, ctx: ctx, cur: cur, stop: stop}, nil
+	return &indexScanIter{node: n, ctx: ctx, tbl: tbl, cur: cur, stop: stop}, nil
 }
 
 type indexScanIter struct {
 	node *indexScanNode
 	ctx  *evalCtx
+	tbl  *table
 	cur  btreeCursor
 	stop func(key []Value) bool
 }
@@ -193,7 +236,7 @@ func (it *indexScanIter) next() ([]Value, error) {
 			return nil, nil
 		}
 		it.cur.advance()
-		row := it.node.tbl.rows[e.rid]
+		row := it.tbl.row(e.rid)
 		if row == nil {
 			continue
 		}
@@ -607,13 +650,16 @@ func (n *indexJoinNode) open(ctx *evalCtx) (rowIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &indexJoinIter{node: n, ctx: ctx, left: left}, nil
+	tbl := ctx.resolveTable(n.tbl)
+	return &indexJoinIter{node: n, ctx: ctx, left: left, tbl: tbl, idx: resolveIndex(tbl, n.idx)}, nil
 }
 
 type indexJoinIter struct {
 	node    *indexJoinNode
 	ctx     *evalCtx
 	left    rowIter
+	tbl     *table
+	idx     *tableIndex
 	lrow    []Value
 	cur     btreeCursor
 	stop    func(key []Value) bool
@@ -646,7 +692,7 @@ func (it *indexJoinIter) next() ([]Value, error) {
 				break
 			}
 			it.cur.advance()
-			row := it.node.tbl.rows[e.rid]
+			row := it.tbl.row(e.rid)
 			if row == nil {
 				continue
 			}
@@ -684,7 +730,7 @@ func (it *indexJoinIter) seek() error {
 		}
 		prefix[i] = v
 	}
-	tree := n.idx.tree
+	tree := it.idx.tree
 	switch {
 	case n.rngLo != nil:
 		v, err := n.rngLo(it.ctx, it.lrow)
@@ -1000,7 +1046,8 @@ func (it *sliceIter) next() ([]Value, error) {
 
 func (it *sliceIter) close() {}
 
-// materialize drains a node into a slice.
+// materialize drains a node into a slice, polling for cancellation on a
+// coarse stride.
 func materialize(ctx *evalCtx, n planNode) ([][]Value, error) {
 	it, err := openNode(ctx, n)
 	if err != nil {
@@ -1009,6 +1056,11 @@ func materialize(ctx *evalCtx, n planNode) ([][]Value, error) {
 	defer it.close()
 	var out [][]Value
 	for {
+		if len(out)&1023 == 0 {
+			if err := ctx.canceled(); err != nil {
+				return nil, err
+			}
+		}
 		row, err := it.next()
 		if err != nil {
 			return nil, err
@@ -1038,13 +1090,13 @@ func padRight(row []Value, n int) []Value {
 
 // runSubquery executes a compiled subplan with the given outer row.
 func runSubquery(ctx *evalCtx, p *plan, outerRow []Value) ([][]Value, error) {
-	sub := &evalCtx{db: ctx.db, params: ctx.params, outer: outerRow}
+	sub := &evalCtx{snap: ctx.snap, qctx: ctx.qctx, params: ctx.params, outer: outerRow}
 	return materialize(sub, p.root)
 }
 
 // subqueryHasRow reports whether the subplan yields at least one row.
 func subqueryHasRow(ctx *evalCtx, p *plan, outerRow []Value) (bool, error) {
-	sub := &evalCtx{db: ctx.db, params: ctx.params, outer: outerRow}
+	sub := &evalCtx{snap: ctx.snap, qctx: ctx.qctx, params: ctx.params, outer: outerRow}
 	it, err := p.root.open(sub)
 	if err != nil {
 		return false, err

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -12,15 +13,14 @@ import (
 // "(cached)" marker. It is a debugging and teaching aid; the format is
 // not stable.
 func (db *Database) Explain(sql string, args ...Value) (string, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	e, fromCache, err := db.cachedPlanFor(sql, "Explain")
+	st := db.readState()
+	e, fromCache, err := db.cachedPlanFor(st, sql, "Explain")
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
 	if fromCache {
-		fmt.Fprintf(&b, "(cached) plan epoch %d\n", db.epoch)
+		fmt.Fprintf(&b, "(cached) plan epoch %d\n", st.epoch)
 	}
 	explainTree(&b, e.p.root, 0, nil, nil)
 	return b.String(), nil
@@ -50,8 +50,8 @@ type AnalyzedPlan struct {
 // ExplainAnalyze executes a SELECT and renders its plan tree annotated
 // with actual per-operator row counts, next() calls, open counts, join
 // build sizes and inclusive wall time. The execution is a real one: it
-// runs under the same locks and plan cache as Query and is recorded in
-// the metrics registry.
+// runs against a pinned snapshot and through the plan cache exactly
+// like Query, and is recorded in the metrics registry.
 func (db *Database) ExplainAnalyze(sql string, args ...Value) (string, error) {
 	ap, err := db.ExplainAnalyzePlan(sql, args...)
 	if err != nil {
@@ -62,14 +62,13 @@ func (db *Database) ExplainAnalyze(sql string, args ...Value) (string, error) {
 
 // ExplainAnalyzePlan is ExplainAnalyze returning the structured form.
 func (db *Database) ExplainAnalyzePlan(sql string, args ...Value) (*AnalyzedPlan, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	e, fromCache, err := db.cachedPlanFor(sql, "ExplainAnalyze")
+	st := db.readState()
+	e, fromCache, err := db.cachedPlanFor(st, sql, "ExplainAnalyze")
 	if err != nil {
 		return nil, err
 	}
 	rs := newRunStats(e.p, true)
-	ctx := &evalCtx{db: db, params: args, stats: rs}
+	ctx := &evalCtx{snap: st, qctx: context.Background(), params: args, stats: rs}
 	start := time.Now()
 	data, err := materialize(ctx, e.p.root)
 	total := time.Since(start)
@@ -82,7 +81,7 @@ func (db *Database) ExplainAnalyzePlan(sql string, args ...Value) (*AnalyzedPlan
 	ap := &AnalyzedPlan{Rows: len(data), Duration: total}
 	var b strings.Builder
 	if fromCache {
-		fmt.Fprintf(&b, "(cached) plan epoch %d\n", db.epoch)
+		fmt.Fprintf(&b, "(cached) plan epoch %d\n", st.epoch)
 	}
 	explainTree(&b, e.p.root, 0, rs, &ap.Ops)
 	fmt.Fprintf(&b, "Execution: %d row(s) in %s\n", len(data), total.Round(time.Microsecond))

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -46,10 +47,18 @@ func refName(table, name string) string {
 	return table + "." + name
 }
 
-// evalCtx carries per-execution state: bound parameters, the database
-// (for subqueries) and the current outer row for correlated subqueries.
+// evalCtx carries per-execution state: the pinned database snapshot the
+// query runs against, bound parameters, and the current outer row for
+// correlated subqueries.
 type evalCtx struct {
-	db     *Database
+	// snap is the immutable dbState the execution reads. For ordinary
+	// queries it is the published state pinned at query start; for reads
+	// inside a writer statement (INSERT ... SELECT, UPDATE set
+	// expressions) it is the writer's pending state.
+	snap *dbState
+	// qctx carries cancellation/deadline; executor chokepoints poll it
+	// (see statIter.next and materialize).
+	qctx   context.Context
 	params []Value
 	outer  []Value
 	// stats collects per-operator counters when non-nil (see metrics.go).
@@ -78,9 +87,10 @@ type outerRef struct{ idx int }
 func (*outerRef) expr() {}
 
 // compiler compiles expressions against a schema; outer is the enclosing
-// query's schema when compiling a correlated subquery.
+// query's schema when compiling a correlated subquery. st is the
+// database state the compilation (and any subquery planning) sees.
 type compiler struct {
-	db    *Database
+	st    *dbState
 	sch   schema
 	outer schema
 }
@@ -419,7 +429,7 @@ func (c *compiler) compileIn(e *InExpr) (compiledExpr, error) {
 	}
 	not := e.Not
 	if e.Sub != nil {
-		subPlan, subSch, err := planSelect(c.db, e.Sub, c.sch)
+		subPlan, subSch, err := planSelect(c.st, e.Sub, c.sch)
 		if err != nil {
 			return nil, err
 		}
@@ -491,7 +501,7 @@ func (c *compiler) compileIn(e *InExpr) (compiledExpr, error) {
 }
 
 func (c *compiler) compileExists(e *ExistsExpr) (compiledExpr, error) {
-	subPlan, _, err := planSelect(c.db, e.Sub, c.sch)
+	subPlan, _, err := planSelect(c.st, e.Sub, c.sch)
 	if err != nil {
 		return nil, err
 	}
@@ -506,7 +516,7 @@ func (c *compiler) compileExists(e *ExistsExpr) (compiledExpr, error) {
 }
 
 func (c *compiler) compileScalarSub(sub *SelectStmt) (compiledExpr, error) {
-	subPlan, subSch, err := planSelect(c.db, sub, c.sch)
+	subPlan, subSch, err := planSelect(c.st, sub, c.sch)
 	if err != nil {
 		return nil, err
 	}

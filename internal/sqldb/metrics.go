@@ -216,17 +216,27 @@ func openNode(ctx *evalCtx, n planNode) (rowIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &statIter{in: it, op: op, timed: st.timed}, nil
+	return &statIter{in: it, ctx: ctx, op: op, timed: st.timed}, nil
 }
 
 // statIter counts rows and next() calls flowing out of one operator.
+// Because every execution is instrumented, it doubles as the
+// cancellation chokepoint: on a coarse stride it polls the execution
+// context and aborts with its error, which propagates through operators
+// (and out of gather workers) exactly like any row error.
 type statIter struct {
 	in    rowIter
+	ctx   *evalCtx
 	op    *OpStats
 	timed bool
 }
 
 func (it *statIter) next() ([]Value, error) {
+	if it.op.Nexts&255 == 255 {
+		if err := it.ctx.canceled(); err != nil {
+			return nil, err
+		}
+	}
 	var row []Value
 	var err error
 	if it.timed {

@@ -56,33 +56,32 @@ const (
 
 // SetParallelism sets the degree-of-parallelism knob: 0 = automatic
 // (GOMAXPROCS), 1 = serial, n>1 = at most n workers per query. The
-// schema epoch is bumped so cached and prepared plans — which bake the
-// parallel/serial decision in — are recompiled under the new setting.
+// change publishes a new state with a bumped schema epoch so cached and
+// prepared plans — which bake the parallel/serial decision in — are
+// recompiled under the new setting.
 func (db *Database) SetParallelism(n int) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if n < 0 {
 		n = 0
 	}
-	if n == db.parallelism {
+	tx := db.beginWrite()
+	if n == tx.st.parallelism {
+		tx.abort()
 		return
 	}
-	db.parallelism = n
-	db.bumpEpoch()
+	tx.st.parallelism = n
+	tx.st.epoch++
+	tx.commit(nil)
 }
 
 // Parallelism reports the configured knob (0 = automatic).
 func (db *Database) Parallelism() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.parallelism
+	return db.state.Load().parallelism
 }
 
-// dopLocked resolves the effective degree of parallelism. Caller holds
-// db.mu in either mode.
-func (db *Database) dopLocked() int {
-	if db.parallelism > 0 {
-		return db.parallelism
+// dop resolves the state's effective degree of parallelism.
+func (st *dbState) dop() int {
+	if st.parallelism > 0 {
+		return st.parallelism
 	}
 	return runtime.GOMAXPROCS(0)
 }
@@ -208,7 +207,9 @@ func (n *gatherNode) sch() schema      { return n.seg.sch() }
 func (n *gatherNode) estRows() float64 { return n.seg.estRows() }
 
 func (n *gatherNode) open(ctx *evalCtx) (rowIter, error) {
-	total := len(n.driver.tbl.rows)
+	// Morsels must cover the heap of the version this snapshot sees, not
+	// the plan-time version — the table may have grown since planning.
+	total := int(ctx.resolveTable(n.driver.tbl).slotCount())
 	nMorsels := (total + morselSize - 1) / morselSize
 	workers := n.dop
 	if workers > nMorsels {
@@ -271,7 +272,7 @@ func (g *gatherIter) start(total int) {
 		g.wg.Add(1)
 		go func(w int) {
 			defer g.wg.Done()
-			wctx := &evalCtx{db: g.ctx.db, params: g.ctx.params, outer: g.ctx.outer, shared: shared}
+			wctx := &evalCtx{snap: g.ctx.snap, qctx: g.ctx.qctx, params: g.ctx.params, outer: g.ctx.outer, shared: shared}
 			if g.workerStats != nil {
 				wctx.stats = g.workerStats[w]
 			}
@@ -456,7 +457,7 @@ func (n *parallelAggNode) fold(ctx *evalCtx, it rowIter, morselIdx int, groups m
 }
 
 func (n *parallelAggNode) open(ctx *evalCtx) (rowIter, error) {
-	total := len(n.driver.tbl.rows)
+	total := int(ctx.resolveTable(n.driver.tbl).slotCount())
 	nMorsels := (total + morselSize - 1) / morselSize
 	workers := n.dop
 	if workers > nMorsels {
@@ -528,7 +529,7 @@ func (n *parallelAggNode) parallelFold(ctx *evalCtx, total, nMorsels, workers in
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wctx := &evalCtx{db: ctx.db, params: ctx.params, outer: ctx.outer, shared: shared}
+			wctx := &evalCtx{snap: ctx.snap, qctx: ctx.qctx, params: ctx.params, outer: ctx.outer, shared: shared}
 			if workerStats != nil {
 				wctx.stats = workerStats[w]
 			}
@@ -614,8 +615,8 @@ func (n *parallelAggNode) parallelFold(ctx *evalCtx, total, nMorsels, workers in
 // cached — parallel decisions (like everything else in a plan) are
 // immutable afterwards; changing the knob bumps the schema epoch and
 // recompiles.
-func parallelize(db *Database, root planNode) planNode {
-	dop := db.dopLocked()
+func parallelize(st *dbState, root planNode) planNode {
+	dop := st.dop()
 	if dop <= 1 {
 		return root
 	}

@@ -55,29 +55,32 @@ type snapshot struct {
 	Tables []savedTable
 }
 
-// Save writes a snapshot of the database.
+// Save writes a snapshot of the current published state.
 func (db *Database) Save(w io.Writer) error {
-	return db.SaveSnapshot(w, nil)
+	_, err := db.SaveSnapshot(w)
+	return err
 }
 
-// SaveSnapshot writes a snapshot, recording the commit sequence
-// returned by seq (when non-nil) as the snapshot's WAL horizon. seq is
-// called while the database read lock is held, so its value is exact
-// with respect to the captured state.
-func (db *Database) SaveSnapshot(w io.Writer, seq func() uint64) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	snap := snapshot{Magic: snapshotMagic, Version: snapshotVersionV2}
-	if seq != nil {
-		snap.Seq = seq()
-	}
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
+// SaveSnapshot captures the latest published state — one atomic pointer
+// read, no lock, so writers keep committing while it serializes — and
+// writes it, returning the commit sequence the snapshot contains. The
+// returned seq names the exact WAL position the snapshot covers: replay
+// of records at or below it would be redundant.
+func (db *Database) SaveSnapshot(w io.Writer) (uint64, error) {
+	state := db.state.Load()
+	return state.seq, writeState(w, state)
+}
+
+// writeState serializes one immutable state version.
+func writeState(w io.Writer, state *dbState) error {
+	snap := snapshot{Magic: snapshotMagic, Version: snapshotVersionV2, Seq: state.seq}
+	names := make([]string, 0, len(state.tables))
+	for n := range state.tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		t := db.tables[n]
+		t := state.tables[n]
 		st := savedTable{
 			Name: t.def.Name,
 			// append to a nil base keeps "no primary key" as nil, so a
@@ -87,8 +90,8 @@ func (db *Database) SaveSnapshot(w io.Writer, seq func() uint64) error {
 		for _, c := range t.def.Columns {
 			st.Columns = append(st.Columns, savedColumn{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
 		}
-		for _, row := range t.rows {
-			if row != nil {
+		for rid := int64(0); rid < t.slotCount(); rid++ {
+			if row := t.row(rid); row != nil {
 				st.Rows = append(st.Rows, row)
 			}
 		}
@@ -188,5 +191,9 @@ func LoadSnapshot(r io.Reader) (*Database, uint64, error) {
 			}
 		}
 	}
+	// Align the in-memory commit sequence with the snapshot's WAL
+	// horizon: the restore's own bulk inserts consumed sequence numbers
+	// that have no WAL meaning.
+	db.setSeq(snap.Seq)
 	return db, snap.Seq, nil
 }

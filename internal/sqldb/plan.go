@@ -20,9 +20,9 @@ type plan struct {
 // planSelect compiles a SELECT (possibly a UNION ALL chain) into a plan.
 // outer is the enclosing query's schema when compiling a subquery (nil at
 // the top level).
-func planSelect(db *Database, stmt *SelectStmt, outer schema) (*plan, schema, error) {
+func planSelect(st *dbState, stmt *SelectStmt, outer schema) (*plan, schema, error) {
 	if stmt.UnionAll == nil {
-		return planSingleSelect(db, stmt, outer)
+		return planSingleSelect(st, stmt, outer)
 	}
 	// UNION ALL chain: ORDER BY/LIMIT parsed on the last member apply to
 	// the whole union.
@@ -38,7 +38,7 @@ func planSelect(db *Database, stmt *SelectStmt, outer schema) (*plan, schema, er
 	var nodes []planNode
 	var outSch schema
 	for i, part := range parts {
-		p, sch, err := planSingleSelect(db, part, outer)
+		p, sch, err := planSingleSelect(st, part, outer)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -51,12 +51,12 @@ func planSelect(db *Database, stmt *SelectStmt, outer schema) (*plan, schema, er
 	}
 	var root planNode = &unionAllNode{parts: nodes, schema: outSch}
 	var err error
-	root, err = applyOrderLimit(db, root, outSch, orderBy, limit, offset, false)
+	root, err = applyOrderLimit(st, root, outSch, orderBy, limit, offset, false)
 	if err != nil {
 		return nil, nil, err
 	}
 	if outer == nil {
-		root = parallelize(db, root)
+		root = parallelize(st, root)
 	}
 	return &plan{root: root, cols: outSch}, outSch, nil
 }
@@ -79,13 +79,13 @@ type conjunct struct {
 	used    bool
 }
 
-func planSingleSelect(db *Database, stmt *SelectStmt, outer schema) (*plan, schema, error) {
+func planSingleSelect(st *dbState, stmt *SelectStmt, outer schema) (*plan, schema, error) {
 	// 1. Build the FROM relations.
 	var rels []relation
 	hasLeft := false
 	for i := range stmt.From {
 		fi := &stmt.From[i]
-		rel, err := buildRelation(db, fi, outer)
+		rel, err := buildRelation(st, fi, outer)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -114,9 +114,9 @@ func planSingleSelect(db *Database, stmt *SelectStmt, outer schema) (*plan, sche
 			topConjs = append(topConjs, conjunct{expr: stmt.Where, complex: true})
 		}
 	case hasLeft:
-		joined, topConjs, err = planOrderedJoins(db, stmt, rels, outer)
+		joined, topConjs, err = planOrderedJoins(st, stmt, rels, outer)
 	default:
-		joined, topConjs, err = planReorderedJoins(db, stmt, rels, outer)
+		joined, topConjs, err = planReorderedJoins(st, stmt, rels, outer)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -125,7 +125,7 @@ func planSingleSelect(db *Database, stmt *SelectStmt, outer schema) (*plan, sche
 	// Top-level residual filter (complex conjuncts, leftovers).
 	if len(topConjs) > 0 {
 		pred := andAll(topConjs)
-		c := &compiler{db: db, sch: joined.sch(), outer: outer}
+		c := &compiler{st: st, sch: joined.sch(), outer: outer}
 		f, err := c.compile(pred)
 		if err != nil {
 			return nil, nil, err
@@ -162,7 +162,7 @@ func planSingleSelect(db *Database, stmt *SelectStmt, outer schema) (*plan, sche
 	var projInSch schema
 	var orderExprs []Expr // order-by expressions in the projection input space
 	if needAgg {
-		projInput, projInSch, projExprs, orderExprs, err = planAggregation(db, stmt, items, joined, inSch, outer)
+		projInput, projInSch, projExprs, orderExprs, err = planAggregation(st, stmt, items, joined, inSch, outer)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -184,7 +184,7 @@ func planSingleSelect(db *Database, stmt *SelectStmt, outer schema) (*plan, sche
 
 	// 5. Compile projection; ORDER BY keys that are not output columns
 	// become hidden extra columns.
-	comp := &compiler{db: db, sch: projInSch, outer: outer}
+	comp := &compiler{st: st, sch: projInSch, outer: outer}
 	var compiled []compiledExpr
 	for _, e := range projExprs {
 		ce, err := comp.compile(e)
@@ -251,7 +251,7 @@ func planSingleSelect(db *Database, stmt *SelectStmt, outer schema) (*plan, sche
 		root = &cutNode{in: root, width: len(outSch), schema: outSch}
 	}
 	if stmt.Limit != nil || stmt.Offset != nil {
-		lc := &compiler{db: db, sch: schema{}, outer: outer}
+		lc := &compiler{st: st, sch: schema{}, outer: outer}
 		var limitFn, offsetFn compiledExpr
 		if stmt.Limit != nil {
 			limitFn, err = lc.compile(stmt.Limit)
@@ -272,15 +272,15 @@ func planSingleSelect(db *Database, stmt *SelectStmt, outer schema) (*plan, sche
 	// The pass is idempotent over already-decorated subtrees, so UNION
 	// ALL members wrapped here are left alone by planSelect's own pass.
 	if outer == nil {
-		root = parallelize(db, root)
+		root = parallelize(st, root)
 	}
 	return &plan{root: root, cols: outSch}, outSch, nil
 }
 
 // applyOrderLimit adds sort/limit over a union.
-func applyOrderLimit(db *Database, root planNode, sch schema, orderBy []OrderItem, limit, offset Expr, _ bool) (planNode, error) {
+func applyOrderLimit(st *dbState, root planNode, sch schema, orderBy []OrderItem, limit, offset Expr, _ bool) (planNode, error) {
 	if len(orderBy) > 0 {
-		comp := &compiler{db: db, sch: sch}
+		comp := &compiler{st: st, sch: sch}
 		keys := make([]compiledExpr, len(orderBy))
 		desc := make([]bool, len(orderBy))
 		for i, o := range orderBy {
@@ -303,7 +303,7 @@ func applyOrderLimit(db *Database, root planNode, sch schema, orderBy []OrderIte
 		root = &sortNode{in: root, keys: keys, desc: desc}
 	}
 	if limit != nil || offset != nil {
-		comp := &compiler{db: db, sch: schema{}}
+		comp := &compiler{st: st, sch: schema{}}
 		var limitFn, offsetFn compiledExpr
 		var err error
 		if limit != nil {
@@ -381,9 +381,9 @@ func (n *derivedNode) open(ctx *evalCtx) (rowIter, error) {
 	return openNode(ctx, n.p.root)
 }
 
-func buildRelation(db *Database, fi *FromItem, outer schema) (relation, error) {
+func buildRelation(st *dbState, fi *FromItem, outer schema) (relation, error) {
 	if fi.Sub != nil {
-		p, sch, err := planSelect(db, fi.Sub, outer)
+		p, sch, err := planSelect(st, fi.Sub, outer)
 		if err != nil {
 			return relation{}, err
 		}
@@ -396,7 +396,7 @@ func buildRelation(db *Database, fi *FromItem, outer schema) (relation, error) {
 			node:  &derivedNode{p: &plan{root: p.root, cols: renamed}, schema: renamed, est: p.root.estRows()},
 		}, nil
 	}
-	tbl := db.table(fi.Table)
+	tbl := st.table(fi.Table)
 	if tbl == nil {
 		return relation{}, errorf("no such table: %s", fi.Table)
 	}
@@ -547,7 +547,7 @@ func analyzeConjunct(e Expr, rels []relation, outer schema) (conjunct, error) {
 // planReorderedJoins plans inner/cross joins with greedy reordering and
 // index selection. Returns the join tree and conjuncts that must be
 // applied on top (complex ones).
-func planReorderedJoins(db *Database, stmt *SelectStmt, rels []relation, outer schema) (planNode, []conjunct, error) {
+func planReorderedJoins(st *dbState, stmt *SelectStmt, rels []relation, outer schema) (planNode, []conjunct, error) {
 	// Gather conjuncts from WHERE and inner-join ON clauses.
 	var raw []Expr
 	if stmt.Where != nil {
@@ -596,18 +596,18 @@ func planReorderedJoins(db *Database, stmt *SelectStmt, rels []relation, outer s
 	// capped candidate chains, which sees real skew and correlation);
 	// fall back to the distinct-count estimate model when the query is
 	// not sampleable (outer references, parameters, many relations).
-	order, sampled := sampledJoinOrder(db, rels, conjs, outer)
+	order, sampled := sampledJoinOrder(st, rels, conjs, outer)
 	if !sampled {
 		order = chooseJoinOrder(rels, conjs)
 	}
 	placed := map[string]bool{strings.ToLower(rels[order[0]].alias): true}
-	cur, err := buildAccessPath(db, &rels[order[0]], rels[order[0]].own, outer)
+	cur, err := buildAccessPath(st, &rels[order[0]], rels[order[0]].own, outer)
 	if err != nil {
 		return nil, nil, err
 	}
 	for _, next := range order[1:] {
 		cross := !hasJoinLink(conjs, rels, placed, next)
-		cur, err = joinRelation(db, cur, &rels[next], conjs, rels, placed, cross, outer)
+		cur, err = joinRelation(st, cur, &rels[next], conjs, rels, placed, cross, outer)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -623,13 +623,19 @@ func planReorderedJoins(db *Database, stmt *SelectStmt, rels []relation, outer s
 	return cur, topConjs, nil
 }
 
-// conjSelectivity is the heuristic selectivity of one predicate.
-func conjSelectivity(e Expr) float64 {
+// conjSelectivity estimates the selectivity of one predicate. An
+// equality on an indexed column of rel is estimated from the index's
+// distinct-prefix statistic — the same figure estWithEq feeds the
+// join-order model — so single-table filter estimates and join-order
+// estimates agree. Range, LIKE and BETWEEN predicates keep class
+// heuristics (distinct counts say nothing about value ranges), as does
+// any predicate without a usable column or index (rel may be nil).
+func conjSelectivity(e Expr, rel *relation) float64 {
 	switch e := e.(type) {
 	case *BinaryExpr:
 		switch e.Op {
 		case "=":
-			return 0.05
+			return eqSelectivity(e, rel)
 		case "<", "<=", ">", ">=":
 			return 0.25
 		}
@@ -639,6 +645,49 @@ func conjSelectivity(e Expr) float64 {
 		return 0.2
 	}
 	return 0.5
+}
+
+// eqSelectivity estimates an equality predicate as 1/distinct(col)
+// when one side names a column of rel led by an index, else 0.05.
+func eqSelectivity(e *BinaryExpr, rel *relation) float64 {
+	const fallback = 0.05
+	if rel == nil || rel.tbl == nil {
+		return fallback
+	}
+	relSch := rel.node.sch()
+	col := candColumn(e.L, rel, relSch)
+	if col < 0 {
+		col = candColumn(e.R, rel, relSch)
+	}
+	if col < 0 {
+		return fallback
+	}
+	d := 0
+	for _, idx := range rel.tbl.indexes {
+		if idx.def.Columns[0] == col {
+			if dp := idx.tree.DistinctPrefix(1); dp > d {
+				d = dp
+			}
+		}
+	}
+	if d <= 0 {
+		return fallback
+	}
+	return 1 / float64(d)
+}
+
+// eqPrefixSelectivity is the joint selectivity of l leading equality
+// bounds on idx: matched rows / live rows via the distinct-prefix
+// statistic.
+func eqPrefixSelectivity(idx *tableIndex, l int) float64 {
+	if l <= 0 {
+		return 1
+	}
+	d := idx.tree.DistinctPrefix(l)
+	if d < 1 {
+		d = 1
+	}
+	return 1 / float64(d)
 }
 
 // hasJoinLink reports whether candidate cand connects to the placed set
@@ -682,7 +731,7 @@ type joinBound struct {
 // joinRelation joins rel into cur using the best available method:
 // index nested-loop (combining constant and join-key bounds, including
 // a trailing range column), hash join on equi pairs, or nested loop.
-func joinRelation(db *Database, cur planNode, rel *relation, conjs []conjunct, rels []relation, placed map[string]bool, cross bool, outer schema) (planNode, error) {
+func joinRelation(st *dbState, cur planNode, rel *relation, conjs []conjunct, rels []relation, placed map[string]bool, cross bool, outer schema) (planNode, error) {
 	ca := strings.ToLower(rel.alias)
 	relSch := rel.node.sch()
 	joinedSch := append(append(schema{}, cur.sch()...), relSch...)
@@ -724,7 +773,7 @@ func joinRelation(db *Database, cur planNode, rel *relation, conjs []conjunct, r
 		if len(exprs) == 0 {
 			return nil, nil
 		}
-		comp := &compiler{db: db, sch: joinedSch, outer: outer}
+		comp := &compiler{st: st, sch: joinedSch, outer: outer}
 		return comp.compile(andAll(exprs))
 	}
 
@@ -862,10 +911,10 @@ func joinRelation(db *Database, cur planNode, rel *relation, conjs []conjunct, r
 			}
 		}
 		if best != nil {
-			leftComp := &compiler{db: db, sch: cur.sch(), outer: outer}
+			leftComp := &compiler{st: st, sch: cur.sch(), outer: outer}
 			compileBound := func(b *joinBound) (compiledExpr, error) {
 				if b.isConst {
-					constComp := &compiler{db: db, sch: schema{}, outer: outer}
+					constComp := &compiler{st: st, sch: schema{}, outer: outer}
 					return constComp.compile(b.expr)
 				}
 				return leftComp.compile(b.expr)
@@ -878,9 +927,9 @@ func joinRelation(db *Database, cur planNode, rel *relation, conjs []conjunct, r
 					return nil, err
 				}
 				node.keyExprs = append(node.keyExprs, ke)
-				node.sel *= 0.05
 				consumed[b.conj] = true
 			}
+			node.sel *= eqPrefixSelectivity(best.idx, len(best.eq))
 			if best.lo != nil {
 				ke, err := compileBound(best.lo)
 				if err != nil {
@@ -912,7 +961,7 @@ func joinRelation(db *Database, cur planNode, rel *relation, conjs []conjunct, r
 	}
 
 	// No index probe: build rel's access path from its own conjuncts.
-	right, err := buildAccessPath(db, rel, rel.own, outer)
+	right, err := buildAccessPath(st, rel, rel.own, outer)
 	if err != nil {
 		return nil, err
 	}
@@ -932,7 +981,7 @@ func joinRelation(db *Database, cur planNode, rel *relation, conjs []conjunct, r
 		eqPairs = append(eqPairs, b)
 	}
 	if len(eqPairs) > 0 && !cross {
-		leftComp := &compiler{db: db, sch: cur.sch(), outer: outer}
+		leftComp := &compiler{st: st, sch: cur.sch(), outer: outer}
 		var lkeys, rkeys []compiledExpr
 		consumed := map[*conjunct]bool{}
 		for _, p := range eqPairs {
@@ -1048,7 +1097,7 @@ func exprAvoidsAlias(e Expr, ca string, rels []relation) bool {
 
 // planOrderedJoins plans FROM items strictly in written order; used when
 // LEFT JOIN is present so outer-join semantics are preserved.
-func planOrderedJoins(db *Database, stmt *SelectStmt, rels []relation, outer schema) (planNode, []conjunct, error) {
+func planOrderedJoins(st *dbState, stmt *SelectStmt, rels []relation, outer schema) (planNode, []conjunct, error) {
 	cur := rels[0].node
 	for i := 1; i < len(rels); i++ {
 		fi := &stmt.From[i]
@@ -1056,7 +1105,7 @@ func planOrderedJoins(db *Database, stmt *SelectStmt, rels []relation, outer sch
 		joinedSch := append(append(schema{}, cur.sch()...), rels[i].node.sch()...)
 		var cond compiledExpr
 		if fi.On != nil {
-			comp := &compiler{db: db, sch: joinedSch, outer: outer}
+			comp := &compiler{st: st, sch: joinedSch, outer: outer}
 			var err error
 			cond, err = comp.compile(fi.On)
 			if err != nil {
@@ -1085,7 +1134,7 @@ type rangeBound struct {
 
 // buildAccessPath chooses a seq scan or index scan for a base relation
 // given its single-relation conjuncts, marking consumed conjuncts used.
-func buildAccessPath(db *Database, rel *relation, conjs []*conjunct, outer schema) (planNode, error) {
+func buildAccessPath(st *dbState, rel *relation, conjs []*conjunct, outer schema) (planNode, error) {
 	relSch := rel.node.sch()
 	// Keep only conjuncts not already consumed elsewhere.
 	unused := conjs[:0:0]
@@ -1099,34 +1148,16 @@ func buildAccessPath(db *Database, rel *relation, conjs []*conjunct, outer schem
 		return rel.node, nil
 	}
 
-	// Selectivity estimate for the residual filter.
-	selOf := func(e Expr) float64 {
-		switch e := e.(type) {
-		case *BinaryExpr:
-			switch e.Op {
-			case "=":
-				return 0.05
-			case "<", "<=", ">", ">=":
-				return 0.25
-			}
-		case *LikeExpr:
-			return 0.15
-		case *BetweenExpr:
-			return 0.2
-		}
-		return 0.5
-	}
-
 	if rel.tbl == nil {
 		// Derived table: just wrap a filter.
 		var exprs []conjunct
 		sel := 1.0
 		for _, c := range conjs {
 			exprs = append(exprs, *c)
-			sel *= selOf(c.expr)
+			sel *= conjSelectivity(c.expr, rel)
 			c.used = true
 		}
-		comp := &compiler{db: db, sch: relSch, outer: outer}
+		comp := &compiler{st: st, sch: relSch, outer: outer}
 		pred, err := comp.compile(andAll(exprs))
 		if err != nil {
 			return nil, err
@@ -1233,15 +1264,15 @@ func buildAccessPath(db *Database, rel *relation, conjs []*conjunct, outer schem
 		}
 	}
 
-	comp := &compiler{db: db, sch: relSch, outer: outer}
-	constComp := &compiler{db: db, sch: schema{}, outer: outer}
+	comp := &compiler{st: st, sch: relSch, outer: outer}
+	constComp := &compiler{st: st, sch: schema{}, outer: outer}
 
 	if best == nil {
 		var exprs []conjunct
 		sel := 1.0
 		for _, c := range conjs {
 			exprs = append(exprs, *c)
-			sel *= selOf(c.expr)
+			sel *= conjSelectivity(c.expr, rel)
 			c.used = true
 		}
 		pred, err := comp.compile(andAll(exprs))
@@ -1268,9 +1299,9 @@ func buildAccessPath(db *Database, rel *relation, conjs []*conjunct, outer schem
 			return nil, err
 		}
 		node.eq = append(node.eq, ce)
-		node.sel *= 0.05
 		consumed[b.conj] = true
 	}
+	node.sel *= eqPrefixSelectivity(best.idx, len(best.eq))
 	if best.lo != nil && best.lo.op == "like" {
 		// LIKE prefix range: [prefix, succ(prefix)).
 		prefix := best.lo.likePrefix
@@ -1317,7 +1348,7 @@ func buildAccessPath(db *Database, rel *relation, conjs []*conjunct, outer schem
 			continue
 		}
 		residual = append(residual, *c)
-		node.sel *= selOf(c.expr)
+		node.sel *= conjSelectivity(c.expr, rel)
 	}
 	if len(residual) > 0 {
 		pred, err := comp.compile(andAll(residual))
@@ -1804,7 +1835,7 @@ func (rw *aggRewriter) rewrite(e Expr) (Expr, error) {
 // select/having/order-by expressions over its output. Returns the new
 // input node, its schema, and the rewritten projection and order
 // expressions.
-func planAggregation(db *Database, stmt *SelectStmt, items []SelectItem, in planNode, inSch schema, outer schema) (planNode, schema, []Expr, []Expr, error) {
+func planAggregation(st *dbState, stmt *SelectStmt, items []SelectItem, in planNode, inSch schema, outer schema) (planNode, schema, []Expr, []Expr, error) {
 	rw := &aggRewriter{
 		groupKeys: map[string]int{},
 		nGroup:    len(stmt.GroupBy),
@@ -1841,7 +1872,7 @@ func planAggregation(db *Database, stmt *SelectStmt, items []SelectItem, in plan
 	}
 
 	// Compile group keys and aggregate arguments against the input.
-	inComp := &compiler{db: db, sch: inSch, outer: outer}
+	inComp := &compiler{st: st, sch: inSch, outer: outer}
 	var groupBy []compiledExpr
 	for _, g := range stmt.GroupBy {
 		ce, err := inComp.compile(g)
@@ -1894,7 +1925,7 @@ func planAggregation(db *Database, stmt *SelectStmt, items []SelectItem, in plan
 	var node planNode = &aggNode{in: in, groupBy: groupBy, aggs: specs, schema: aggSch}
 
 	if having != nil {
-		hComp := &compiler{db: db, sch: aggSch, outer: outer}
+		hComp := &compiler{st: st, sch: aggSch, outer: outer}
 		pred, err := hComp.compile(having)
 		if err != nil {
 			return nil, nil, nil, nil, err

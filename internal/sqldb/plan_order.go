@@ -1,6 +1,9 @@
 package sqldb
 
-import "strings"
+import (
+	"context"
+	"strings"
+)
 
 // Cost-based join ordering. For every possible starting relation, a
 // greedy chain is simulated under a cardinality model fed by the B-tree
@@ -24,7 +27,7 @@ func buildConjInfos(conjs []conjunct, rels []relation) []conjInfo {
 	infos := make([]conjInfo, len(conjs))
 	for i := range conjs {
 		c := &conjs[i]
-		info := conjInfo{aliases: c.aliases, eqCol: map[int]int{}, sel: conjSelectivity(c.expr)}
+		info := conjInfo{aliases: c.aliases, eqCol: map[int]int{}, sel: conjSelectivity(c.expr, singleRel(c, rels))}
 		if b, ok := c.expr.(*BinaryExpr); ok && b.Op == "=" {
 			info.isEq = true
 			for ri := range rels {
@@ -199,7 +202,7 @@ const sampleRowCap = 512
 // are children of the single root). It declines (ok=false) when the
 // query is not cheaply sampleable: correlated outer references, bound
 // parameters, too many relations.
-func sampledJoinOrder(db *Database, rels []relation, conjs []conjunct, outer schema) ([]int, bool) {
+func sampledJoinOrder(st *dbState, rels []relation, conjs []conjunct, outer schema) ([]int, bool) {
 	if len(rels) == 1 {
 		return []int{0}, true
 	}
@@ -224,7 +227,7 @@ func sampledJoinOrder(db *Database, rels []relation, conjs []conjunct, outer sch
 	}
 	defer restore(saved)
 
-	ctx := &evalCtx{db: db}
+	ctx := &evalCtx{snap: st, qctx: context.Background()}
 	runCapped := func(n planNode) ([][]Value, bool, error) {
 		it, err := n.open(ctx)
 		if err != nil {
@@ -254,7 +257,7 @@ func sampledJoinOrder(db *Database, rels []relation, conjs []conjunct, outer sch
 		restore(saved)
 		order := []int{start}
 		placed := map[string]bool{strings.ToLower(rels[start].alias): true}
-		node, err := buildAccessPath(db, &rels[start], rels[start].own, outer)
+		node, err := buildAccessPath(st, &rels[start], rels[start].own, outer)
 		if err != nil {
 			return nil, false
 		}
@@ -281,7 +284,7 @@ func sampledJoinOrder(db *Database, rels []relation, conjs []conjunct, outer sch
 			for _, cand := range remaining {
 				restore(trialBase)
 				cross := !hasJoinLink(conjs, rels, placed, cand)
-				jn, err := joinRelation(db, cur, &rels[cand], conjs, rels, placed, cross, outer)
+				jn, err := joinRelation(st, cur, &rels[cand], conjs, rels, placed, cross, outer)
 				if err != nil {
 					return nil, false
 				}
@@ -307,7 +310,7 @@ func sampledJoinOrder(db *Database, rels []relation, conjs []conjunct, outer sch
 			// Commit the winner (re-run to set used flags consistently).
 			restore(trialBase)
 			cross := !hasJoinLink(conjs, rels, placed, bestCand)
-			if _, err := joinRelation(db, cur, &rels[bestCand], conjs, rels, placed, cross, outer); err != nil {
+			if _, err := joinRelation(st, cur, &rels[bestCand], conjs, rels, placed, cross, outer); err != nil {
 				return nil, false
 			}
 			placed[strings.ToLower(rels[bestCand].alias)] = true
@@ -407,4 +410,19 @@ func chooseJoinOrder(rels []relation, conjs []conjunct) []int {
 		}
 	}
 	return bestOrder
+}
+
+// singleRel returns the relation a single-alias conjunct constrains,
+// or nil when it spans several relations (join predicates carry no
+// per-table distinct statistic).
+func singleRel(c *conjunct, rels []relation) *relation {
+	if len(c.aliases) != 1 {
+		return nil
+	}
+	for i := range rels {
+		if c.aliases[strings.ToLower(rels[i].alias)] {
+			return &rels[i]
+		}
+	}
+	return nil
 }

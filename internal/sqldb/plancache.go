@@ -21,7 +21,8 @@ import (
 //
 // Plan nodes are immutable during execution (all per-run state lives in
 // iterators), so one cached plan may be executed by any number of
-// concurrent readers under the database RLock.
+// concurrent lock-free readers; each execution re-resolves table
+// versions against its own pinned snapshot when operators open.
 
 // defaultPlanCacheCap bounds the plan cache. Entries are full compiled
 // plans, so the bound is deliberately modest; workloads with more than
@@ -112,18 +113,15 @@ func (db *Database) PlanCacheStats() CacheStats {
 // and Prepared statements are valid only for the epoch they were
 // compiled at.
 func (db *Database) SchemaEpoch() uint64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.epoch
+	return db.state.Load().epoch
 }
 
-// cachedPlanFor returns a plan for sql, serving from the plan cache
-// when the schema epoch still matches and compiling (and caching) on a
-// miss. The bool reports whether the plan came from the cache. verb
-// names the calling API for error messages. The caller must hold at
-// least db.mu.RLock.
-func (db *Database) cachedPlanFor(sql, verb string) (*cachedPlan, bool, error) {
-	if e, ok := db.plans.get(sql, db.epoch); ok {
+// cachedPlanFor returns a plan for sql valid for the snapshot st,
+// serving from the plan cache when the schema epoch still matches and
+// compiling (and caching) on a miss. The bool reports whether the plan
+// came from the cache. verb names the calling API for error messages.
+func (db *Database) cachedPlanFor(st *dbState, sql, verb string) (*cachedPlan, bool, error) {
+	if e, ok := db.plans.get(sql, st.epoch); ok {
 		return e, true, nil
 	}
 	start := time.Now()
@@ -135,7 +133,7 @@ func (db *Database) cachedPlanFor(sql, verb string) (*cachedPlan, bool, error) {
 	if !ok {
 		return nil, false, errorf("%s requires a SELECT statement", verb)
 	}
-	p, sch, err := planSelect(db, sel, nil)
+	p, sch, err := planSelect(st, sel, nil)
 	if err != nil {
 		return nil, false, err
 	}
@@ -145,7 +143,7 @@ func (db *Database) cachedPlanFor(sql, verb string) (*cachedPlan, bool, error) {
 	for i, c := range sch {
 		cols[i] = c.name
 	}
-	e := &cachedPlan{p: p, cols: cols, epoch: db.epoch}
+	e := &cachedPlan{p: p, cols: cols, epoch: st.epoch}
 	db.plans.put(sql, e)
 	return e, false, nil
 }

@@ -1,15 +1,41 @@
 package sqldb
 
-// table is the heap storage for one relation: a slice of rows addressed
-// by rowid, with nil tombstones for deleted rows. Secondary structures
-// (B-tree indexes) reference rows by rowid.
+// table is one published version of a relation's heap storage: rows
+// addressed by rowid, with nil tombstones for deleted rows, held in
+// fixed-size pages. Secondary structures (B-tree indexes) reference
+// rows by rowid.
+//
+// Versions are copy-on-write. A writer calls beginWrite for a private
+// version at a fresh generation; deletes and updates copy the touched
+// page on first write, while inserts fill slots at rowids beyond every
+// published version's count — slots no published reader ever visits —
+// so appends go straight into the shared tail page without copying.
+// Published versions are immutable below their own count and are read
+// without any lock.
 type table struct {
 	def     *TableDef
-	rows    [][]Value
+	key     string // lowercased name: the catalog key, used for snapshot resolution
+	gen     uint64
+	pages   []*heapPage
+	count   int64 // allocated row slots; the next rowid
 	live    int
 	indexes []*tableIndex
 	pkIndex *tableIndex // non-nil when the table has a primary key
 	bytes   int64       // rough payload size, maintained incrementally
+}
+
+const (
+	heapPageShift = 9
+	heapPageSize  = 1 << heapPageShift
+	heapPageMask  = heapPageSize - 1
+)
+
+// heapPage holds a fixed run of row slots. The row array is a true
+// array (not a slice) so a page copy duplicates every slot header and
+// concurrent readers of the old page never observe the copy.
+type heapPage struct {
+	gen  uint64
+	rows [heapPageSize][]Value
 }
 
 type tableIndex struct {
@@ -17,8 +43,8 @@ type tableIndex struct {
 	tree *btree
 }
 
-func newTable(def *TableDef) *table {
-	t := &table{def: def}
+func newTable(def *TableDef, gen uint64) *table {
+	t := &table{def: def, key: lowerName(def.Name), gen: gen}
 	if len(def.PrimaryKey) > 0 {
 		pk := &tableIndex{
 			def: IndexDef{
@@ -27,12 +53,60 @@ func newTable(def *TableDef) *table {
 				Columns: def.PrimaryKey,
 				Unique:  true,
 			},
-			tree: newBtree(),
+			tree: newBtree(gen),
 		}
 		t.pkIndex = pk
 		t.indexes = append(t.indexes, pk)
 	}
 	return t
+}
+
+// beginWrite returns a private version of the table for a writer at
+// generation gen. The version shares pages and index nodes with the
+// receiver until individually written.
+func (t *table) beginWrite(gen uint64) *table {
+	nt := &table{
+		def:   t.def,
+		key:   t.key,
+		gen:   gen,
+		pages: append([]*heapPage(nil), t.pages...),
+		count: t.count,
+		live:  t.live,
+		bytes: t.bytes,
+	}
+	nt.indexes = make([]*tableIndex, len(t.indexes))
+	for i, idx := range t.indexes {
+		nidx := &tableIndex{def: idx.def, tree: idx.tree.beginWrite(gen)}
+		nt.indexes[i] = nidx
+		if idx == t.pkIndex {
+			nt.pkIndex = nidx
+		}
+	}
+	return nt
+}
+
+// row returns the row at rid (nil when deleted). rid must be < count.
+func (t *table) row(rid int64) []Value {
+	return t.pages[rid>>heapPageShift].rows[rid&heapPageMask]
+}
+
+// slotCount returns the number of allocated rowids; rowids in [0,
+// slotCount) are addressable and nil slots are tombstones.
+func (t *table) slotCount() int64 { return t.count }
+
+// writablePage returns the page holding rid, copying it first when it
+// belongs to an older generation. Only delete and update go through
+// here: they overwrite slots below a published count that lock-free
+// readers may be visiting.
+func (t *table) writablePage(rid int64) *heapPage {
+	pi := rid >> heapPageShift
+	p := t.pages[pi]
+	if p.gen != t.gen {
+		np := &heapPage{gen: t.gen, rows: p.rows}
+		t.pages[pi] = np
+		p = np
+	}
+	return p
 }
 
 // valueBytes estimates the storage footprint of a value, used for the
@@ -74,20 +148,27 @@ func indexKey(idx *tableIndex, row []Value) []Value {
 func (t *table) insert(row []Value) (int64, error) {
 	if t.pkIndex != nil {
 		key := indexKey(t.pkIndex, row)
-		if rid, ok := t.lookupUnique(t.pkIndex, key); ok && t.rows[rid] != nil {
+		if rid, ok := t.lookupUnique(t.pkIndex, key); ok && t.row(rid) != nil {
 			return 0, errorf("table %s: duplicate primary key %v", t.def.Name, key)
 		}
 	}
 	for _, idx := range t.indexes {
 		if idx.def.Unique && idx != t.pkIndex {
 			key := indexKey(idx, row)
-			if rid, ok := t.lookupUnique(idx, key); ok && t.rows[rid] != nil {
+			if rid, ok := t.lookupUnique(idx, key); ok && t.row(rid) != nil {
 				return 0, errorf("table %s: unique index %s violated", t.def.Name, idx.def.Name)
 			}
 		}
 	}
-	rid := int64(len(t.rows))
-	t.rows = append(t.rows, row)
+	rid := t.count
+	pi := int(rid >> heapPageShift)
+	if pi == len(t.pages) {
+		t.pages = append(t.pages, &heapPage{gen: t.gen})
+	}
+	// The slot is beyond every published count, so writing the shared
+	// tail page directly is invisible to readers (see type comment).
+	t.pages[pi].rows[rid&heapPageMask] = row
+	t.count++
 	t.live++
 	t.bytes += t.rowBytes(row)
 	for _, idx := range t.indexes {
@@ -111,7 +192,7 @@ func (t *table) lookupUnique(idx *tableIndex, key []Value) (int64, bool) {
 
 // delete tombstones the row at rid and removes index entries.
 func (t *table) delete(rid int64) {
-	row := t.rows[rid]
+	row := t.row(rid)
 	if row == nil {
 		return
 	}
@@ -119,29 +200,13 @@ func (t *table) delete(rid int64) {
 		idx.tree.Delete(indexKey(idx, row), rid)
 	}
 	t.bytes -= t.rowBytes(row)
-	t.rows[rid] = nil
+	t.writablePage(rid).rows[rid&heapPageMask] = nil
 	t.live--
-}
-
-// undelete restores a just-deleted row at its original rowid,
-// re-adding index entries. It is the exact inverse of delete, used to
-// roll a statement back when its commit cannot be logged; the caller
-// guarantees row is the image delete removed from rid.
-func (t *table) undelete(rid int64, row []Value) {
-	if t.rows[rid] != nil {
-		return
-	}
-	t.rows[rid] = row
-	t.live++
-	t.bytes += t.rowBytes(row)
-	for _, idx := range t.indexes {
-		idx.tree.Insert(indexKey(idx, row), rid)
-	}
 }
 
 // update replaces the row at rid, maintaining indexes.
 func (t *table) update(rid int64, row []Value) error {
-	old := t.rows[rid]
+	old := t.row(rid)
 	if old == nil {
 		return errorf("table %s: update of deleted row %d", t.def.Name, rid)
 	}
@@ -153,7 +218,7 @@ func (t *table) update(rid int64, row []Value) error {
 		if compareKeys(newKey, indexKey(idx, old)) == 0 {
 			continue
 		}
-		if other, ok := t.lookupUnique(idx, newKey); ok && other != rid && t.rows[other] != nil {
+		if other, ok := t.lookupUnique(idx, newKey); ok && other != rid && t.row(other) != nil {
 			return errorf("table %s: unique index %s violated by update", t.def.Name, idx.def.Name)
 		}
 	}
@@ -161,7 +226,7 @@ func (t *table) update(rid int64, row []Value) error {
 		idx.tree.Delete(indexKey(idx, old), rid)
 	}
 	t.bytes += t.rowBytes(row) - t.rowBytes(old)
-	t.rows[rid] = row
+	t.writablePage(rid).rows[rid&heapPageMask] = row
 	for _, idx := range t.indexes {
 		idx.tree.Insert(indexKey(idx, row), rid)
 	}
@@ -170,21 +235,34 @@ func (t *table) update(rid int64, row []Value) error {
 
 // addIndex builds a new secondary index over existing rows.
 func (t *table) addIndex(def IndexDef) (*tableIndex, error) {
-	idx := &tableIndex{def: def, tree: newBtree()}
-	for rid, row := range t.rows {
+	idx := &tableIndex{def: def, tree: newBtree(t.gen)}
+	for rid := int64(0); rid < t.count; rid++ {
+		row := t.row(rid)
 		if row == nil {
 			continue
 		}
 		key := indexKey(idx, row)
 		if def.Unique {
-			if other, ok := t.lookupUnique(idx, key); ok && t.rows[other] != nil {
+			if other, ok := t.lookupUnique(idx, key); ok && t.row(other) != nil {
 				return nil, errorf("table %s: cannot build unique index %s: duplicate key %v", t.def.Name, def.Name, key)
 			}
 		}
-		idx.tree.Insert(key, int64(rid))
+		idx.tree.Insert(key, rid)
 	}
 	t.indexes = append(t.indexes, idx)
 	return idx, nil
+}
+
+// index returns the table's index named name (case-sensitive match on
+// the definition name), used to re-resolve plan-time index choices
+// against the version a query snapshot actually sees.
+func (t *table) index(name string) *tableIndex {
+	for _, idx := range t.indexes {
+		if idx.def.Name == name {
+			return idx
+		}
+	}
+	return nil
 }
 
 // findIndex returns an index whose leading key columns cover cols in

@@ -551,21 +551,23 @@ func (db *Database) applyRecord(rec *walRecord) error {
 // applyInsert replays an insert-effect batch: rows are already coerced
 // and were valid when logged.
 func (db *Database) applyInsert(tableName string, rows [][]Value) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	tbl := db.table(tableName)
+	tx := db.beginWrite()
+	tbl := tx.wtable(tableName)
 	if tbl == nil {
+		tx.abort()
 		return errorf("wal: insert into missing table %s", tableName)
 	}
 	for _, row := range rows {
 		if len(row) != len(tbl.def.Columns) {
+			tx.abort()
 			return errorf("wal: insert arity mismatch for %s", tableName)
 		}
 		if _, err := tbl.insert(row); err != nil {
+			tx.abort()
 			return fmt.Errorf("sqldb: wal replay: %w", err)
 		}
 	}
-	return nil
+	return tx.commit(nil)
 }
 
 // rowImageKey renders a row as a comparable byte string for image
@@ -584,12 +586,13 @@ func rowImageKey(row []Value) string {
 // quadratic.
 func imageIndex(tbl *table) map[string][]int64 {
 	m := map[string][]int64{}
-	for rid, row := range tbl.rows {
+	for rid := int64(0); rid < tbl.slotCount(); rid++ {
+		row := tbl.row(rid)
 		if row == nil {
 			continue
 		}
 		k := rowImageKey(row)
-		m[k] = append(m[k], int64(rid))
+		m[k] = append(m[k], rid)
 	}
 	return m
 }
@@ -610,49 +613,54 @@ func popImage(m map[string][]int64, key string) (int64, bool) {
 
 // applyDelete replays a delete-effect batch by matching row images.
 func (db *Database) applyDelete(tableName string, images [][]Value) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	tbl := db.table(tableName)
+	tx := db.beginWrite()
+	tbl := tx.wtable(tableName)
 	if tbl == nil {
+		tx.abort()
 		return errorf("wal: delete from missing table %s", tableName)
 	}
 	idx := imageIndex(tbl)
 	for _, img := range images {
 		rid, ok := popImage(idx, rowImageKey(img))
 		if !ok {
+			tx.abort()
 			return errorf("wal: delete image not found in %s", tableName)
 		}
 		tbl.delete(rid)
 	}
-	return nil
+	return tx.commit(nil)
 }
 
 // applyUpdate replays an update-effect batch of (old, new) image pairs.
 func (db *Database) applyUpdate(tableName string, oldImages, newImages [][]Value) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	tbl := db.table(tableName)
+	tx := db.beginWrite()
+	tbl := tx.wtable(tableName)
 	if tbl == nil {
+		tx.abort()
 		return errorf("wal: update of missing table %s", tableName)
 	}
 	if len(oldImages) != len(newImages) {
+		tx.abort()
 		return errorf("wal: update image pair mismatch for %s", tableName)
 	}
 	idx := imageIndex(tbl)
 	for i, img := range oldImages {
 		rid, ok := popImage(idx, rowImageKey(img))
 		if !ok {
+			tx.abort()
 			return errorf("wal: update image not found in %s", tableName)
 		}
 		newRow := newImages[i]
 		if len(newRow) != len(tbl.def.Columns) {
+			tx.abort()
 			return errorf("wal: update arity mismatch for %s", tableName)
 		}
 		if err := tbl.update(rid, newRow); err != nil {
+			tx.abort()
 			return fmt.Errorf("sqldb: wal replay: %w", err)
 		}
 		k := rowImageKey(newRow)
 		idx[k] = append(idx[k], rid)
 	}
-	return nil
+	return tx.commit(nil)
 }

@@ -22,7 +22,7 @@ func dbStateDiff(a, b *Database) string {
 		return fmt.Sprintf("tables %v vs %v", an, bn)
 	}
 	for _, name := range an {
-		ta, tb := a.table(name), b.table(name)
+		ta, tb := a.readState().table(name), b.readState().table(name)
 		if !reflect.DeepEqual(*ta.def, *tb.def) {
 			return fmt.Sprintf("table %s: def %+v vs %+v", name, *ta.def, *tb.def)
 		}
@@ -40,8 +40,8 @@ func dbStateDiff(a, b *Database) string {
 
 func rowImages(t *table) []string {
 	var keys []string
-	for _, row := range t.rows {
-		if row != nil {
+	for rid := int64(0); rid < t.slotCount(); rid++ {
+		if row := t.row(rid); row != nil {
 			keys = append(keys, rowImageKey(row))
 		}
 	}
@@ -69,16 +69,16 @@ func indexDefs(t *table) []IndexDef {
 func checkIndexes(t *testing.T, db *Database) {
 	t.Helper()
 	for _, name := range db.TableNames() {
-		tbl := db.table(name)
+		tbl := db.readState().table(name)
 		for _, idx := range tbl.indexes {
 			seen := 0
 			for c := idx.tree.seek(nil); c.valid(); c.advance() {
 				e := c.entry()
 				seen++
-				if e.rid < 0 || e.rid >= int64(len(tbl.rows)) || tbl.rows[e.rid] == nil {
+				if e.rid < 0 || e.rid >= tbl.slotCount() || tbl.row(e.rid) == nil {
 					t.Fatalf("table %s index %s: entry %v points at dead rid %d", name, idx.def.Name, e.key, e.rid)
 				}
-				if got := indexKey(idx, tbl.rows[e.rid]); compareKeys(got, e.key) != 0 {
+				if got := indexKey(idx, tbl.row(e.rid)); compareKeys(got, e.key) != 0 {
 					t.Fatalf("table %s index %s: entry key %v != row key %v (rid %d)", name, idx.def.Name, e.key, got, e.rid)
 				}
 			}
