@@ -8,14 +8,14 @@ COVER_FLOOR ?= 60
 ## seed corpora already run as plain tests under `make test`).
 FUZZ_TIME ?= 5s
 
-.PHONY: check vet build test race cover bench-smoke bench fuzz crash pmatrix concurrency
+.PHONY: check vet build test race cover bench-smoke bench fuzz crash pmatrix concurrency writers wbench
 
 ## check: the full CI gate — vet, build, tests (race-enabled where it
 ## matters), the engine suite across a GOMAXPROCS matrix, the snapshot
 ## isolation battery, per-package coverage floors, the fault-injection
 ## battery, short fuzz sessions, and a one-shot run of the query-cache
 ## benchmark.
-check: vet build test race pmatrix concurrency cover crash fuzz bench-smoke
+check: vet build test race pmatrix concurrency writers cover crash fuzz bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +54,17 @@ concurrency:
 			./internal/sqldb ./internal/core || exit 1; \
 	done
 
+## writers: the group-commit race battery — N writer goroutines with
+## concurrent DDL, checkpoints and a durability group against one WAL,
+## plus the batch-fault and mid-group crash regressions, under -race.
+writers:
+	@for p in 1 2 4; do \
+		echo "writers: GOMAXPROCS=$$p"; \
+		GOMAXPROCS=$$p $(GO) test -race -count=1 \
+			-run 'TestConcurrentWritersDDLCheckpoint|TestConcurrentCommitFaultAckedSurvive|TestGroupConcurrentCommits|TestGroupCommitBatches|TestBatchFsyncFault|TestDurableStoreConcurrentExecDuringLoad' \
+			./internal/sqldb ./internal/core || exit 1; \
+	done
+
 ## cover: per-package statement-coverage floors for the packages that
 ## hold the engine (sqldb), the mappings (shred) and the façade (core).
 cover:
@@ -70,7 +81,7 @@ cover:
 ## injection sweeps, the commit-failure rollback regressions, and the
 ## concurrent-commit recovery tests, under the race detector.
 crash:
-	$(GO) test -race -run 'TestCrash|TestCommitFault|TestConcurrentCommits|TestDurable' ./internal/sqldb ./internal/core
+	$(GO) test -race -run 'TestCrash|TestCommitFault|TestConcurrentCommits|TestDurable|TestBatchFsyncFault|TestGroupConcurrentCommits|TestRotateFailure|TestCheckpointInsideGroup|TestNestedGroup' ./internal/sqldb ./internal/core
 
 ## fuzz: short fuzzing sessions for every fuzz target (parser, snapshot
 ## loader, WAL replay). Each -fuzz invocation accepts one target, so
@@ -87,3 +98,8 @@ bench-smoke:
 
 bench:
 	$(GO) test ./internal/bench -run '^$$' -bench QueryCache -benchtime 2s
+
+## wbench: the W1 multi-writer group-commit experiment — fsyncs/commit
+## and insert throughput at 1/4/16 writers against an on-disk WAL.
+wbench:
+	$(GO) run ./cmd/xbench -exp W1

@@ -9,7 +9,8 @@
 //	xrdb -in doc.xml [-scheme interval] [-dtd doc.dtd] <action>
 //	xrdb -data dir [-in doc.xml] [-scheme interval] <action>   durable mode:
 //	    write-ahead logged, crash-recovering store in dir (-checkpoint
-//	    forces a snapshot + log rotation before exit)
+//	    forces a snapshot + log rotation before exit;
+//	    -group-commit-window lets concurrent commits share one fsync)
 //
 // Actions (pick one):
 //
@@ -43,6 +44,7 @@ func main() {
 		saveDB   = flag.String("savedb", "", "write a database snapshot after loading (atomic: temp file + rename)")
 		dataDir  = flag.String("data", "", "durable data directory (WAL + checkpoints, crash recovery; interval/dewey)")
 		ckpt     = flag.Bool("checkpoint", false, "with -data: force a checkpoint before exit")
+		gcWindow = flag.Duration("group-commit-window", 0, "with -data: linger this long before each WAL fsync so concurrent commits share it (0 = flush immediately)")
 		scheme   = flag.String("scheme", "interval", "mapping scheme: edge|binary|universal|interval|dewey|inline")
 		dtdFile  = flag.String("dtd", "", "DTD file (required for -scheme inline)")
 		valueIdx = flag.Bool("value-index", false, "create content-value indexes")
@@ -65,7 +67,8 @@ func main() {
 		// document is supplied and the store is still empty, load it
 		// (durably, as one crash-atomic group commit).
 		opts := core.Options{WithValueIndex: *valueIdx, Parallelism: *parallel}
-		ds, err := core.OpenDurable(core.SchemeKind(*scheme), *dataDir, opts)
+		dopts := core.DurableOptions{GroupCommitWindow: *gcWindow}
+		ds, err := core.OpenDurableWith(core.SchemeKind(*scheme), *dataDir, opts, dopts)
 		if err != nil {
 			fail("opening data directory %s: %v", *dataDir, err)
 		}
@@ -227,8 +230,8 @@ func printStats(st *core.Store) {
 	fmt.Printf("snapshots:\n")
 	fmt.Printf("  acquired: %d  pinned: %d (oldest %s)  publishes: %d\n",
 		sn.Acquired, sn.Pinned, sn.OldestAge.Round(time.Microsecond), sn.Publishes)
-	fmt.Printf("  writer waits: %d in %s  versions reclaimed: %d\n",
-		sn.PublishWaits, sn.PublishWaitTime.Round(time.Microsecond), sn.VersionsReclaimed)
+	fmt.Printf("  writer waits: %d in %s  publish-order waits: %d  versions reclaimed: %d\n",
+		sn.PublishWaits, sn.PublishWaitTime.Round(time.Microsecond), sn.PublishOrderWaits, sn.VersionsReclaimed)
 
 	m := dbStats.Metrics
 	fmt.Printf("query metrics:\n")

@@ -65,6 +65,7 @@ func All() []Experiment {
 		{ID: "R1", Title: "Durability: WAL overhead, checkpoint and recovery time", Run: runR1},
 		{ID: "Q1", Title: "Morsel-parallel speedup on the F1 mix across DOP", Run: runQ1},
 		{ID: "C1", Title: "Reader throughput/latency under concurrent ordered inserts (snapshot isolation)", Run: runC1},
+		{ID: "W1", Title: "Multi-writer insert throughput and fsyncs/commit under WAL group commit", Run: runW1},
 	}
 }
 

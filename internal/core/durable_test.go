@@ -234,3 +234,78 @@ func TestDurableStoreExec(t *testing.T) {
 	}
 	ds2.Close()
 }
+
+// TestDurableStoreConcurrentExecDuringLoad is the end-to-end face of
+// the group-commit durability fix: direct SQL writes acknowledged while
+// a document load's durability group is open must survive a crash that
+// hits before the load finishes — and the half-loaded document must
+// not. (Before the WAL pipeline, those writes sat in the group buffer:
+// acked, published, and gone on crash.)
+func TestDurableStoreConcurrentExecDuringLoad(t *testing.T) {
+	for _, mode := range []sqldb.CrashMode{sqldb.CrashLoseUnsynced, sqldb.CrashKeepAll} {
+		fs := sqldb.NewMemVFS()
+		ds, err := OpenDurableVFS(Interval, fs, Options{}, DurableOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := ds.Durable().DB()
+		db.MustExec(`CREATE TABLE audit (k INTEGER PRIMARY KEY, note TEXT)`)
+
+		var midLoad *sqldb.MemVFS
+		gErr := ds.Durable().Group(func() error {
+			if err := ds.Store.LoadXML([]byte(smallDoc)); err != nil {
+				return err
+			}
+			// An auditor on another goroutine records rows while the load
+			// is mid-group; each Exec return is a durability ack.
+			done := make(chan error, 1)
+			go func() {
+				for i := 0; i < 3; i++ {
+					if _, err := db.Exec(`INSERT INTO audit VALUES (?, 'acked')`, sqldb.NewInt(int64(i))); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}()
+			if err := <-done; err != nil {
+				return err
+			}
+			midLoad = fs.Clone()
+			midLoad.Crash(mode)
+			return nil
+		})
+		if gErr != nil {
+			t.Fatalf("mode %v: group load: %v", mode, gErr)
+		}
+
+		rds, err := OpenDurableVFS(Interval, midLoad, Options{}, DurableOptions{})
+		if err != nil {
+			t.Fatalf("mode %v: mid-load recovery: %v", mode, err)
+		}
+		if v, err := rds.DB().QueryScalar(`SELECT COUNT(*) FROM audit`); err != nil || v.Int() != 3 {
+			t.Fatalf("mode %v: acked audit rows after mid-load crash: %v %v, want 3", mode, v, err)
+		}
+		if v, err := rds.DB().QueryScalar(`SELECT COUNT(*) FROM accel`); err != nil || v.Int() != 0 {
+			t.Fatalf("mode %v: %v document rows leaked from open group (%v)", mode, v, err)
+		}
+		rds.Close()
+
+		// Once the load's group frame is durable, the whole document is.
+		after := fs.Clone()
+		after.Crash(mode)
+		rds2, err := OpenDurableVFS(Interval, after, Options{}, DurableOptions{})
+		if err != nil {
+			t.Fatalf("mode %v: post-load recovery: %v", mode, err)
+		}
+		n, err := rds2.Count(`/bib/book`)
+		if err != nil || n != 2 {
+			t.Fatalf("mode %v: post-load document query: %d books, %v", mode, n, err)
+		}
+		if v, err := rds2.DB().QueryScalar(`SELECT COUNT(*) FROM audit`); err != nil || v.Int() != 3 {
+			t.Fatalf("mode %v: audit rows after post-load crash: %v %v", mode, v, err)
+		}
+		rds2.Close()
+		ds.Close()
+	}
+}

@@ -62,12 +62,28 @@ func lowerName(name string) string { return strings.ToLower(name) }
 type Database struct {
 	state   atomic.Pointer[dbState]
 	writeMu sync.Mutex
+	// head is the newest staged state — committed in memory, possibly
+	// still awaiting its WAL fsync. Guarded by writeMu. Writers clone
+	// head (not the published state) so the commit chain stays linear
+	// while earlier commits are still in flight in the WAL pipeline;
+	// readers keep seeing only the published (ack-complete) state.
+	head *dbState
+	// stageTicket numbers commits in stage order (guarded by writeMu);
+	// publication happens strictly in ticket order so the published
+	// state chain is byte-identical to serial execution.
+	stageTicket uint64
+	// pubMu/pubCond/pubTicket gate publication: a commit whose WAL fsync
+	// finished out of order waits here for its predecessors.
+	pubMu     sync.Mutex
+	pubCond   *sync.Cond
+	pubTicket uint64
 	// gen numbers writer transactions; copy-on-write storage uses it to
 	// distinguish nodes/pages a transaction owns (mutate in place) from
 	// shared ones (copy first).
 	gen atomic.Uint64
 	// seq issues commit sequence numbers when no durability layer is
-	// attached; with a logger, the WAL assigns them (see logCommit).
+	// attached; with a commit hook, the WAL assigns them (see
+	// stageCommit in durable.go).
 	seq   atomic.Uint64
 	plans *planCache
 	// metrics is the runtime observability registry: query-latency
@@ -77,20 +93,39 @@ type Database struct {
 	// snaps tracks snapshot activity: acquisitions, pinned snapshots and
 	// their ages, writer publish waits, superseded-version counts.
 	snaps *snapTracker
-	// logger, when set (by DurableDB), receives one logical record per
-	// committed mutation, invoked while writeMu is held so log order
-	// equals commit order. A non-nil error means the commit is not
-	// durable: the writer must then discard its pending state without
-	// publishing, so memory never diverges from the WAL.
-	logger func(*walRecord) error
+	// commitHook, when set (by DurableDB), stages one logical record per
+	// committed mutation while writeMu is held, so log order equals
+	// commit order. It returns a wait function the writer invokes after
+	// releasing writeMu; wait blocks until the record's WAL frame is
+	// fsynced (batched with concurrently arriving commits). A non-nil
+	// error from either phase means the commit is not durable: the
+	// writer then discards its pending state without publishing, so the
+	// published state never diverges from the WAL. A nil wait means the
+	// record needs no post-stage durability step (group-buffered
+	// records, stub loggers).
+	commitHook func(*walRecord) (wait func() error, err error)
 }
 
-// setCommitLogger attaches (or detaches, with nil) the durability
-// layer's commit logger.
+// setCommitLogger attaches (or detaches, with nil) a synchronous commit
+// logger: the record is durable (or rejected) by the time the logger
+// returns. Kept for stub loggers in tests; DurableDB attaches the
+// two-phase pipeline via setCommitHook.
 func (db *Database) setCommitLogger(fn func(*walRecord) error) {
+	if fn == nil {
+		db.setCommitHook(nil)
+		return
+	}
+	db.setCommitHook(func(rec *walRecord) (func() error, error) {
+		return nil, fn(rec)
+	})
+}
+
+// setCommitHook attaches (or detaches, with nil) the durability layer's
+// two-phase commit pipeline.
+func (db *Database) setCommitHook(fn func(*walRecord) (func() error, error)) {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
-	db.logger = fn
+	db.commitHook = fn
 }
 
 // New creates an empty database.
@@ -100,10 +135,13 @@ func New() *Database {
 		metrics: newMetricsRegistry(),
 		snaps:   newSnapTracker(),
 	}
-	db.state.Store(&dbState{
+	db.pubCond = sync.NewCond(&db.pubMu)
+	st := &dbState{
 		tables:  map[string]*table{},
 		indexes: map[string]*IndexDef{},
-	})
+	}
+	db.state.Store(st)
+	db.head = st
 	return db
 }
 
@@ -125,6 +163,7 @@ func (db *Database) setSeq(n uint64) {
 		st := base.shallowClone()
 		st.seq = n
 		db.state.Store(st)
+		db.head = st
 	}
 }
 
@@ -140,12 +179,18 @@ type writeTx struct {
 	gen  uint64
 }
 
-// beginWrite acquires the writer slot and clones the current state.
+// beginWrite acquires the writer slot and clones the newest staged
+// state. Cloning head (not the published state) keeps the commit chain
+// linear while earlier commits are still waiting on their batched WAL
+// fsync: this writer's statement observes every commit serialized
+// before it, published or not. If any of those predecessors fails its
+// fsync the engine goes fail-stop and this commit fails too, so a
+// state built on a doomed predecessor is never published.
 func (db *Database) beginWrite() *writeTx {
 	waitStart := time.Now()
 	db.writeMu.Lock()
 	db.snaps.recordPublishWait(time.Since(waitStart))
-	base := db.state.Load()
+	base := db.head
 	return &writeTx{db: db, base: base, st: base.shallowClone(), gen: db.gen.Add(1)}
 }
 
@@ -165,21 +210,30 @@ func (tx *writeTx) wtable(name string) *table {
 	return t
 }
 
-// commit logs rec (nil for a metadata-only change that has no WAL
-// effect) and publishes the pending state. If logging fails the pending
-// state is discarded — "rollback" is simply never publishing — and the
-// error is returned.
+// commit stages rec (nil for a metadata-only change that has no WAL
+// effect) and publishes the pending state. The ack-implies-durable
+// contract is structural: with a durability hook attached, the record
+// is staged into the WAL pipeline under writeMu (so log order equals
+// commit order), writeMu is released so later writers can stage and
+// share the next fsync batch, and only after the batch fsync covers
+// this record is the state published — in stage order — and the call
+// returns. If staging or the fsync fails the pending state is discarded
+// — "rollback" is simply never publishing — and the error is returned.
 func (tx *writeTx) commit(rec *walRecord) error {
+	db := tx.db
+	var wait func() error
 	if rec != nil {
-		if tx.db.logger != nil {
-			if err := tx.db.logger(rec); err != nil {
-				tx.db.writeMu.Unlock()
+		if db.commitHook != nil {
+			w, err := db.commitHook(rec)
+			if err != nil {
+				db.writeMu.Unlock()
 				return err
 			}
+			wait = w
 			tx.st.seq = rec.Seq
-			tx.db.seq.Store(rec.Seq)
+			db.seq.Store(rec.Seq)
 		} else {
-			tx.st.seq = tx.db.seq.Add(1)
+			tx.st.seq = db.seq.Add(1)
 		}
 	}
 	reclaimed := 0
@@ -188,10 +242,41 @@ func (tx *writeTx) commit(rec *walRecord) error {
 			reclaimed++
 		}
 	}
-	tx.db.state.Store(tx.st)
-	tx.db.snaps.recordPublish(reclaimed)
-	tx.db.writeMu.Unlock()
+	db.head = tx.st
+	db.stageTicket++
+	ticket := db.stageTicket
+	db.writeMu.Unlock()
+
+	if wait != nil {
+		if err := wait(); err != nil {
+			// Not durable: take the publish turn without publishing, so
+			// successors (which are failing too) don't block forever.
+			db.finishTicket(ticket, nil, 0)
+			return err
+		}
+	}
+	db.finishTicket(ticket, tx.st, reclaimed)
 	return nil
+}
+
+// finishTicket publishes st (or, with nil, merely consumes the turn of
+// a failed commit) strictly in stage-ticket order, so the published
+// state sequence is exactly the serial commit chain.
+func (db *Database) finishTicket(ticket uint64, st *dbState, reclaimed int) {
+	db.pubMu.Lock()
+	if db.pubTicket+1 != ticket {
+		db.snaps.recordPublishOrderWait()
+		for db.pubTicket+1 != ticket {
+			db.pubCond.Wait()
+		}
+	}
+	if st != nil {
+		db.state.Store(st)
+		db.snaps.recordPublish(reclaimed)
+	}
+	db.pubTicket = ticket
+	db.pubCond.Broadcast()
+	db.pubMu.Unlock()
 }
 
 // abort discards the pending state.

@@ -6,15 +6,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DurableDB binds a Database to a data directory (through a VFS) with
 // write-ahead logging and atomic checkpointing:
 //
-//   - Every committed mutation is appended to the WAL and fsynced
-//     before the call returns (see db.go's commit-logger chokepoint).
+//   - Every committed mutation is staged into the WAL group-commit
+//     pipeline and fsynced before the commit call returns (see db.go's
+//     commit-hook chokepoint): committers that arrive while an fsync is
+//     in flight queue up, and the first waiter flushes the whole queue
+//     with one Write + one Sync — many commits, one fsync.
 //   - Checkpoint writes a CRC-sealed snapshot to a temp file, fsyncs
 //     it, renames it over the previous snapshot, fsyncs the directory,
 //     then rotates the WAL — so there is never a moment without a
@@ -35,18 +40,43 @@ type DurableDB struct {
 	// the snapshot's sequence are replayed, the rest skipped.
 	seq atomic.Uint64
 
-	// walMu serializes WAL appends, group buffering and log rotation.
-	walMu    sync.Mutex
-	wal      File
-	walSize  int64
-	grouping bool
-	groupBuf []*walRecord
+	// walMu guards the WAL handle, the commit queue, group buffering
+	// and log rotation. The flusher releases it for the duration of the
+	// Write+Sync (flushing=true marks the handle as borrowed) so new
+	// committers can stage into the next batch while this one syncs.
+	walMu     sync.Mutex
+	wal       File
+	walSize   int64
+	queue     []*commitWaiter
+	flushing  bool
+	flushCond *sync.Cond
+	grouping  bool
+	groupBuf  []*walRecord
+
+	// Pipeline counters (guarded by walMu); Stats derives fsyncs/commit.
+	commits  uint64
+	fsyncs   uint64
+	batches  uint64
+	maxBatch int
+
+	// groupOwner is the id of the goroutine inside Group (0 when none):
+	// only its commits buffer into the group's atomicity unit, and it is
+	// refused re-entrant Group/Checkpoint calls that would self-deadlock.
+	groupOwner atomic.Int64
 
 	// ckptMu serializes checkpoints.
 	ckptMu      sync.Mutex
 	checkpoints atomic.Uint64
 	needCkpt    atomic.Bool
 	failed      atomic.Bool
+}
+
+// commitWaiter is one staged commit waiting for the batch fsync that
+// covers it. All fields are guarded by walMu.
+type commitWaiter struct {
+	payload []byte
+	flushed bool
+	err     error
 }
 
 // DurableOptions tune a DurableDB.
@@ -59,6 +89,12 @@ type DurableOptions struct {
 	// crash may then lose acknowledged commits; recovery is still
 	// never corrupt thanks to the CRC framing.
 	NoSync bool
+	// GroupCommitWindow makes the batch leader linger this long before
+	// collecting the queue, trading commit latency for larger batches
+	// (fewer fsyncs per commit) under concurrent writers. 0 — the
+	// default — flushes as soon as the leader reaches the WAL, which
+	// already batches whatever queued during the previous fsync.
+	GroupCommitWindow time.Duration
 }
 
 const defaultAutoCheckpointBytes = 4 << 20
@@ -156,7 +192,8 @@ func OpenDurable(fs VFS, opts DurableOptions) (*DurableDB, error) {
 		wal.Close()
 		return nil, fmt.Errorf("sqldb: syncing data directory: %w", err)
 	}
-	d.db.setCommitLogger(d.logCommit)
+	d.flushCond = sync.NewCond(&d.walMu)
+	d.db.setCommitHook(d.stageCommit)
 	return d, nil
 }
 
@@ -164,83 +201,215 @@ func OpenDurable(fs VFS, opts DurableOptions) (*DurableDB, error) {
 // it; writes are logged and acknowledged durably.
 func (d *DurableDB) DB() *Database { return d.db }
 
-// logCommit is the commit logger: it is invoked by the Database for
+// stageCommit is the commit hook: it is invoked by the Database for
 // every committed mutation, while the database write lock is still
-// held, so WAL order equals commit order.
-func (d *DurableDB) logCommit(rec *walRecord) error {
+// held, so WAL order equals commit order. It encodes and enqueues the
+// record, then returns a wait function the committer calls *after*
+// releasing the write lock; the wait blocks until a batch fsync covers
+// the record, so the commit is acknowledged only once durable while
+// later writers are already free to stage into the same batch.
+//
+// Commits made by the goroutine that owns an open Group don't enter
+// the queue: they buffer into the group's single atomic frame, staged
+// when the group closes. Commits from any other goroutine — even while
+// a group is open — ride the normal pipeline and are durable before
+// they are acknowledged.
+func (d *DurableDB) stageCommit(rec *walRecord) (func() error, error) {
 	if d.failed.Load() {
-		return ErrWALFailed
+		return nil, ErrWALFailed
 	}
 	rec.Seq = d.seq.Add(1)
 	d.walMu.Lock()
-	defer d.walMu.Unlock()
-	if d.grouping {
+	if d.grouping && d.groupOwner.Load() == goid() {
 		// Inside a group: buffer; the whole group lands as one frame
 		// (one CRC unit) when it closes.
 		d.groupBuf = append(d.groupBuf, rec)
-		return nil
+		d.walMu.Unlock()
+		return nil, nil
 	}
-	return d.appendFrameLocked(encodeRecordPayload(nil, rec))
+	w := &commitWaiter{payload: encodeRecordPayload(nil, rec)}
+	d.queue = append(d.queue, w)
+	d.commits++
+	d.walMu.Unlock()
+	return func() error { return d.awaitFlush(w) }, nil
 }
 
-// appendFrameLocked frames, writes and (unless NoSync) fsyncs one
-// payload. Caller holds walMu.
-func (d *DurableDB) appendFrameLocked(payload []byte) error {
-	frame := appendFrame(nil, payload)
-	n, err := d.wal.Write(frame)
-	d.walSize += int64(n)
-	if err != nil {
-		d.failed.Store(true)
-		return fmt.Errorf("sqldb: wal append: %w", err)
+// awaitFlush blocks until w's batch fsync completes and returns its
+// outcome. The first waiter to find the WAL idle becomes the leader and
+// flushes the whole queue; everyone else sleeps until woken.
+func (d *DurableDB) awaitFlush(w *commitWaiter) error {
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	for {
+		if w.flushed {
+			return w.err
+		}
+		if !d.flushing {
+			d.flushLocked()
+			continue
+		}
+		d.flushCond.Wait()
 	}
-	if !d.opts.NoSync {
-		if err := d.wal.Sync(); err != nil {
-			d.failed.Store(true)
-			return fmt.Errorf("sqldb: wal sync: %w", err)
+}
+
+// flushLocked drains the commit queue as one batch: every queued
+// payload is framed into a single buffer, written with one Write and
+// made durable with one Sync. Caller holds walMu with flushing false;
+// the lock is released during the IO (flushing=true keeps the handle
+// exclusive) so committers arriving mid-fsync stage into the next
+// batch. Returns with walMu held. On error the engine goes fail-stop
+// and every commit in the batch fails — none were acknowledged.
+func (d *DurableDB) flushLocked() {
+	d.flushing = true
+	if win := d.opts.GroupCommitWindow; win > 0 {
+		// Linger with the lock released so more committers can queue up
+		// behind this batch.
+		d.walMu.Unlock()
+		time.Sleep(win)
+		d.walMu.Lock()
+	}
+	batch := d.queue
+	d.queue = nil
+	if len(batch) == 0 {
+		d.flushing = false
+		d.flushCond.Broadcast()
+		return
+	}
+	var frame []byte
+	for _, w := range batch {
+		frame = appendFrame(frame, w.payload)
+	}
+	d.batches++
+	if len(batch) > d.maxBatch {
+		d.maxBatch = len(batch)
+	}
+	wal := d.wal
+	d.walMu.Unlock()
+
+	var n int
+	var err error
+	if wal == nil {
+		err = ErrWALFailed
+	} else {
+		n, err = wal.Write(frame)
+		if err != nil {
+			err = fmt.Errorf("sqldb: wal append: %w", err)
+		} else if !d.opts.NoSync {
+			if serr := wal.Sync(); serr != nil {
+				err = fmt.Errorf("sqldb: wal sync: %w", serr)
+			}
 		}
 	}
-	if d.opts.AutoCheckpointBytes > 0 && d.walSize >= d.opts.AutoCheckpointBytes {
+
+	d.walMu.Lock()
+	d.walSize += int64(n)
+	if !d.opts.NoSync && err == nil {
+		d.fsyncs++
+	}
+	if err != nil {
+		d.failed.Store(true)
+	} else if d.opts.AutoCheckpointBytes > 0 && d.walSize >= d.opts.AutoCheckpointBytes {
 		d.needCkpt.Store(true)
 	}
-	return nil
+	for _, w := range batch {
+		w.flushed = true
+		w.err = err
+	}
+	d.flushing = false
+	d.flushCond.Broadcast()
 }
 
-// Group runs fn with commit buffering: every record fn commits is
-// written as a single WAL frame when fn returns, so the whole batch is
-// crash-atomic — recovery sees all of it or none of it. If fn errors
-// after committing some statements, the partial batch is still flushed
-// (the in-memory state has those effects, and durable state must
-// match). Groups serialize with each other; independent commits from
-// other goroutines during a group join its atomicity unit and are
-// durable only once the group closes, so groups are meant for
-// single-writer phases (document load, subtree insertion).
+// goid returns the current goroutine's id, parsed from the
+// runtime.Stack header ("goroutine N [...]"). Used only to attribute
+// commits to an open Group and to catch re-entrant Group/Checkpoint
+// calls; never for synchronization.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine " (10 bytes), parse digits up to the next space.
+	var id int64
+	for _, c := range buf[10:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
+// DurableStats reports group-commit pipeline counters.
+type DurableStats struct {
+	// Commits counts staged WAL commits (a Group's atomic frame counts
+	// as one).
+	Commits uint64
+	// Fsyncs counts WAL fsyncs; Fsyncs/Commits < 1 means batching is
+	// amortizing the sync cost across concurrent writers.
+	Fsyncs uint64
+	// Batches counts flushes, and MaxBatch is the largest number of
+	// commits covered by a single flush.
+	Batches  uint64
+	MaxBatch int
+}
+
+// Stats returns a snapshot of the pipeline counters.
+func (d *DurableDB) Stats() DurableStats {
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	return DurableStats{
+		Commits:  d.commits,
+		Fsyncs:   d.fsyncs,
+		Batches:  d.batches,
+		MaxBatch: d.maxBatch,
+	}
+}
+
+// Group runs fn with commit buffering: every record fn commits (from
+// fn's own goroutine) is written as a single WAL frame when fn
+// returns, so the whole batch is crash-atomic — recovery sees all of
+// it or none of it. If fn errors after committing some statements, the
+// partial batch is still flushed (the in-memory state has those
+// effects, and durable state must match). Groups serialize with each
+// other. Commits from *other* goroutines during a group never join its
+// atomicity unit: they ride the normal group-commit pipeline and are
+// durable before they are acknowledged, exactly as without a group.
+// Checkpoint/MaybeCheckpoint must not be called inside fn (they return
+// an error rather than self-deadlock).
 func (d *DurableDB) Group(fn func() error) error {
 	if d.failed.Load() {
 		return ErrWALFailed
 	}
-	d.ckptMu.Lock() // a checkpoint between buffer and flush is fine, but keep rotation out of the window
-	d.walMu.Lock()
-	if d.grouping {
-		d.walMu.Unlock()
-		d.ckptMu.Unlock()
+	gid := goid()
+	if d.groupOwner.Load() == gid {
 		return errorf("nested durability group")
 	}
+	d.ckptMu.Lock() // keep snapshot/rotation out of the buffer-to-flush window
+	d.walMu.Lock()
 	d.grouping = true
+	d.groupOwner.Store(gid)
 	d.walMu.Unlock()
 
 	fnErr := fn()
 
 	d.walMu.Lock()
 	d.grouping = false
+	d.groupOwner.Store(0)
 	buf := d.groupBuf
 	d.groupBuf = nil
-	var flushErr error
+	var w *commitWaiter
 	if len(buf) > 0 {
+		// Stage the whole group as one frame in the pipeline; it shares
+		// its batch fsync with any concurrently queued commits.
 		group := &walRecord{Op: opGroup, Seq: buf[0].Seq, Group: buf}
-		flushErr = d.appendFrameLocked(encodeRecordPayload(nil, group))
+		w = &commitWaiter{payload: encodeRecordPayload(nil, group)}
+		d.queue = append(d.queue, w)
+		d.commits++
 	}
 	d.walMu.Unlock()
 	d.ckptMu.Unlock()
+	var flushErr error
+	if w != nil {
+		flushErr = d.awaitFlush(w)
+	}
 	if fnErr != nil {
 		return fnErr
 	}
@@ -265,6 +434,11 @@ func (d *DurableDB) Checkpoint() error {
 	if d.failed.Load() {
 		return ErrWALFailed
 	}
+	if d.groupOwner.Load() == goid() {
+		// Group holds ckptMu across the user callback; taking it again
+		// here would self-deadlock, so refuse loudly instead.
+		return errorf("checkpoint inside durability group")
+	}
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
 
@@ -283,9 +457,20 @@ func (d *DurableDB) Checkpoint() error {
 		return fmt.Errorf("sqldb: checkpoint: %w", err)
 	}
 
-	// 3. WAL rotation. Appends are blocked while the log is rewritten.
+	// 3. WAL rotation. Appends are blocked while the log is rewritten;
+	// an in-flight batch fsync holds the handle with walMu released, so
+	// wait for it to land before swapping files underneath it. Commits
+	// still queued (staged but not yet flushing) are safe: their frames
+	// move to the new WAL when their batch flushes, and their sequence
+	// numbers are above the snapshot's, so recovery replays them.
 	d.walMu.Lock()
 	defer d.walMu.Unlock()
+	for d.flushing {
+		d.flushCond.Wait()
+	}
+	if d.failed.Load() {
+		return ErrWALFailed
+	}
 	if err := d.rotateLocked(snapSeq); err != nil {
 		d.failed.Store(true)
 		return fmt.Errorf("sqldb: wal rotation: %w", err)
@@ -318,7 +503,11 @@ func (d *DurableDB) rotateLocked(snapSeq uint64) error {
 		return err
 	}
 	// The old handle points at the replaced file; reopen the new one.
+	// Nil the field across the gap: if reopening fails we must not
+	// leave d.wal aimed at a closed file, or later Close/flush would
+	// operate on a dead handle instead of failing cleanly.
 	d.wal.Close()
+	d.wal = nil
 	w, err := d.fs.OpenRW(walFile)
 	if err != nil {
 		return err
@@ -358,12 +547,19 @@ func (d *DurableDB) Checkpoints() uint64 { return d.checkpoints.Load() }
 // error.
 func (d *DurableDB) Failed() bool { return d.failed.Load() }
 
-// Close detaches the logger and closes the WAL. It does not
-// checkpoint; the WAL replays on the next open.
+// Close detaches the commit hook, drains any in-flight or queued
+// batches, and closes the WAL. It does not checkpoint; the WAL replays
+// on the next open.
 func (d *DurableDB) Close() error {
-	d.db.setCommitLogger(nil)
+	d.db.setCommitHook(nil)
 	d.walMu.Lock()
 	defer d.walMu.Unlock()
+	for d.flushing {
+		d.flushCond.Wait()
+	}
+	for len(d.queue) > 0 {
+		d.flushLocked()
+	}
 	if d.wal == nil {
 		return nil
 	}

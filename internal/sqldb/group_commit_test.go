@@ -1,0 +1,604 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Gated-fsync harness
+//
+// The group-commit pipeline batches whatever queues while an fsync is in
+// flight, so to test batching deterministically the tests park the batch
+// leader inside Sync, stage more commits, then choose the fsync verdict.
+
+// syncGate intercepts the WAL file's Sync calls: while armed, each Sync
+// parks until the test sends a verdict (nil lets the real fsync proceed,
+// an error fails it without syncing).
+type syncGate struct {
+	mu    sync.Mutex
+	armed bool
+	calls chan chan error
+}
+
+func newSyncGate() *syncGate { return &syncGate{calls: make(chan chan error)} }
+
+func (g *syncGate) arm(on bool) {
+	g.mu.Lock()
+	g.armed = on
+	g.mu.Unlock()
+}
+
+// next waits for a gated Sync to arrive and returns its verdict channel.
+func (g *syncGate) next(t *testing.T) chan error {
+	t.Helper()
+	select {
+	case c := <-g.calls:
+		return c
+	case <-time.After(10 * time.Second):
+		t.Fatal("no Sync reached the gate")
+		return nil
+	}
+}
+
+type gateVFS struct {
+	VFS
+	gate *syncGate
+}
+
+func (v *gateVFS) OpenRW(name string) (File, error) {
+	f, err := v.VFS.OpenRW(name)
+	if err != nil || name != walFile {
+		return f, err
+	}
+	return &gateFile{File: f, gate: v.gate}, nil
+}
+
+type gateFile struct {
+	File
+	gate *syncGate
+}
+
+func (f *gateFile) Sync() error {
+	f.gate.mu.Lock()
+	armed := f.gate.armed
+	f.gate.mu.Unlock()
+	if armed {
+		verdict := make(chan error)
+		f.gate.calls <- verdict
+		if err := <-verdict; err != nil {
+			return err
+		}
+	}
+	return f.File.Sync()
+}
+
+// waitQueueLen polls until at least want commits are staged in the
+// pipeline queue behind the in-flight batch.
+func waitQueueLen(t *testing.T, d *DurableDB, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		d.walMu.Lock()
+		n := len(d.queue)
+		d.walMu.Unlock()
+		if n >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue length %d, want >= %d", n, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Headline regression: commits concurrent with an open Group
+
+// TestGroupConcurrentCommitsDurableBeforeGroupCloses is the regression
+// test for the Group durability hole: an independent commit acknowledged
+// while a Group is open used to sit in the group buffer, so a crash
+// before the group closed silently lost it. Under the pipeline the
+// independent commit is fsynced (in its own batch) before its Exec
+// returns, and the group's rows stay invisible to recovery until the
+// group frame lands.
+func TestGroupConcurrentCommitsDurableBeforeGroupCloses(t *testing.T) {
+	for _, mode := range []CrashMode{CrashLoseUnsynced, CrashKeepAll} {
+		mem := NewMemVFS()
+		d := mustOpenDurable(t, mem, DurableOptions{})
+		db := d.DB()
+		db.MustExec(`CREATE TABLE grp (k INTEGER PRIMARY KEY)`)
+		db.MustExec(`CREATE TABLE ind (k INTEGER PRIMARY KEY)`)
+
+		var midGroup *MemVFS
+		gErr := d.Group(func() error {
+			db.MustExec(`INSERT INTO grp VALUES (1)`)
+			// Independent commits from another goroutine, acked while the
+			// group is open.
+			done := make(chan error, 1)
+			go func() {
+				for i := 0; i < 5; i++ {
+					if _, err := db.Exec(`INSERT INTO ind VALUES (?)`, NewInt(int64(i))); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}()
+			if err := <-done; err != nil {
+				return fmt.Errorf("independent commit: %w", err)
+			}
+			db.MustExec(`INSERT INTO grp VALUES (2)`)
+			// Crash while the group is still open.
+			midGroup = mem.Clone()
+			midGroup.Crash(mode)
+			return nil
+		})
+		if gErr != nil {
+			t.Fatalf("mode %v: group: %v", mode, gErr)
+		}
+
+		rd := mustOpenDurable(t, midGroup, DurableOptions{})
+		count := func(db *Database, table string) int64 {
+			v, err := db.QueryScalar(`SELECT COUNT(*) FROM ` + table)
+			if err != nil {
+				t.Fatalf("count %s: %v", table, err)
+			}
+			return v.Int()
+		}
+		// Every acked independent commit survived the mid-group crash...
+		if n := count(rd.DB(), "ind"); n != 5 {
+			t.Fatalf("mode %v: %d independent rows recovered mid-group, want 5", mode, n)
+		}
+		// ...and the unclosed group contributed nothing (atomicity).
+		if n := count(rd.DB(), "grp"); n != 0 {
+			t.Fatalf("mode %v: %d group rows recovered mid-group, want 0", mode, n)
+		}
+		rd.Close()
+
+		// After Group returns, its frame is durable: a crash now recovers
+		// the whole group.
+		afterGroup := mem.Clone()
+		afterGroup.Crash(mode)
+		rd2 := mustOpenDurable(t, afterGroup, DurableOptions{})
+		if n := count(rd2.DB(), "grp"); n != 2 {
+			t.Fatalf("mode %v: %d group rows recovered post-group, want 2", mode, n)
+		}
+		if n := count(rd2.DB(), "ind"); n != 5 {
+			t.Fatalf("mode %v: %d independent rows recovered post-group, want 5", mode, n)
+		}
+		if diff := dbStateDiff(db, rd2.DB()); diff != "" {
+			t.Fatalf("mode %v: post-group recovery differs: %s", mode, diff)
+		}
+		checkIndexes(t, rd2.DB())
+		rd2.Close()
+		d.Close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Batching
+
+// TestGroupCommitBatchesConcurrentWriters pins the batch leader inside
+// its fsync, stages three more commits, and verifies they all ride one
+// Sync: the pipeline's fsyncs/commit drops below one.
+func TestGroupCommitBatchesConcurrentWriters(t *testing.T) {
+	mem := NewMemVFS()
+	gate := newSyncGate()
+	d := mustOpenDurable(t, &gateVFS{VFS: mem, gate: gate}, DurableOptions{})
+	db := d.DB()
+	db.MustExec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`)
+
+	gate.arm(true)
+	errs := make([]error, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = db.Exec(`INSERT INTO kv VALUES (0, 'w')`)
+	}()
+	leader := gate.next(t) // writer 0 is parked inside its fsync
+	for i := 1; i <= 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = db.Exec(fmt.Sprintf(`INSERT INTO kv VALUES (%d, 'w')`, i))
+		}(i)
+	}
+	waitQueueLen(t, d, 3) // all three staged behind the in-flight batch
+	leader <- nil
+	batch2 := gate.next(t) // one Sync covers all three queued commits
+	batch2 <- nil
+	wg.Wait()
+	gate.arm(false)
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	st := d.Stats()
+	if st.MaxBatch < 3 {
+		t.Fatalf("max batch %d, want >= 3", st.MaxBatch)
+	}
+	if st.Fsyncs >= st.Commits {
+		t.Fatalf("fsyncs %d not < commits %d: batching broken", st.Fsyncs, st.Commits)
+	}
+	d.Close()
+
+	// Everything acked is on disk.
+	rd := mustOpenDurable(t, mem, DurableOptions{})
+	if diff := dbStateDiff(db, rd.DB()); diff != "" {
+		t.Fatalf("recovery differs: %s", diff)
+	}
+	rd.Close()
+}
+
+// TestBatchFsyncFaultFailsWholeBatch extends the commit-fault battery to
+// the pipeline: when a batch's fsync fails, every commit in the batch
+// must error, the engine goes fail-stop, published memory keeps only the
+// acked prefix, and recovery equals it.
+func TestBatchFsyncFaultFailsWholeBatch(t *testing.T) {
+	mem := NewMemVFS()
+	gate := newSyncGate()
+	d := mustOpenDurable(t, &gateVFS{VFS: mem, gate: gate}, DurableOptions{})
+	db := d.DB()
+	db.MustExec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`)
+
+	gate.arm(true)
+	errs := make([]error, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = db.Exec(`INSERT INTO kv VALUES (0, 'w')`)
+	}()
+	leader := gate.next(t)
+	for i := 1; i <= 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = db.Exec(fmt.Sprintf(`INSERT INTO kv VALUES (%d, 'w')`, i))
+		}(i)
+	}
+	waitQueueLen(t, d, 3)
+	leader <- nil // writer 0's batch fsyncs fine: it is the acked prefix
+	batch2 := gate.next(t)
+	batch2 <- errors.New("injected fsync failure") // the 3-commit batch dies
+	wg.Wait()
+	gate.arm(false)
+
+	if errs[0] != nil {
+		t.Fatalf("acked writer failed: %v", errs[0])
+	}
+	for i := 1; i <= 3; i++ {
+		if errs[i] == nil || !strings.Contains(errs[i].Error(), "wal sync") {
+			t.Fatalf("writer %d: error %v, want wal sync failure", i, errs[i])
+		}
+	}
+	if !d.Failed() {
+		t.Fatal("engine not fail-stop after batch fsync fault")
+	}
+	if _, err := db.Exec(`INSERT INTO kv VALUES (9, 'late')`); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("commit after fault: %v, want ErrWALFailed", err)
+	}
+	// Published memory is exactly the acked prefix: none of the failed
+	// batch's rows ever became visible.
+	if n := db.TotalRows(); n != 1 {
+		t.Fatalf("live rows %d, want 1 (acked prefix only)", n)
+	}
+
+	// Power-loss recovery equals the acked prefix bit for bit.
+	lost := mem.Clone()
+	lost.Crash(CrashLoseUnsynced)
+	rd := mustOpenDurable(t, lost, DurableOptions{})
+	if diff := dbStateDiff(db, rd.DB()); diff != "" {
+		t.Fatalf("recovery differs from acked prefix: %s", diff)
+	}
+	rd.Close()
+
+	// Keep-all recovery (frames written but never synced survive a mere
+	// process kill) must still contain every acked commit.
+	kept := mem.Clone()
+	kept.Crash(CrashKeepAll)
+	rd2 := mustOpenDurable(t, kept, DurableOptions{})
+	v, err := rd2.DB().QueryScalar(`SELECT COUNT(*) FROM kv WHERE k = 0`)
+	if err != nil || v.Int() != 1 {
+		t.Fatalf("acked row missing under keep-all recovery: %v %v", v, err)
+	}
+	rd2.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Group re-entrancy guards
+
+func TestCheckpointInsideGroupErrors(t *testing.T) {
+	// AutoCheckpointBytes=1 arms needCkpt on the first commit so
+	// MaybeCheckpoint inside the group actually attempts a checkpoint.
+	d := mustOpenDurable(t, NewMemVFS(), DurableOptions{AutoCheckpointBytes: 1})
+	db := d.DB()
+	db.MustExec(`CREATE TABLE kv (k INTEGER PRIMARY KEY)`)
+
+	err := d.Group(func() error {
+		db.MustExec(`INSERT INTO kv VALUES (1)`)
+		if err := d.Checkpoint(); err == nil || !strings.Contains(err.Error(), "checkpoint inside durability group") {
+			return fmt.Errorf("Checkpoint inside group returned %v, want refusal", err)
+		}
+		if _, err := d.MaybeCheckpoint(); err == nil || !strings.Contains(err.Error(), "checkpoint inside durability group") {
+			return fmt.Errorf("MaybeCheckpoint inside group returned %v, want refusal", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refusal is not sticky: checkpointing works once the group ends.
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after group: %v", err)
+	}
+	if d.WALSize() != 0 {
+		t.Fatalf("WAL not rotated after group: %d bytes", d.WALSize())
+	}
+	d.Close()
+}
+
+func TestNestedGroupErrors(t *testing.T) {
+	mem := NewMemVFS()
+	d := mustOpenDurable(t, mem, DurableOptions{})
+	db := d.DB()
+	db.MustExec(`CREATE TABLE kv (k INTEGER PRIMARY KEY)`)
+
+	done := make(chan error, 1)
+	err := d.Group(func() error {
+		db.MustExec(`INSERT INTO kv VALUES (1)`)
+		// Re-entrant Group from the owning goroutine is refused (it used
+		// to deadlock on ckptMu before ever reaching the nesting check).
+		if err := d.Group(func() error { return nil }); err == nil || !strings.Contains(err.Error(), "nested durability group") {
+			return fmt.Errorf("nested group returned %v, want refusal", err)
+		}
+		// A group from another goroutine is not nested: it serializes
+		// behind this one and proceeds once we close.
+		go func() {
+			done <- d.Group(func() error {
+				db.MustExec(`INSERT INTO kv VALUES (2)`)
+				return nil
+			})
+		}()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serialized group: %v", err)
+	}
+	if n := db.TotalRows(); n != 2 {
+		t.Fatalf("%d rows, want 2", n)
+	}
+	// Both groups' frames are durable.
+	crashed := mem.Clone()
+	crashed.Crash(CrashLoseUnsynced)
+	rd := mustOpenDurable(t, crashed, DurableOptions{})
+	if n := rd.DB().TotalRows(); n != 2 {
+		t.Fatalf("%d rows recovered, want 2", n)
+	}
+	rd.Close()
+	d.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Rotation failure hygiene
+
+// TestRotateFailureNilsWAL sweeps a fault budget across Checkpoint and
+// verifies the failure hygiene of rotation: whenever rotation fails
+// after the old WAL handle was closed, d.wal must be nil (not a stale
+// closed handle), Close must succeed, and recovery from the surviving
+// files must equal the acked state.
+func TestRotateFailureNilsWAL(t *testing.T) {
+	sawPostCloseFailure := false
+	for budget := int64(0); ; budget++ {
+		mem := NewMemVFS()
+		fvfs := NewFaultVFS(mem, -1)
+		d := mustOpenDurable(t, fvfs, DurableOptions{})
+		db := d.DB()
+		db.MustExec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`)
+		for i := 0; i < 8; i++ {
+			db.MustExec(`INSERT INTO kv VALUES (?, 'row')`, NewInt(int64(i)))
+		}
+
+		// Arm the budget for the checkpoint only.
+		fvfs.mu.Lock()
+		fvfs.failAfter = fvfs.written + budget
+		fvfs.mu.Unlock()
+		ckErr := d.Checkpoint()
+		fvfs.mu.Lock()
+		fvfs.failAfter = -1
+		fvfs.failed = false
+		fvfs.mu.Unlock()
+
+		d.walMu.Lock()
+		walNil := d.wal == nil
+		d.walMu.Unlock()
+		if ckErr == nil {
+			if walNil {
+				t.Fatalf("budget %d: checkpoint succeeded but wal handle is nil", budget)
+			}
+			if !sawPostCloseFailure {
+				t.Fatal("budget sweep finished without exercising a post-close rotation failure")
+			}
+			d.Close()
+			return
+		}
+		if strings.Contains(ckErr.Error(), "wal rotation") && walNil {
+			sawPostCloseFailure = true
+		}
+		if !d.Failed() {
+			t.Fatalf("budget %d: checkpoint error (%v) without fail-stop", budget, ckErr)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatalf("budget %d: close after failed checkpoint: %v", budget, err)
+		}
+		// Whatever the crash point, the directory still recovers to the
+		// acked state.
+		rd := mustOpenDurable(t, mem, DurableOptions{})
+		if diff := dbStateDiff(db, rd.DB()); diff != "" {
+			t.Fatalf("budget %d: recovery differs: %s", budget, diff)
+		}
+		checkIndexes(t, rd.DB())
+		rd.Close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent-writers batteries
+
+// TestConcurrentWritersDDLCheckpoint is the race battery: N writer
+// goroutines, concurrent DDL, checkpoints and a Group all run against
+// one DurableDB; afterwards recovery must equal live memory exactly.
+func TestConcurrentWritersDDLCheckpoint(t *testing.T) {
+	const writers = 8
+	const perWriter = 30
+
+	mem := NewMemVFS()
+	d := mustOpenDurable(t, mem, DurableOptions{})
+	db := d.DB()
+	db.MustExec(`CREATE TABLE shared (k INTEGER PRIMARY KEY, w INTEGER, v TEXT)`)
+	for w := 0; w < writers; w++ {
+		db.MustExec(fmt.Sprintf(`CREATE TABLE own%d (k INTEGER PRIMARY KEY, v TEXT)`, w))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				db.MustExec(fmt.Sprintf(`INSERT INTO shared VALUES (%d, %d, 'x')`, w*perWriter+i, w))
+				db.MustExec(fmt.Sprintf(`INSERT INTO own%d VALUES (%d, 'y')`, w, i))
+			}
+		}(w)
+	}
+	// DDL churn: indexes come and go while writers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			db.MustExec(`CREATE INDEX shared_w ON shared (w)`)
+			db.MustExec(`DROP INDEX shared_w`)
+		}
+		db.MustExec(`CREATE INDEX shared_w ON shared (w)`)
+	}()
+	// Checkpoints interleave with everything.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := d.Checkpoint(); err != nil {
+				t.Errorf("checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	// A durability group runs concurrently with independent writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := d.Group(func() error {
+			for i := 0; i < 10; i++ {
+				db.MustExec(`INSERT INTO shared VALUES (?, -1, 'g')`, NewInt(int64(1_000_000+i)))
+			}
+			return nil
+		}); err != nil {
+			t.Errorf("group: %v", err)
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	want := writers*perWriter + writers*perWriter + 10
+	if n := db.TotalRows(); n != want {
+		t.Fatalf("live rows %d, want %d", n, want)
+	}
+	st := d.Stats()
+	if st.Commits == 0 || st.Batches == 0 {
+		t.Fatalf("pipeline counters empty: %+v", st)
+	}
+	d.Close()
+
+	rd := mustOpenDurable(t, mem, DurableOptions{})
+	if diff := dbStateDiff(db, rd.DB()); diff != "" {
+		t.Fatalf("recovery differs from live memory: %s", diff)
+	}
+	checkIndexes(t, rd.DB())
+	rd.Close()
+}
+
+// TestConcurrentCommitFaultAckedSurvive runs concurrent writers into a
+// fault budget: whenever the WAL dies mid-flight, every commit that was
+// acknowledged must survive recovery under both crash modes, and the
+// engine must be fail-stop for the rest.
+func TestConcurrentCommitFaultAckedSurvive(t *testing.T) {
+	const writers = 4
+	for _, budget := range []int64{80, 400, 1200, 3000} {
+		mem := NewMemVFS()
+		fvfs := NewFaultVFS(mem, -1)
+		d := mustOpenDurable(t, fvfs, DurableOptions{})
+		db := d.DB()
+		db.MustExec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, w INTEGER)`)
+
+		fvfs.mu.Lock()
+		fvfs.failAfter = fvfs.written + budget
+		fvfs.mu.Unlock()
+
+		var mu sync.Mutex
+		acked := map[int64]bool{}
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 40; i++ {
+					k := int64(w*1000 + i)
+					if _, err := db.Exec(`INSERT INTO kv VALUES (?, ?)`, NewInt(k), NewInt(int64(w))); err != nil {
+						return // fault reached; acks stop here
+					}
+					mu.Lock()
+					acked[k] = true
+					mu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		if !d.Failed() {
+			t.Fatalf("budget %d: fault never fired (raise the write volume?)", budget)
+		}
+		if _, err := db.Exec(`INSERT INTO kv VALUES (99999, 0)`); !errors.Is(err, ErrWALFailed) {
+			t.Fatalf("budget %d: post-fault commit: %v, want ErrWALFailed", budget, err)
+		}
+		d.Close()
+
+		for _, mode := range []CrashMode{CrashLoseUnsynced, CrashKeepAll} {
+			crashed := mem.Clone()
+			crashed.Crash(mode)
+			rd, err := OpenDurable(crashed, DurableOptions{})
+			if err != nil {
+				t.Fatalf("budget %d mode %v: recovery: %v", budget, mode, err)
+			}
+			for k := range acked {
+				v, err := rd.DB().QueryScalar(`SELECT COUNT(*) FROM kv WHERE k = ?`, NewInt(k))
+				if err != nil || v.Int() != 1 {
+					t.Fatalf("budget %d mode %v: acked row %d missing after recovery (%v, %v)", budget, mode, k, v, err)
+				}
+			}
+			checkIndexes(t, rd.DB())
+			rd.Close()
+		}
+	}
+}

@@ -83,6 +83,10 @@ type SnapshotStats struct {
 	// the writer-side contention figure (readers never wait).
 	PublishWaits    uint64
 	PublishWaitTime time.Duration
+	// PublishOrderWaits counts commits that had finished their WAL fsync
+	// but had to wait for an earlier-staged commit to publish first, so
+	// the published state chain stays in commit order.
+	PublishOrderWaits uint64
 	// VersionsReclaimed counts table versions superseded by a publish
 	// and thereby handed to the garbage collector (reclaimed once the
 	// last snapshot referencing them is dropped).
@@ -93,11 +97,12 @@ type SnapshotStats struct {
 // pinned-snapshot set; counters are atomics so the hot read path only
 // pays one atomic add.
 type snapTracker struct {
-	acquired  atomic.Uint64
-	publishes atomic.Uint64
-	reclaimed atomic.Uint64
-	waits     atomic.Uint64
-	waitNs    atomic.Int64
+	acquired   atomic.Uint64
+	publishes  atomic.Uint64
+	reclaimed  atomic.Uint64
+	waits      atomic.Uint64
+	waitNs     atomic.Int64
+	orderWaits atomic.Uint64
 
 	mu     sync.Mutex
 	pinned map[*Snapshot]time.Time
@@ -113,6 +118,8 @@ func (t *snapTracker) recordPublishWait(d time.Duration) {
 	t.waits.Add(1)
 	t.waitNs.Add(int64(d))
 }
+
+func (t *snapTracker) recordPublishOrderWait() { t.orderWaits.Add(1) }
 
 func (t *snapTracker) recordPublish(reclaimed int) {
 	t.publishes.Add(1)
@@ -139,6 +146,7 @@ func (t *snapTracker) stats() SnapshotStats {
 		Publishes:         t.publishes.Load(),
 		PublishWaits:      t.waits.Load(),
 		PublishWaitTime:   time.Duration(t.waitNs.Load()),
+		PublishOrderWaits: t.orderWaits.Load(),
 		VersionsReclaimed: t.reclaimed.Load(),
 	}
 	t.mu.Lock()
