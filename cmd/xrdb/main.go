@@ -49,6 +49,7 @@ func main() {
 		dtdFile  = flag.String("dtd", "", "DTD file (required for -scheme inline)")
 		valueIdx = flag.Bool("value-index", false, "create content-value indexes")
 		parallel = flag.Int("parallel", 0, "intra-query parallelism: 0=auto (GOMAXPROCS), 1=serial, n=worker cap")
+		vector   = flag.Bool("vectorized", false, "batch-at-a-time query execution (selection-vector batches of 1024 rows)")
 		query    = flag.String("query", "", "XPath query to run")
 		timeout  = flag.Duration("timeout", 0, "query deadline (e.g. 500ms); 0 = no limit")
 		showSQL  = flag.Bool("sql", false, "print the generated SQL")
@@ -66,7 +67,7 @@ func main() {
 		// Durable mode: open or crash-recover the data directory; if a
 		// document is supplied and the store is still empty, load it
 		// (durably, as one crash-atomic group commit).
-		opts := core.Options{WithValueIndex: *valueIdx, Parallelism: *parallel}
+		opts := core.Options{WithValueIndex: *valueIdx, Parallelism: *parallel, Vectorized: *vector}
 		dopts := core.DurableOptions{GroupCommitWindow: *gcWindow}
 		ds, err := core.OpenDurableWith(core.SchemeKind(*scheme), *dataDir, opts, dopts)
 		if err != nil {
@@ -107,12 +108,15 @@ func main() {
 		if *parallel > 0 {
 			st.DB().SetParallelism(*parallel)
 		}
+		if *vector {
+			st.DB().SetVectorized(true)
+		}
 	case *in != "":
 		src, err := os.ReadFile(*in)
 		if err != nil {
 			fail("%v", err)
 		}
-		opts := core.Options{WithValueIndex: *valueIdx, Parallelism: *parallel}
+		opts := core.Options{WithValueIndex: *valueIdx, Parallelism: *parallel, Vectorized: *vector}
 		if *dtdFile != "" {
 			dtdSrc, err := os.ReadFile(*dtdFile)
 			if err != nil {

@@ -67,6 +67,9 @@ type Options struct {
 	// Parallelism sets the engine's intra-query degree of parallelism:
 	// 0 = automatic (GOMAXPROCS), 1 = serial, n>1 = at most n workers.
 	Parallelism int
+	// Vectorized enables batch-at-a-time query execution (the engine's
+	// default follows XRDB_VECTORIZED; this forces it on).
+	Vectorized bool
 }
 
 // defaultTransCacheCap bounds the per-Store XPath→SQL translation
@@ -178,6 +181,9 @@ func OpenWith(kind SchemeKind, opts Options) (*Store, error) {
 	db := sqldb.New()
 	if opts.Parallelism > 0 {
 		db.SetParallelism(opts.Parallelism)
+	}
+	if opts.Vectorized {
+		db.SetVectorized(true)
 	}
 	if err := s.Setup(db); err != nil {
 		return nil, err

@@ -174,7 +174,9 @@ func TestSnapshotReconstructDuringUpdates(t *testing.T) {
 
 // TestQueryContextCancel checks the cancellation satellite end to end:
 // a context that is already canceled must abort execution inside the
-// engine and surface context.Canceled, for serial and parallel plans.
+// engine and surface context.Canceled, for serial and parallel plans,
+// in both the row-at-a-time and the batch-at-a-time engine (where the
+// poll happens once per batch instead of every 256 rows).
 func TestQueryContextCancel(t *testing.T) {
 	doc := xmlgen.Auction(xmlgen.Config{Factor: 0.05, Seed: 7})
 	for _, dop := range []int{1, 4} {
@@ -185,15 +187,18 @@ func TestQueryContextCancel(t *testing.T) {
 		if err := st.LoadDocument(doc); err != nil {
 			t.Fatal(err)
 		}
-		ctx, cancel := context.WithCancel(context.Background())
-		cancel()
-		_, err = st.QueryContext(ctx, `//open_auction[bidder/increase > 20]`)
-		if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
-			t.Errorf("dop=%d: canceled query returned %v, want context.Canceled", dop, err)
-		}
-		// The same query still works with a live context.
-		if _, err := st.QueryContext(context.Background(), `//open_auction[bidder/increase > 20]`); err != nil {
-			t.Errorf("dop=%d: query after cancellation: %v", dop, err)
+		for _, vec := range []bool{false, true} {
+			st.DB().SetVectorized(vec)
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err = st.QueryContext(ctx, `//open_auction[bidder/increase > 20]`)
+			if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+				t.Errorf("dop=%d vec=%v: canceled query returned %v, want context.Canceled", dop, vec, err)
+			}
+			// The same query still works with a live context.
+			if _, err := st.QueryContext(context.Background(), `//open_auction[bidder/increase > 20]`); err != nil {
+				t.Errorf("dop=%d vec=%v: query after cancellation: %v", dop, vec, err)
+			}
 		}
 	}
 }

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/xmlgen"
+)
+
+// End-to-end differential for vectorized execution: every shredding
+// scheme loads the same XMark document once, and the full query corpus
+// (F1 mix + fuzz-derived shapes) must return identical match lists from
+// the row-at-a-time and the batch-at-a-time engine at DOP 1, 4 and 16.
+// The vectorized knob is toggled on the same store — it flips execution
+// without invalidating plans, so both engines exercise the very same
+// cached plan objects.
+
+func TestVectorizedStoreMatchesSerial(t *testing.T) {
+	doc := xmlgen.Auction(xmlgen.Config{Factor: 0.05, Seed: 11})
+	for _, kind := range []SchemeKind{Edge, Binary, Universal, Interval, Dewey, Inline} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			opts := Options{Parallelism: 1}
+			if kind == Inline {
+				opts.DTD = xmlgen.AuctionDTD
+				opts.Root = "site"
+			}
+			st, err := OpenWith(kind, opts)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			if err := st.LoadDocument(doc); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			for _, dop := range []int{1, 4, 16} {
+				st.DB().SetParallelism(dop)
+				for _, q := range parallelCorpus {
+					if _, err := st.Translate(q); err != nil {
+						continue // documented mapping limitation
+					}
+					st.DB().SetVectorized(false)
+					want, err := st.Query(q)
+					if err != nil {
+						t.Fatalf("dop=%d %s: row: %v", dop, q, err)
+					}
+					st.DB().SetVectorized(true)
+					got, err := st.Query(q)
+					if err != nil {
+						t.Fatalf("dop=%d %s: vec: %v", dop, q, err)
+					}
+					if !reflect.DeepEqual(want.Matches, got.Matches) {
+						t.Errorf("dop=%d %s: vectorized result diverges (%d vs %d matches)",
+							dop, q, len(want.Matches), len(got.Matches))
+					}
+				}
+			}
+			// The vectorized passes must actually have flowed batches.
+			batches := uint64(0)
+			for _, op := range st.DB().Metrics().Operators {
+				batches += op.Batches
+			}
+			if batches == 0 {
+				t.Error("no batches recorded; the corpus did not exercise vectorized execution")
+			}
+		})
+	}
+}
+
+// fuzzStore lazily builds the shared interval store for FuzzVectorExec
+// (document shredding is far too slow to repeat per fuzz input).
+var fuzzStore struct {
+	once sync.Once
+	st   *Store
+	err  error
+}
+
+func vectorFuzzStore() (*Store, error) {
+	fuzzStore.once.Do(func() {
+		st, err := OpenWith(Interval, Options{Parallelism: 4})
+		if err != nil {
+			fuzzStore.err = err
+			return
+		}
+		doc := xmlgen.Auction(xmlgen.Config{Factor: 0.05, Seed: 7})
+		if err := st.LoadDocument(doc); err != nil {
+			fuzzStore.err = err
+			return
+		}
+		fuzzStore.st = st
+	})
+	return fuzzStore.st, fuzzStore.err
+}
+
+// FuzzVectorExec cross-checks vectorized against row-at-a-time
+// execution on randomized predicates over the interval accelerator
+// relation of a shredded XMark document: scans with modulus and range
+// filters, grouped aggregation, the parent/child self join, and an
+// XPath query with a fuzzed comparison constant. Any divergence in
+// columns, values or row order is a finding.
+func FuzzVectorExec(f *testing.F) {
+	f.Add(uint16(7), uint16(3), uint8(2), uint8(5), int16(20))
+	f.Add(uint16(1), uint16(0), uint8(0), uint8(0), int16(0))
+	f.Add(uint16(1024), uint16(1023), uint8(11), uint8(63), int16(-5))
+	f.Add(uint16(97), uint16(96), uint8(4), uint8(10), int16(1000))
+	f.Fuzz(func(t *testing.T, mod, rem uint16, lvl, sz uint8, xc int16) {
+		st, err := vectorFuzzStore()
+		if err != nil {
+			t.Skipf("store: %v", err)
+		}
+		db := st.DB()
+		p := int64(mod%2048) + 1
+		r := int64(rem) % p
+		l := int64(lvl % 16)
+		s := int64(sz % 64)
+		sqls := []string{
+			fmt.Sprintf(`SELECT pre, name FROM accel WHERE pre %% %d = %d AND level >= %d`, p, r, l),
+			fmt.Sprintf(`SELECT kind, COUNT(*), MIN(pre), MAX(level) FROM accel WHERE size %% %d <> 1 GROUP BY kind`, s%7+2),
+			fmt.Sprintf(`SELECT COUNT(*) FROM accel c, accel p WHERE c.parent = p.pre AND p.size > %d AND c.level > %d`, s, l),
+			fmt.Sprintf(`SELECT name, value FROM accel WHERE name IS NOT NULL AND level = %d LIMIT %d`, l, p),
+		}
+		for _, sql := range sqls {
+			db.SetVectorized(false)
+			want, err := db.Query(sql)
+			if err != nil {
+				t.Fatalf("row %q: %v", sql, err)
+			}
+			db.SetVectorized(true)
+			got, err := db.Query(sql)
+			if err != nil {
+				t.Fatalf("vec %q: %v", sql, err)
+			}
+			if !reflect.DeepEqual(want.Columns, got.Columns) || !reflect.DeepEqual(want.Data, got.Data) {
+				t.Fatalf("engines diverged on %q: row %d rows, vec %d rows", sql, want.Len(), got.Len())
+			}
+		}
+		// One XPath round trip with the fuzzed constant, through the
+		// translator and both engines. The XPath grammar has no unary
+		// minus, so the constant is clamped to its magnitude.
+		xv := int64(xc)
+		if xv < 0 {
+			xv = -xv
+		}
+		xq := fmt.Sprintf(`//open_auction[bidder/increase > %d]`, xv)
+		db.SetVectorized(false)
+		want, err := st.Query(xq)
+		if err != nil {
+			t.Fatalf("row %q: %v", xq, err)
+		}
+		db.SetVectorized(true)
+		got, err := st.Query(xq)
+		if err != nil {
+			t.Fatalf("vec %q: %v", xq, err)
+		}
+		if !reflect.DeepEqual(want.Matches, got.Matches) {
+			t.Fatalf("engines diverged on %q: %d vs %d matches", xq, len(want.Matches), len(got.Matches))
+		}
+	})
+}

@@ -148,12 +148,6 @@ func (s *aggState) result(name string) Value {
 }
 
 func (n *aggNode) open(ctx *evalCtx) (rowIter, error) {
-	in, err := openNode(ctx, n.in)
-	if err != nil {
-		return nil, err
-	}
-	defer in.close()
-
 	type group struct {
 		keys   []Value
 		states []*aggState
@@ -169,19 +163,13 @@ func (n *aggNode) open(ctx *evalCtx) (rowIter, error) {
 		return st
 	}
 
-	for {
-		row, err := in.next()
-		if err != nil {
-			return nil, err
-		}
-		if row == nil {
-			break
-		}
+	foldRow := func(row []Value) error {
 		keys := make([]Value, len(n.groupBy))
+		var err error
 		for i, g := range n.groupBy {
 			keys[i], err = g(ctx, row)
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 		k := distinctKey(keys)
@@ -198,9 +186,52 @@ func (n *aggNode) open(ctx *evalCtx) (rowIter, error) {
 			}
 			v, err := spec.arg(ctx, row)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			grp.states[i].add(v, spec.distinct)
+		}
+		return nil
+	}
+
+	if ctx.vec && vecCapable(n.in) {
+		// Batch fold: selected rows arrive in the same order the row
+		// iterator would deliver them, so group order is unchanged.
+		vi, err := openVec(ctx, n.in)
+		if err != nil {
+			return nil, err
+		}
+		defer vi.close()
+		for {
+			b, err := vi.nextBatch()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			for k, cnt := 0, b.n(); k < cnt; k++ {
+				if err := foldRow(b.row(k)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else {
+		in, err := openNode(ctx, n.in)
+		if err != nil {
+			return nil, err
+		}
+		defer in.close()
+		for {
+			row, err := in.next()
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				break
+			}
+			if err := foldRow(row); err != nil {
+				return nil, err
+			}
 		}
 	}
 

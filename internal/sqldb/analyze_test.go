@@ -61,7 +61,12 @@ func TestExplainAnalyzeOperators(t *testing.T) {
 				if op.Kind == tc.op || (tc.op == "Filter" && op.Kind == "Filter") {
 					foundOp = true
 				}
-				if op.Nexts < op.Rows {
+				if op.Batches > 0 {
+					// Vectorized operator: next() calls are batch-granular.
+					if op.Nexts < op.Batches {
+						t.Errorf("%s: nexts=%d < batches=%d", op.Kind, op.Nexts, op.Batches)
+					}
+				} else if op.Nexts < op.Rows {
 					t.Errorf("%s: nexts=%d < rows=%d", op.Kind, op.Nexts, op.Rows)
 				}
 				if op.Opens < 1 {

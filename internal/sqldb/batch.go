@@ -1,0 +1,139 @@
+package sqldb
+
+// Batch-at-a-time execution: the data layout and the row<->batch
+// adapters. The vectorized operators themselves live in vector_exec.go.
+//
+// A batch is row-major and zero-copy: rows holds up to batchSize row
+// slices that point directly at heap storage (or at rows produced by an
+// upstream operator), and sel optionally narrows the batch to a subset
+// without moving anything. The heap already stores tuples as []Value,
+// so a columnar transpose would copy every Value twice (in and out) for
+// no benefit on the wide universal-scheme tables; keeping rows intact
+// and addressing columns as rows[i][c] preserves the row engine's
+// zero-copy property while amortizing the per-row iterator and
+// instrumentation costs across batchSize rows.
+
+// batchSize is the target number of rows per batch. It matches
+// morselSize so a gather worker's morsel is exactly one scan batch.
+const batchSize = 1024
+
+// batch is one unit of vectorized data flow.
+type batch struct {
+	// rows holds the batch's tuples. Row slices are shared with the
+	// producer (heap pages, join outputs) and must not be mutated.
+	rows [][]Value
+	// sel, when non-nil, is the selection vector: ascending indices into
+	// rows naming the surviving tuples. nil means every row survives.
+	sel []int
+	// in counts the candidate rows the producing operator examined to
+	// emit this batch (the selectivity denominator): live heap rows for
+	// a scan, input rows for a filter, probe rows for a join.
+	in int64
+}
+
+// n returns the number of selected rows.
+func (b *batch) n() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return len(b.rows)
+}
+
+// row returns the k-th selected row.
+func (b *batch) row(k int) []Value {
+	if b.sel != nil {
+		return b.rows[b.sel[k]]
+	}
+	return b.rows[k]
+}
+
+// vecIter is the batch-at-a-time iterator. nextBatch returns (nil, nil)
+// at end of stream; a non-nil batch may be empty (all rows filtered).
+type vecIter interface {
+	nextBatch() (*batch, error)
+	close()
+}
+
+// vecNode is implemented by operators with a native batch execution
+// path. Operators without one still work inside a vectorized plan: the
+// openVec chokepoint wraps their row iterator in a rowSourceVec.
+type vecNode interface {
+	planNode
+	openVec(ctx *evalCtx) (vecIter, error)
+}
+
+// vecCapable reports whether n has a native batch path.
+func vecCapable(n planNode) bool {
+	_, ok := n.(vecNode)
+	return ok
+}
+
+// rowSourceVec adapts a row iterator into a batch source (the fallback
+// for operators without a native batch path).
+type rowSourceVec struct {
+	in   rowIter
+	done bool
+}
+
+func (it *rowSourceVec) nextBatch() (*batch, error) {
+	if it.done {
+		return nil, nil
+	}
+	row, err := it.in.next()
+	if err != nil {
+		return nil, err
+	}
+	if row == nil {
+		it.done = true
+		return nil, nil
+	}
+	b := &batch{rows: make([][]Value, 0, batchSize)}
+	for {
+		b.rows = append(b.rows, row)
+		if len(b.rows) == batchSize {
+			break
+		}
+		row, err = it.in.next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			it.done = true
+			break
+		}
+	}
+	b.in = int64(len(b.rows))
+	return b, nil
+}
+
+func (it *rowSourceVec) close() { it.in.close() }
+
+// vecRowIter adapts a batch pipeline into a row iterator, so row-only
+// operators (sort, distinct, nested-loop drivers, union) can consume a
+// vectorized child. Counting already happened at batch level inside the
+// pipeline, so the adapter is never wrapped in a statIter.
+type vecRowIter struct {
+	in vecIter
+	b  *batch
+	k  int
+}
+
+func (it *vecRowIter) next() ([]Value, error) {
+	for {
+		if it.b != nil && it.k < it.b.n() {
+			r := it.b.row(it.k)
+			it.k++
+			return r, nil
+		}
+		b, err := it.in.nextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		it.b, it.k = b, 0
+	}
+}
+
+func (it *vecRowIter) close() { it.in.close() }

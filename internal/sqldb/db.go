@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"context"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -28,6 +29,12 @@ type dbState struct {
 	tables      map[string]*table
 	indexes     map[string]*IndexDef // index name -> def (table lookup)
 	parallelism int
+	// vectorized selects batch-at-a-time execution for new queries.
+	// Unlike parallelism it does not bump the schema epoch: plan trees
+	// are identical in both modes (the engines share one plan), so
+	// cached and prepared plans stay valid and only the evalCtx built at
+	// query start changes.
+	vectorized bool
 }
 
 func (st *dbState) table(name string) *table {
@@ -39,6 +46,7 @@ func (st *dbState) shallowClone() *dbState {
 		seq:         st.seq,
 		epoch:       st.epoch,
 		parallelism: st.parallelism,
+		vectorized:  st.vectorized,
 		tables:      make(map[string]*table, len(st.tables)),
 		indexes:     make(map[string]*IndexDef, len(st.indexes)),
 	}
@@ -140,9 +148,34 @@ func New() *Database {
 		tables:  map[string]*table{},
 		indexes: map[string]*IndexDef{},
 	}
+	// XRDB_VECTORIZED flips the default execution mode for every new
+	// database, so the entire test suite can run vectorized against the
+	// row engine's expectations (see the Makefile vmatrix target).
+	if v := os.Getenv("XRDB_VECTORIZED"); v != "" && v != "0" && !strings.EqualFold(v, "false") {
+		st.vectorized = true
+	}
 	db.state.Store(st)
 	db.head = st
 	return db
+}
+
+// SetVectorized selects batch-at-a-time execution for subsequent
+// queries. The toggle is purely an execution-mode switch: plans are
+// shared between the engines, so unlike SetParallelism it does not
+// invalidate cached or prepared plans.
+func (db *Database) SetVectorized(on bool) {
+	tx := db.beginWrite()
+	if tx.st.vectorized == on {
+		tx.abort()
+		return
+	}
+	tx.st.vectorized = on
+	tx.commit(nil)
+}
+
+// Vectorized reports whether batch-at-a-time execution is enabled.
+func (db *Database) Vectorized() bool {
+	return db.state.Load().vectorized
 }
 
 // readState pins the current published state for one read operation.
@@ -385,7 +418,7 @@ func (db *Database) queryAt(qctx context.Context, st *dbState, sql string, args 
 		return nil, err
 	}
 	rs := newRunStats(e.p, false)
-	ctx := &evalCtx{snap: st, qctx: qctx, params: args, stats: rs}
+	ctx := &evalCtx{snap: st, qctx: qctx, params: args, stats: rs, vec: st.vectorized}
 	start := time.Now()
 	data, err := materialize(ctx, e.p.root)
 	if err != nil {
@@ -466,7 +499,7 @@ func (p *Prepared) QueryContext(qctx context.Context, args ...Value) (*Rows, err
 		return nil, errorf("prepared statement is stale: schema changed since Prepare (%s)", p.sql)
 	}
 	rs := newRunStats(p.plan, false)
-	ctx := &evalCtx{snap: st, qctx: qctx, params: args, stats: rs}
+	ctx := &evalCtx{snap: st, qctx: qctx, params: args, stats: rs, vec: st.vectorized}
 	start := time.Now()
 	data, err := materialize(ctx, p.plan.root)
 	if err != nil {

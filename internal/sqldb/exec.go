@@ -71,6 +71,10 @@ type seqScanNode struct {
 	schema schema
 	// filter is the residual predicate pushed into the scan (may be nil).
 	filter compiledExpr
+	// kernel is the specialized batch-path predicate derived from the
+	// same conjuncts as filter (nil when the shape is not kernelizable;
+	// see kernel.go). The row path never consults it.
+	kernel rowPred
 	// sel is the estimated selectivity of filter.
 	sel float64
 }
@@ -148,7 +152,9 @@ type indexScanNode struct {
 	lo, hi         compiledExpr
 	loIncl, hiIncl bool
 	filter         compiledExpr
-	sel            float64
+	// kernel is the batch-path specialization of filter (see kernel.go).
+	kernel rowPred
+	sel    float64
 }
 
 func (n *indexScanNode) sch() schema { return n.schema }
@@ -157,16 +163,30 @@ func (n *indexScanNode) estRows() float64 { return float64(n.tbl.live)*n.sel + 1
 
 func (n *indexScanNode) open(ctx *evalCtx) (rowIter, error) {
 	tbl := ctx.resolveTable(n.tbl)
+	cur, stop, empty, err := n.startCursor(ctx, tbl)
+	if err != nil {
+		return nil, err
+	}
+	if empty {
+		return &sliceIter{}, nil
+	}
+	return &indexScanIter{node: n, ctx: ctx, tbl: tbl, cur: cur, stop: stop}, nil
+}
+
+// startCursor evaluates the scan bounds and positions a cursor over the
+// resolved table's index. empty reports that a bound evaluated to NULL,
+// which matches nothing in SQL. Shared by the row and batch paths.
+func (n *indexScanNode) startCursor(ctx *evalCtx, tbl *table) (btreeCursor, func(key []Value) bool, bool, error) {
 	idx := resolveIndex(tbl, n.idx)
 	prefix := make([]Value, 0, len(n.eq)+1)
 	for _, e := range n.eq {
 		v, err := e(ctx, nil)
 		if err != nil {
-			return nil, err
+			return btreeCursor{}, nil, false, err
 		}
 		if v.IsNull() {
 			// Equality with NULL matches nothing in SQL.
-			return &sliceIter{}, nil
+			return btreeCursor{}, nil, true, nil
 		}
 		prefix = append(prefix, v)
 	}
@@ -179,10 +199,10 @@ func (n *indexScanNode) open(ctx *evalCtx) (rowIter, error) {
 	case n.lo != nil:
 		v, err := n.lo(ctx, nil)
 		if err != nil {
-			return nil, err
+			return btreeCursor{}, nil, false, err
 		}
 		if v.IsNull() {
-			return &sliceIter{}, nil
+			return btreeCursor{}, nil, true, nil
 		}
 		loBound = append(append([]Value{}, prefix...), v)
 		if n.loIncl {
@@ -203,7 +223,10 @@ func (n *indexScanNode) open(ctx *evalCtx) (rowIter, error) {
 	if n.hi != nil {
 		v, err := n.hi(ctx, nil)
 		if err != nil {
-			return nil, err
+			return btreeCursor{}, nil, false, err
+		}
+		if v.IsNull() {
+			return btreeCursor{}, nil, true, nil
 		}
 		hiBound := append(append([]Value{}, prefix...), v)
 		incl := n.hiIncl
@@ -218,7 +241,7 @@ func (n *indexScanNode) open(ctx *evalCtx) (rowIter, error) {
 		p := prefix
 		stop = func(key []Value) bool { return prefixCompare(key, p) > 0 }
 	}
-	return &indexScanIter{node: n, ctx: ctx, tbl: tbl, cur: cur, stop: stop}, nil
+	return cur, stop, false, nil
 }
 
 type indexScanIter struct {
@@ -262,7 +285,9 @@ func (it *indexScanIter) close() {}
 type filterNode struct {
 	in   planNode
 	pred compiledExpr
-	sel  float64
+	// kernel is the batch-path specialization of pred (see kernel.go).
+	kernel rowPred
+	sel    float64
 }
 
 func (n *filterNode) sch() schema      { return n.in.sch() }
@@ -307,6 +332,11 @@ type projectNode struct {
 	in     planNode
 	exprs  []compiledExpr
 	schema schema
+	// colIdx, when non-nil, marks a projection whose expressions are all
+	// plain column references: colIdx[j] is the input column of output
+	// column j. The batch path uses it to skip the expression closures;
+	// the row path (the correctness oracle) always runs exprs.
+	colIdx []int
 }
 
 func (n *projectNode) sch() schema      { return n.schema }
@@ -1047,8 +1077,12 @@ func (it *sliceIter) next() ([]Value, error) {
 func (it *sliceIter) close() {}
 
 // materialize drains a node into a slice, polling for cancellation on a
-// coarse stride.
+// coarse stride. Under vectorized execution a batch-capable node is
+// drained batch-at-a-time instead.
 func materialize(ctx *evalCtx, n planNode) ([][]Value, error) {
+	if ctx.vec && vecCapable(n) {
+		return materializeVec(ctx, n)
+	}
 	it, err := openNode(ctx, n)
 	if err != nil {
 		return nil, err
@@ -1089,6 +1123,10 @@ func padRight(row []Value, n int) []Value {
 }
 
 // runSubquery executes a compiled subplan with the given outer row.
+// Correlated subqueries deliberately stay row-at-a-time even inside a
+// vectorized plan: they run once per outer row, usually touch a handful
+// of rows, and often stop at the first one — batch setup costs would be
+// paid per outer row with nothing to amortize them over.
 func runSubquery(ctx *evalCtx, p *plan, outerRow []Value) ([][]Value, error) {
 	sub := &evalCtx{snap: ctx.snap, qctx: ctx.qctx, params: ctx.params, outer: outerRow}
 	return materialize(sub, p.root)

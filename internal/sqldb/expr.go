@@ -70,6 +70,11 @@ type evalCtx struct {
 	// shared caches join build sides across the morsel re-opens of one
 	// parallel segment; nil outside gather workers (parallel.go).
 	shared *sharedBuilds
+	// vec selects batch-at-a-time execution for the operators that
+	// support it (see batch.go/vector_exec.go); copied from the snapshot
+	// state's vectorized knob at query start and inherited by gather
+	// workers and subquery executions.
+	vec bool
 }
 
 // compiledExpr evaluates an expression against a row.

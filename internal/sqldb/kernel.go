@@ -1,0 +1,237 @@
+package sqldb
+
+import "strings"
+
+// Predicate kernels: specialized row predicates compiled from sargable
+// comparison shapes (column vs constant, column vs column, and AND
+// chains of those). The batch operators use them to bypass the generic
+// expression-closure interpreter on the hot filter path — the closure
+// tree costs several indirect calls and Value copies per row, the
+// kernel is one call with an inlined comparison. A kernel only decides
+// rows whose runtime types fall inside its specialization; anything
+// else (TEXT columns coercing numerically against numeric constants,
+// BLOB operands, mixed incomparable types) reports ok=false and the
+// caller falls back to the compiled expression, so the loose coercion
+// semantics stay defined by one implementation: the row engine's.
+//
+// Kernels exist only on the batch path. The row engine always runs the
+// closures — it is the correctness oracle the differential battery and
+// the fuzz target compare kernels against.
+
+// rowPred is a specialized predicate. keep reports whether the row
+// survives the filter (SQL NULL results filter like false); ok=false
+// means the kernel cannot decide this row and the compiled expression
+// must be consulted instead.
+type rowPred func(row []Value) (keep, ok bool)
+
+// cmpFlags precomputes which comparison outcomes satisfy an operator.
+type cmpFlags struct{ lt, eq, gt bool }
+
+func flagsFor(op string) (cmpFlags, bool) {
+	switch op {
+	case "=":
+		return cmpFlags{eq: true}, true
+	case "<>":
+		return cmpFlags{lt: true, gt: true}, true
+	case "<":
+		return cmpFlags{lt: true}, true
+	case "<=":
+		return cmpFlags{lt: true, eq: true}, true
+	case ">":
+		return cmpFlags{gt: true}, true
+	case ">=":
+		return cmpFlags{gt: true, eq: true}, true
+	}
+	return cmpFlags{}, false
+}
+
+// swap mirrors the flags for a flipped operand order (c < col ≡ col > c).
+func (f cmpFlags) swap() cmpFlags { return cmpFlags{lt: f.gt, eq: f.eq, gt: f.lt} }
+
+func (f cmpFlags) holdsInt(a, b int64) bool {
+	switch {
+	case a < b:
+		return f.lt
+	case a > b:
+		return f.gt
+	default:
+		return f.eq
+	}
+}
+
+func (f cmpFlags) holdsFloat(a, b float64) bool {
+	switch {
+	case a < b:
+		return f.lt
+	case a > b:
+		return f.gt
+	default:
+		return f.eq
+	}
+}
+
+func (f cmpFlags) holdsCmp(c int) bool {
+	switch {
+	case c < 0:
+		return f.lt
+	case c > 0:
+		return f.gt
+	default:
+		return f.eq
+	}
+}
+
+// kernelCol resolves an expression to a column position in sch when it
+// is a plain reference to the current row (outer references and params
+// are per-execution, not per-row, and stay on the closure path).
+func kernelCol(e Expr, sch schema) (int, bool) {
+	switch e := e.(type) {
+	case *ColumnRef:
+		idx, err := sch.resolve(e.Table, e.Name)
+		if err != nil {
+			return 0, false
+		}
+		return idx, true
+	case *inputRef:
+		return e.idx, true
+	}
+	return 0, false
+}
+
+// compileRowPred builds a kernel for e against sch, or nil when e
+// contains anything beyond AND-ed simple comparisons.
+func compileRowPred(e Expr, sch schema) rowPred {
+	be, isBin := e.(*BinaryExpr)
+	if !isBin {
+		return nil
+	}
+	if be.Op == "AND" {
+		l := compileRowPred(be.L, sch)
+		if l == nil {
+			return nil
+		}
+		r := compileRowPred(be.R, sch)
+		if r == nil {
+			return nil
+		}
+		// Filter semantics let AND short-circuit on a definite false;
+		// an undecidable side sends the whole row to the closure (which
+		// re-evaluates both sides — expressions are pure).
+		return func(row []Value) (bool, bool) {
+			keep, ok := l(row)
+			if !ok {
+				return false, false
+			}
+			if !keep {
+				return false, true
+			}
+			return r(row)
+		}
+	}
+	f, ok := flagsFor(be.Op)
+	if !ok {
+		return nil
+	}
+	if ci, isCol := kernelCol(be.L, sch); isCol {
+		if lit, isLit := be.R.(*Literal); isLit {
+			return colConstPred(ci, f, lit.Val)
+		}
+		if cj, isCol2 := kernelCol(be.R, sch); isCol2 {
+			return colColPred(ci, cj, f)
+		}
+		return nil
+	}
+	if lit, isLit := be.L.(*Literal); isLit {
+		if cj, isCol2 := kernelCol(be.R, sch); isCol2 {
+			return colConstPred(cj, f.swap(), lit.Val)
+		}
+	}
+	return nil
+}
+
+// colConstPred specializes on the constant's type; the row side still
+// switches on its runtime type because heap columns are loosely typed.
+func colConstPred(idx int, f cmpFlags, lit Value) rowPred {
+	switch lit.T {
+	case TypeInt, TypeBool:
+		c := lit.I
+		return func(row []Value) (bool, bool) {
+			v := &row[idx]
+			switch v.T {
+			case TypeInt, TypeBool:
+				return f.holdsInt(v.I, c), true
+			case TypeFloat:
+				return f.holdsFloat(v.F, float64(c)), true
+			case TypeNull:
+				return false, true
+			}
+			return false, false // TEXT parses numerically etc. — closure decides
+		}
+	case TypeFloat:
+		c := lit.F
+		return func(row []Value) (bool, bool) {
+			v := &row[idx]
+			switch v.T {
+			case TypeInt, TypeBool:
+				return f.holdsFloat(float64(v.I), c), true
+			case TypeFloat:
+				return f.holdsFloat(v.F, c), true
+			case TypeNull:
+				return false, true
+			}
+			return false, false
+		}
+	case TypeText:
+		c := lit.S
+		return func(row []Value) (bool, bool) {
+			v := &row[idx]
+			switch v.T {
+			case TypeText:
+				return f.holdsCmp(strings.Compare(v.S, c)), true
+			case TypeNull:
+				return false, true
+			}
+			return false, false // numeric vs numeric-looking text — closure decides
+		}
+	case TypeNull:
+		// Comparison against NULL is unknown for every row: never keep.
+		return func([]Value) (bool, bool) { return false, true }
+	}
+	return nil
+}
+
+func colColPred(i, j int, f cmpFlags) rowPred {
+	return func(row []Value) (bool, bool) {
+		a, b := &row[i], &row[j]
+		if a.T == TypeNull || b.T == TypeNull {
+			return false, true
+		}
+		aInt := a.T == TypeInt || a.T == TypeBool
+		bInt := b.T == TypeInt || b.T == TypeBool
+		switch {
+		case aInt && bInt:
+			return f.holdsInt(a.I, b.I), true
+		case a.T.isNumeric() && b.T.isNumeric():
+			return f.holdsFloat(a.Float(), b.Float()), true
+		case a.T == TypeText && b.T == TypeText:
+			return f.holdsCmp(strings.Compare(a.S, b.S)), true
+		}
+		return false, false
+	}
+}
+
+// evalPred evaluates a pushed filter with the kernel fast path and the
+// compiled expression as fallback (and as the only path when no kernel
+// was derived).
+func evalPred(ctx *evalCtx, kernel rowPred, filter compiledExpr, row []Value) (bool, error) {
+	if kernel != nil {
+		if keep, ok := kernel(row); ok {
+			return keep, nil
+		}
+	}
+	v, err := filter(ctx, row)
+	if err != nil {
+		return false, err
+	}
+	return !v.IsNull() && v.Bool(), nil
+}

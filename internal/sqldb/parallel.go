@@ -272,7 +272,7 @@ func (g *gatherIter) start(total int) {
 		g.wg.Add(1)
 		go func(w int) {
 			defer g.wg.Done()
-			wctx := &evalCtx{snap: g.ctx.snap, qctx: g.ctx.qctx, params: g.ctx.params, outer: g.ctx.outer, shared: shared}
+			wctx := &evalCtx{snap: g.ctx.snap, qctx: g.ctx.qctx, params: g.ctx.params, outer: g.ctx.outer, shared: shared, vec: g.ctx.vec}
 			if g.workerStats != nil {
 				wctx.stats = g.workerStats[w]
 			}
@@ -350,6 +350,8 @@ func (g *gatherIter) join() {
 			o.Rows += w.Rows
 			o.Nexts += w.Nexts
 			o.BuildRows += w.BuildRows
+			o.Batches += w.Batches
+			o.InRows += w.InRows
 			o.Time += w.Time
 		}
 	}
@@ -415,6 +417,36 @@ func (n *parallelAggNode) newStates() []*aggState {
 	return st
 }
 
+// foldRow folds one input row at position pos into groups.
+func (n *parallelAggNode) foldRow(ctx *evalCtx, row []Value, pos aggPos, groups map[string]*partialGroup) error {
+	keys := make([]Value, len(n.groupBy))
+	var err error
+	for i, g := range n.groupBy {
+		keys[i], err = g(ctx, row)
+		if err != nil {
+			return err
+		}
+	}
+	k := distinctKey(keys)
+	grp := groups[k]
+	if grp == nil {
+		grp = &partialGroup{keys: keys, states: n.newStates(), first: pos}
+		groups[k] = grp
+	}
+	for i, spec := range n.aggs {
+		if spec.arg == nil { // COUNT(*)
+			grp.states[i].count++
+			continue
+		}
+		v, err := spec.arg(ctx, row)
+		if err != nil {
+			return err
+		}
+		grp.states[i].add(v, spec.distinct)
+	}
+	return nil
+}
+
 // fold drains one opened segment iterator into groups, tagging rows
 // with positions starting at (morselIdx, 0).
 func (n *parallelAggNode) fold(ctx *evalCtx, it rowIter, morselIdx int, groups map[string]*partialGroup) error {
@@ -427,33 +459,53 @@ func (n *parallelAggNode) fold(ctx *evalCtx, it rowIter, morselIdx int, groups m
 		if row == nil {
 			return nil
 		}
-		pos := aggPos{morsel: morselIdx, seq: seq}
+		if err := n.foldRow(ctx, row, aggPos{morsel: morselIdx, seq: seq}, groups); err != nil {
+			return err
+		}
 		seq++
-		keys := make([]Value, len(n.groupBy))
-		for i, g := range n.groupBy {
-			keys[i], err = g(ctx, row)
-			if err != nil {
+	}
+}
+
+// foldVec is fold over a batch pipeline: positions advance per selected
+// row in batch order, which is exactly the row path's visit order.
+func (n *parallelAggNode) foldVec(ctx *evalCtx, vi vecIter, morselIdx int, groups map[string]*partialGroup) error {
+	var seq int64
+	for {
+		b, err := vi.nextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		for k, cnt := 0, b.n(); k < cnt; k++ {
+			if err := n.foldRow(ctx, b.row(k), aggPos{morsel: morselIdx, seq: seq}, groups); err != nil {
 				return err
 			}
-		}
-		k := distinctKey(keys)
-		grp := groups[k]
-		if grp == nil {
-			grp = &partialGroup{keys: keys, states: n.newStates(), first: pos}
-			groups[k] = grp
-		}
-		for i, spec := range n.aggs {
-			if spec.arg == nil { // COUNT(*)
-				grp.states[i].count++
-				continue
-			}
-			v, err := spec.arg(ctx, row)
-			if err != nil {
-				return err
-			}
-			grp.states[i].add(v, spec.distinct)
+			seq++
 		}
 	}
+}
+
+// foldSeg opens the segment (batch-at-a-time when possible) restricted
+// to the ctx's morsel and folds it into groups.
+func (n *parallelAggNode) foldSeg(ctx *evalCtx, morselIdx int, groups map[string]*partialGroup) error {
+	if ctx.vec && vecCapable(n.seg) {
+		vi, err := openVec(ctx, n.seg)
+		if err != nil {
+			return err
+		}
+		err = n.foldVec(ctx, vi, morselIdx, groups)
+		vi.close()
+		return err
+	}
+	it, err := openNode(ctx, n.seg)
+	if err != nil {
+		return err
+	}
+	err = n.fold(ctx, it, morselIdx, groups)
+	it.close()
+	return err
 }
 
 func (n *parallelAggNode) open(ctx *evalCtx) (rowIter, error) {
@@ -468,13 +520,7 @@ func (n *parallelAggNode) open(ctx *evalCtx) (rowIter, error) {
 	if workers <= 1 {
 		// Serial fallback: one fold over the whole segment.
 		groups = map[string]*partialGroup{}
-		it, err := openNode(ctx, n.seg)
-		if err != nil {
-			return nil, err
-		}
-		err = n.fold(ctx, it, 0, groups)
-		it.close()
-		if err != nil {
+		if err := n.foldSeg(ctx, 0, groups); err != nil {
 			return nil, err
 		}
 	} else {
@@ -529,7 +575,7 @@ func (n *parallelAggNode) parallelFold(ctx *evalCtx, total, nMorsels, workers in
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wctx := &evalCtx{snap: ctx.snap, qctx: ctx.qctx, params: ctx.params, outer: ctx.outer, shared: shared}
+			wctx := &evalCtx{snap: ctx.snap, qctx: ctx.qctx, params: ctx.params, outer: ctx.outer, shared: shared, vec: ctx.vec}
 			if workerStats != nil {
 				wctx.stats = workerStats[w]
 			}
@@ -545,11 +591,7 @@ func (n *parallelAggNode) parallelFold(ctx *evalCtx, total, nMorsels, workers in
 					hi = total
 				}
 				wctx.morsel = &morselRange{node: n.driver, lo: lo, hi: hi}
-				it, err := openNode(wctx, n.seg)
-				if err == nil {
-					err = n.fold(wctx, it, idx, groups)
-					it.close()
-				}
+				err := n.foldSeg(wctx, idx, groups)
 				if err != nil {
 					cancel.Store(true)
 					results <- partialResult{err: err}
@@ -570,6 +612,8 @@ func (n *parallelAggNode) parallelFold(ctx *evalCtx, total, nMorsels, workers in
 				o.Rows += ww.Rows
 				o.Nexts += ww.Nexts
 				o.BuildRows += ww.BuildRows
+				o.Batches += ww.Batches
+				o.InRows += ww.InRows
 				o.Time += ww.Time
 			}
 		}

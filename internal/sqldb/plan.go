@@ -130,7 +130,7 @@ func planSingleSelect(st *dbState, stmt *SelectStmt, outer schema) (*plan, schem
 		if err != nil {
 			return nil, nil, err
 		}
-		joined = &filterNode{in: joined, pred: f, sel: 0.5}
+		joined = &filterNode{in: joined, pred: f, kernel: compileRowPred(pred, joined.sch()), sel: 0.5}
 	}
 
 	inSch := joined.sch()
@@ -186,12 +186,22 @@ func planSingleSelect(st *dbState, stmt *SelectStmt, outer schema) (*plan, schem
 	// become hidden extra columns.
 	comp := &compiler{st: st, sch: projInSch, outer: outer}
 	var compiled []compiledExpr
+	// Track whether every projected expression is a plain column
+	// reference; if so the batch path can gather columns directly
+	// instead of calling the compiled closures (see projectVec).
+	simpleCols := make([]int, 0, len(projExprs))
+	allSimple := true
 	for _, e := range projExprs {
 		ce, err := comp.compile(e)
 		if err != nil {
 			return nil, nil, err
 		}
 		compiled = append(compiled, ce)
+		if c := simpleColIdx(e, projInSch); c >= 0 {
+			simpleCols = append(simpleCols, c)
+		} else {
+			allSimple = false
+		}
 	}
 
 	type orderKey struct {
@@ -229,9 +239,18 @@ func planSingleSelect(st *dbState, stmt *SelectStmt, outer schema) (*plan, schem
 		fullSch = append(fullSch, colInfo{name: "__order"})
 		orderKeys = append(orderKeys, orderKey{col: len(fullSch) - 1, desc: desc})
 		hidden++
+		if c := simpleColIdx(orderExprs[i], projInSch); c >= 0 {
+			simpleCols = append(simpleCols, c)
+		} else {
+			allSimple = false
+		}
 	}
 
-	var root planNode = &projectNode{in: projInput, exprs: compiled, schema: fullSch}
+	proj := &projectNode{in: projInput, exprs: compiled, schema: fullSch}
+	if allSimple && len(simpleCols) == len(compiled) {
+		proj.colIdx = simpleCols
+	}
+	var root planNode = proj
 
 	if stmt.Distinct {
 		root = &distinctNode{in: root}
@@ -333,6 +352,23 @@ func (n *valuesNode) sch() schema      { return n.schema }
 func (n *valuesNode) estRows() float64 { return float64(len(n.rows)) }
 func (n *valuesNode) open(*evalCtx) (rowIter, error) {
 	return &sliceIter{rows: n.rows}, nil
+}
+
+// simpleColIdx returns the input column a projection expression reads,
+// or -1 when it is anything but a plain column reference. It mirrors
+// the compiler: an inputRef reads its position, a ColumnRef that
+// resolves in sch compiles to row[idx] of that same index (outer
+// references only apply when local resolution fails).
+func simpleColIdx(e Expr, sch schema) int {
+	switch e := e.(type) {
+	case *inputRef:
+		return e.idx
+	case *ColumnRef:
+		if idx, err := sch.resolve(e.Table, e.Name); err == nil {
+			return idx
+		}
+	}
+	return -1
 }
 
 // cutNode truncates rows to the first width columns (drops hidden
@@ -1162,7 +1198,7 @@ func buildAccessPath(st *dbState, rel *relation, conjs []*conjunct, outer schema
 		if err != nil {
 			return nil, err
 		}
-		return &filterNode{in: rel.node, pred: pred, sel: sel}, nil
+		return &filterNode{in: rel.node, pred: pred, kernel: compileRowPred(andAll(exprs), relSch), sel: sel}, nil
 	}
 
 	// Find sargable bounds.
@@ -1281,6 +1317,7 @@ func buildAccessPath(st *dbState, rel *relation, conjs []*conjunct, outer schema
 		}
 		scan := newSeqScanNode(rel.tbl, rel.alias)
 		scan.filter = pred
+		scan.kernel = compileRowPred(andAll(exprs), relSch)
 		scan.sel = sel
 		return scan, nil
 	}
@@ -1356,6 +1393,7 @@ func buildAccessPath(st *dbState, rel *relation, conjs []*conjunct, outer schema
 			return nil, err
 		}
 		node.filter = pred
+		node.kernel = compileRowPred(andAll(residual), relSch)
 	}
 	return node, nil
 }

@@ -1,0 +1,350 @@
+package sqldb
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Differential battery for vectorized execution: the row-at-a-time
+// engine is the correctness oracle, so every query must return
+// byte-identical results (values AND order) from the batch pipeline at
+// every degree of parallelism. On top of the row contract the battery
+// asserts the accounting contract: at the same dop the two engines must
+// agree per operator on produced rows, open counts and join build
+// sizes, and the batch-level counters must satisfy their invariants
+// (Nexts >= Batches, InRows >= Rows for row-narrowing operators,
+// Opens >= 1 — the open/next accounting that catches double-counting
+// when an operator is re-opened under a nested-loop or per-morsel
+// driver).
+
+// vecPairs builds row/vectorized database twins with identical data for
+// each requested dop. pairs[i] = {row engine, vectorized engine}.
+func vecPairs(t *testing.T, rows int, dops ...int) [][2]*Database {
+	t.Helper()
+	both := make([]int, 0, 2*len(dops))
+	for _, d := range dops {
+		both = append(both, d, d)
+	}
+	dbs := parallelFixture(t, rows, both...)
+	pairs := make([][2]*Database, len(dops))
+	for i := range dops {
+		pairs[i] = [2]*Database{dbs[2*i], dbs[2*i+1]}
+		// Force both sides explicitly — under XRDB_VECTORIZED=1 (the
+		// vmatrix gate) the engine default is vectorized, and the row
+		// side must stay the row-at-a-time oracle regardless.
+		pairs[i][0].SetVectorized(false)
+		pairs[i][1].SetVectorized(true)
+	}
+	return pairs
+}
+
+// hasLimitOp reports whether an analyzed plan contains a Limit
+// operator. Limit plans are exempt from per-operator equality: the
+// vectorized limit pulls its child in whole batches, so child row
+// counters legitimately round up to batch granularity.
+func hasLimitOp(ap *AnalyzedPlan) bool {
+	for _, op := range ap.Ops {
+		if op.Kind == "Limit" {
+			return true
+		}
+	}
+	return false
+}
+
+// assertOpAccounting checks the per-operator open/next/row invariants
+// on one analyzed plan, for either engine.
+func assertOpAccounting(t *testing.T, label string, ap *AnalyzedPlan, vectorized bool) {
+	t.Helper()
+	for _, op := range ap.Ops {
+		if op.Opens < 1 {
+			t.Errorf("%s: %s opens=%d, want >= 1", label, op.Kind, op.Opens)
+		}
+		if !vectorized && op.Batches != 0 {
+			t.Errorf("%s: %s batches=%d in a row-at-a-time run", label, op.Kind, op.Batches)
+		}
+		if op.Batches > 0 {
+			if op.Nexts < op.Batches {
+				t.Errorf("%s: %s nexts=%d < batches=%d", label, op.Kind, op.Nexts, op.Batches)
+			}
+			switch op.Kind {
+			case "SeqScan", "IndexScan", "Filter", "Project", "Cut":
+				// Row-narrowing operators can only drop rows, so the
+				// candidate count bounds the output count.
+				if op.InRows < op.Rows {
+					t.Errorf("%s: %s in_rows=%d < rows=%d", label, op.Kind, op.InRows, op.Rows)
+				}
+			}
+		} else if op.Nexts < op.Rows {
+			t.Errorf("%s: %s nexts=%d < rows=%d", label, op.Kind, op.Nexts, op.Rows)
+		}
+	}
+}
+
+// diffOne runs one query through a row/vec pair at one dop and asserts
+// the full oracle contract: identical rows against the serial oracle's
+// result, identical per-operator actuals at the same dop, and sane
+// batch accounting.
+func diffOne(t *testing.T, oracle *Rows, pair [2]*Database, dop int, sql string, args []Value) {
+	t.Helper()
+	for side, db := range pair {
+		engine := [...]string{"row", "vec"}[side]
+		label := fmt.Sprintf("dop=%d/%s", dop, engine)
+		got, err := db.Query(sql, args...)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if !reflect.DeepEqual(oracle.Columns, got.Columns) {
+			t.Fatalf("%s: columns %v != %v", label, got.Columns, oracle.Columns)
+		}
+		if !reflect.DeepEqual(oracle.Data, got.Data) {
+			t.Fatalf("%s: %d rows vs oracle %d rows, or order/value drift\noracle: %.6v\ngot: %.6v",
+				label, got.Len(), oracle.Len(), oracle.Data, got.Data)
+		}
+	}
+
+	// The analyzed runs: same rows again, and per-operator actuals must
+	// agree between the engines at this dop.
+	rap, err := pair[0].ExplainAnalyzePlan(sql, args...)
+	if err != nil {
+		t.Fatalf("dop=%d/row analyze: %v", dop, err)
+	}
+	vap, err := pair[1].ExplainAnalyzePlan(sql, args...)
+	if err != nil {
+		t.Fatalf("dop=%d/vec analyze: %v", dop, err)
+	}
+	if rap.Rows != oracle.Len() || vap.Rows != oracle.Len() {
+		t.Fatalf("dop=%d: analyzed cardinality row=%d vec=%d, oracle %d", dop, rap.Rows, vap.Rows, oracle.Len())
+	}
+	assertOpAccounting(t, fmt.Sprintf("dop=%d/row", dop), rap, false)
+	assertOpAccounting(t, fmt.Sprintf("dop=%d/vec", dop), vap, true)
+	if hasLimitOp(rap) || hasLimitOp(vap) {
+		return
+	}
+	if len(rap.Ops) != len(vap.Ops) {
+		t.Fatalf("dop=%d: plan shapes differ: %d ops vs %d ops", dop, len(rap.Ops), len(vap.Ops))
+	}
+	batches := int64(0)
+	for i := range rap.Ops {
+		r, v := rap.Ops[i], vap.Ops[i]
+		if r.Kind != v.Kind {
+			t.Fatalf("dop=%d op %d: kind %s vs %s", dop, i, r.Kind, v.Kind)
+		}
+		if r.Rows != v.Rows {
+			t.Errorf("dop=%d %s: rows row=%d vec=%d", dop, r.Kind, r.Rows, v.Rows)
+		}
+		if r.Opens != v.Opens {
+			t.Errorf("dop=%d %s: opens row=%d vec=%d", dop, r.Kind, r.Opens, v.Opens)
+		}
+		if r.BuildRows != v.BuildRows {
+			t.Errorf("dop=%d %s: build rows row=%d vec=%d", dop, r.Kind, r.BuildRows, v.BuildRows)
+		}
+		batches += v.Batches
+	}
+	if batches == 0 {
+		t.Errorf("dop=%d: no operator produced a batch under vectorized execution", dop)
+	}
+}
+
+// TestVectorizedMatchesRowEngine drives the full parallel battery
+// through both engines at dop 1, 4 and 16.
+func TestVectorizedMatchesRowEngine(t *testing.T) {
+	pairs := vecPairs(t, 10000, 1, 4, 16)
+	dops := []int{1, 4, 16}
+	for _, tc := range parallelBattery {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := pairs[0][0].Query(tc.sql, tc.args...)
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			for i, pair := range pairs {
+				diffOne(t, want, pair, dops[i], tc.sql, tc.args)
+			}
+		})
+	}
+}
+
+// f1MixBattery mirrors the query shapes of the paper's F1 benchmark mix
+// over an interval-encoded accelerator relation: scan-heavy exact
+// aggregation (H1), self hash-join on parent/pre (H2), interval
+// containment via range predicates, an indexed child step, plus
+// fuzz-corpus edge shapes (NULL predicates, empty results,
+// batch-boundary-aligned modulus filters).
+var f1MixBattery = []struct {
+	name string
+	sql  string
+}{
+	{"h1-scan-agg", `SELECT kind, COUNT(*), MIN(pre), MAX(level) FROM accel WHERE size % 5 <> 1 GROUP BY kind`},
+	{"h2-hash-join", `SELECT COUNT(*) FROM accel c, accel p WHERE c.parent = p.pre AND p.size > 3 AND c.level > 2`},
+	{"containment", `SELECT d.pre FROM accel a, accel d WHERE a.kind = 2 AND a.size > 8 AND a.pre % 50 = 0 AND d.pre > a.pre AND d.pre <= a.post`},
+	{"child-step", `SELECT c.pre, c.tag FROM accel p, accel c WHERE p.kind = 3 AND p.level = 1 AND c.parent = p.pre ORDER BY c.pre`},
+	{"tag-null", `SELECT pre FROM accel WHERE tag IS NULL AND level > 4`},
+	{"empty-result", `SELECT pre, kind FROM accel WHERE size > 1000`},
+	{"mod-boundary", `SELECT pre FROM accel WHERE pre % 1024 = 0`},
+	{"distinct-range", `SELECT DISTINCT kind FROM accel WHERE level BETWEEN 2 AND 4`},
+}
+
+// accelPairs builds row/vec twins holding a synthetic interval-encoded
+// element relation shaped like the shredder's accelerator table.
+func accelPairs(t *testing.T, rows int, dops ...int) ([][2]*Database, []int) {
+	t.Helper()
+	pairs := make([][2]*Database, len(dops))
+	for i, dop := range dops {
+		var twin [2]*Database
+		for side := 0; side < 2; side++ {
+			db := New()
+			db.SetParallelism(dop)
+			db.MustExec(`CREATE TABLE accel (pre INTEGER PRIMARY KEY, post INTEGER, parent INTEGER, kind INTEGER, tag TEXT, size INTEGER, level INTEGER)`)
+			db.MustExec(`CREATE INDEX accel_parent ON accel (parent)`)
+			batch := make([][]Value, 0, rows)
+			for k := 0; k < rows; k++ {
+				tag := NewText(fmt.Sprintf("e%d", k%6))
+				if k%5 == 0 {
+					tag = Null
+				}
+				batch = append(batch, []Value{
+					NewInt(int64(k)),
+					NewInt(int64(k + k*13%50)),
+					NewInt(int64(k / 3)),
+					NewInt(int64(k % 6)),
+					tag,
+					NewInt(int64(k % 11)),
+					NewInt(int64(k % 9)),
+				})
+			}
+			if _, err := db.BulkInsert("accel", batch); err != nil {
+				t.Fatal(err)
+			}
+			twin[side] = db
+		}
+		twin[0].SetVectorized(false) // explicit: XRDB_VECTORIZED=1 flips the default
+		twin[1].SetVectorized(true)
+		pairs[i] = twin
+	}
+	return pairs, dops
+}
+
+// TestVectorizedF1MixShapes runs the F1-mix query shapes through both
+// engines at dop 1 and 4.
+func TestVectorizedF1MixShapes(t *testing.T) {
+	pairs, dops := accelPairs(t, 6000, 1, 4)
+	for _, tc := range f1MixBattery {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := pairs[0][0].Query(tc.sql)
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			for i, pair := range pairs {
+				diffOne(t, want, pair, dops[i], tc.sql, nil)
+			}
+		})
+	}
+}
+
+// TestVectorizedRegistryTotals runs the (limit-free) battery once
+// through a fresh row/vec pair and checks the metrics registry folded
+// identical per-kind totals — and that only the vectorized registry
+// accumulated batch counters.
+func TestVectorizedRegistryTotals(t *testing.T) {
+	pairs := vecPairs(t, 5000, 4)
+	row, vec := pairs[0][0], pairs[0][1]
+	for _, tc := range parallelBattery {
+		if tc.name == "limit-offset" {
+			continue // Limit plans are exempt from per-operator equality
+		}
+		if _, err := row.Query(tc.sql, tc.args...); err != nil {
+			t.Fatalf("row %s: %v", tc.name, err)
+		}
+		if _, err := vec.Query(tc.sql, tc.args...); err != nil {
+			t.Fatalf("vec %s: %v", tc.name, err)
+		}
+	}
+	rm, vm := row.Metrics(), vec.Metrics()
+	if rm.Queries != vm.Queries {
+		t.Fatalf("query counts diverged: row=%d vec=%d", rm.Queries, vm.Queries)
+	}
+	if rm.Rows != vm.Rows {
+		t.Errorf("result row totals diverged: row=%d vec=%d", rm.Rows, vm.Rows)
+	}
+	rops := map[string]OpTotalStats{}
+	for _, op := range rm.Operators {
+		rops[op.Kind] = op
+	}
+	batches := uint64(0)
+	for _, v := range vm.Operators {
+		r, ok := rops[v.Kind]
+		if !ok {
+			t.Errorf("operator kind %s only in vectorized registry", v.Kind)
+			continue
+		}
+		if r.Rows != v.Rows {
+			t.Errorf("%s: registry rows row=%d vec=%d", v.Kind, r.Rows, v.Rows)
+		}
+		if r.Opens != v.Opens {
+			t.Errorf("%s: registry opens row=%d vec=%d", v.Kind, r.Opens, v.Opens)
+		}
+		if r.BuildRows != v.BuildRows {
+			t.Errorf("%s: registry build rows row=%d vec=%d", v.Kind, r.BuildRows, v.BuildRows)
+		}
+		if r.Batches != 0 {
+			t.Errorf("%s: row registry has batches=%d", v.Kind, r.Batches)
+		}
+		batches += v.Batches
+	}
+	if batches == 0 {
+		t.Error("vectorized registry accumulated no batches")
+	}
+}
+
+// TestVectorizedExplainSurfaces checks the EXPLAIN / EXPLAIN ANALYZE
+// annotations and that the knob flips cached plans between engines
+// without invalidating them (plans are shared; only execution differs).
+func TestVectorizedExplainSurfaces(t *testing.T) {
+	pairs := vecPairs(t, 4000, 4)
+	vec := pairs[0][1]
+	if !vec.Vectorized() {
+		t.Fatal("Vectorized() = false after SetVectorized(true)")
+	}
+
+	p, err := vec.Explain(`SELECT id FROM big WHERE n % 7 = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p, "vectorized") {
+		t.Errorf("EXPLAIN output lacks the vectorized marker:\n%s", p)
+	}
+	ap, err := vec.ExplainAnalyze(`SELECT id FROM big WHERE n % 7 = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ap, "batches=") || !strings.Contains(ap, "selectivity=") {
+		t.Errorf("EXPLAIN ANALYZE output lacks batch annotations:\n%s", ap)
+	}
+
+	// Toggling the knob must not invalidate cached plans: the same SQL
+	// keeps executing (now row-at-a-time) and the marker disappears.
+	vec.SetVectorized(false)
+	if vec.Vectorized() {
+		t.Fatal("Vectorized() = true after SetVectorized(false)")
+	}
+	p2, err := vec.Explain(`SELECT id FROM big WHERE n % 7 = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p2, "(cached)") {
+		t.Errorf("plan was invalidated by SetVectorized:\n%s", p2)
+	}
+	if strings.Contains(p2, "vectorized") {
+		t.Errorf("row-at-a-time EXPLAIN still carries the vectorized marker:\n%s", p2)
+	}
+	ap2, err := vec.ExplainAnalyzePlan(`SELECT id FROM big WHERE n % 7 = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ap2.Ops {
+		if op.Batches > 0 {
+			t.Errorf("%s: batches=%d after switching back to row-at-a-time", op.Kind, op.Batches)
+		}
+	}
+}

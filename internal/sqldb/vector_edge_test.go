@@ -1,0 +1,186 @@
+package sqldb
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Selection-vector edge cases: batch boundaries, empty batches, NULL
+// semantics and cancellation at batch granularity. Each case runs
+// through both engines and compares against the row engine's answer, so
+// the oracle contract is exercised exactly where batch bookkeeping is
+// most likely to go wrong.
+
+// edgePair builds a row/vec twin with one table t(id, n, tag) of the
+// given size: n cycles 0..99, tag is NULL on every third row.
+func edgePair(t *testing.T, rows int) [2]*Database {
+	t.Helper()
+	var pair [2]*Database
+	for side := 0; side < 2; side++ {
+		db := New()
+		db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, n INTEGER, tag TEXT)`)
+		if rows > 0 {
+			batch := make([][]Value, 0, rows)
+			for k := 0; k < rows; k++ {
+				tag := NewText(fmt.Sprintf("v%d", k%7))
+				if k%3 == 0 {
+					tag = Null
+				}
+				batch = append(batch, []Value{NewInt(int64(k)), NewInt(int64(k % 100)), tag})
+			}
+			if _, err := db.BulkInsert("t", batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pair[side] = db
+	}
+	pair[0].SetVectorized(false) // explicit: XRDB_VECTORIZED=1 flips the default
+	pair[1].SetVectorized(true)
+	return pair
+}
+
+// edgeDiff asserts both engines agree on one query.
+func edgeDiff(t *testing.T, pair [2]*Database, sql string, args ...Value) *Rows {
+	t.Helper()
+	want, err := pair[0].Query(sql, args...)
+	if err != nil {
+		t.Fatalf("row: %v", err)
+	}
+	got, err := pair[1].Query(sql, args...)
+	if err != nil {
+		t.Fatalf("vec: %v", err)
+	}
+	if !reflect.DeepEqual(want.Data, got.Data) {
+		t.Fatalf("engines diverged on %q:\nrow: %.8v\nvec: %.8v", sql, want.Data, got.Data)
+	}
+	return want
+}
+
+// TestVectorizedEmptyTable: a scan with no rows must terminate cleanly
+// (nil batch, not an empty one looping forever) in every consumer.
+func TestVectorizedEmptyTable(t *testing.T) {
+	pair := edgePair(t, 0)
+	for _, sql := range []string{
+		`SELECT id FROM t`,
+		`SELECT id FROM t WHERE n > 5`,
+		`SELECT COUNT(*), SUM(n) FROM t`,
+		`SELECT tag, COUNT(*) FROM t GROUP BY tag`,
+		`SELECT id FROM t LIMIT 10`,
+		`SELECT a.id FROM t a, t b WHERE a.n = b.n`,
+	} {
+		edgeDiff(t, pair, sql)
+	}
+}
+
+// TestVectorizedAllRowsFiltered: predicates that reject every row force
+// the pipeline to flow empty-but-non-nil batches end to end.
+func TestVectorizedAllRowsFiltered(t *testing.T) {
+	pair := edgePair(t, 3000)
+	for _, sql := range []string{
+		`SELECT id FROM t WHERE n < 0`,
+		`SELECT id FROM t WHERE tag = 'nope'`,
+		`SELECT COUNT(*) FROM t WHERE id > 100000`,
+		`SELECT DISTINCT n FROM t WHERE n > 100`,
+		`SELECT a.id FROM t a, t b WHERE a.n = b.n AND a.id < 0`,
+	} {
+		rows := edgeDiff(t, pair, sql)
+		// The analyzed vec run must still have produced (empty) batches:
+		// empty is a legal batch payload, only nil ends the stream.
+		ap, err := pair[1].ExplainAnalyzePlan(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches := int64(0)
+		for _, op := range ap.Ops {
+			batches += op.Batches
+		}
+		if batches == 0 {
+			t.Errorf("%q: no batches flowed (%d result rows)", sql, rows.Len())
+		}
+	}
+}
+
+// TestVectorizedLimitOffsetBoundaries sweeps LIMIT/OFFSET combinations
+// that straddle the 1024-row batch boundary: offsets that consume
+// exactly one batch, one batch minus/plus a row, two batches, and
+// limits that end mid-batch or exactly on a boundary.
+func TestVectorizedLimitOffsetBoundaries(t *testing.T) {
+	pair := edgePair(t, 2500)
+	offsets := []int{0, 1, 1023, 1024, 1025, 2047, 2048, 2400, 2500, 3000}
+	limits := []int{0, 1, 512, 1023, 1024, 1025, 2048, 5000}
+	for _, off := range offsets {
+		for _, lim := range limits {
+			sql := fmt.Sprintf(`SELECT id FROM t LIMIT %d OFFSET %d`, lim, off)
+			got := edgeDiff(t, pair, sql)
+			want := 2500 - off
+			if want < 0 {
+				want = 0
+			}
+			if want > lim {
+				want = lim
+			}
+			if got.Len() != want {
+				t.Errorf("LIMIT %d OFFSET %d: %d rows, want %d", lim, off, got.Len(), want)
+			}
+		}
+	}
+	// The same boundaries under a filter, so the selection vector (not
+	// the raw row count) is what the limit trims.
+	for _, off := range []int{0, 511, 512, 513} {
+		edgeDiff(t, pair, fmt.Sprintf(`SELECT id FROM t WHERE id %% 2 = 0 LIMIT 600 OFFSET %d`, off))
+	}
+}
+
+// TestVectorizedExactBatchSize: tables of exactly one and exactly two
+// batches probe the end-of-stream transition at the boundary.
+func TestVectorizedExactBatchSize(t *testing.T) {
+	for _, rows := range []int{batchSize - 1, batchSize, batchSize + 1, 2 * batchSize} {
+		pair := edgePair(t, rows)
+		got := edgeDiff(t, pair, `SELECT id FROM t`)
+		if got.Len() != rows {
+			t.Fatalf("rows=%d: scan returned %d", rows, got.Len())
+		}
+		edgeDiff(t, pair, `SELECT COUNT(*) FROM t`)
+		edgeDiff(t, pair, fmt.Sprintf(`SELECT id FROM t LIMIT %d`, rows))
+	}
+}
+
+// TestVectorizedNullComparisons: NULL comparison results must drop rows
+// in vectorized predicates exactly as in the row engine (SQL
+// three-valued logic: NULL is not TRUE).
+func TestVectorizedNullComparisons(t *testing.T) {
+	pair := edgePair(t, 3000)
+	for _, sql := range []string{
+		`SELECT id FROM t WHERE tag > 'v3'`,
+		`SELECT id FROM t WHERE tag = 'v1' OR n < 5`,
+		`SELECT id FROM t WHERE tag IS NULL`,
+		`SELECT id FROM t WHERE tag IS NOT NULL AND n > 90`,
+		`SELECT COUNT(tag), COUNT(*) FROM t`,
+		`SELECT tag, COUNT(*) FROM t GROUP BY tag`,
+		`SELECT a.id, b.id FROM t a, t b WHERE a.tag = b.tag AND a.id < 9 AND b.id < 9`,
+	} {
+		edgeDiff(t, pair, sql)
+	}
+}
+
+// TestVectorizedContextCancel: a pre-canceled context must abort the
+// batch pipeline through the statVecIter poll, and a mid-flight cancel
+// must be noticed at batch granularity.
+func TestVectorizedContextCancel(t *testing.T) {
+	pair := edgePair(t, 5000)
+	vec := pair[1]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := vec.QueryContext(ctx, `SELECT COUNT(*) FROM t WHERE n > 1`); err == nil {
+		t.Fatal("pre-canceled context: query succeeded")
+	} else if !strings.Contains(err.Error(), "cancel") {
+		t.Fatalf("pre-canceled context: unexpected error %v", err)
+	}
+	// The engine stays usable afterwards.
+	if _, err := vec.Query(`SELECT COUNT(*) FROM t`); err != nil {
+		t.Fatalf("engine wedged after canceled query: %v", err)
+	}
+}
