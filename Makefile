@@ -11,14 +11,14 @@ COVER_FLOOR_SQLDB ?= 65
 ## seed corpora already run as plain tests under `make test`).
 FUZZ_TIME ?= 5s
 
-.PHONY: check vet build test race cover bench-smoke bench fuzz crash pmatrix vmatrix concurrency writers wbench
+.PHONY: check vet build test race cover bench-smoke bench fuzz crash chaos pmatrix vmatrix concurrency writers wbench
 
 ## check: the full CI gate — vet, build, tests (race-enabled where it
 ## matters), the engine suite across a GOMAXPROCS matrix, the snapshot
 ## isolation battery, per-package coverage floors, the fault-injection
-## battery, short fuzz sessions, and a one-shot run of the query-cache
-## benchmark.
-check: vet build test race pmatrix vmatrix concurrency writers cover crash fuzz bench-smoke
+## and chaos batteries, short fuzz sessions, and a one-shot run of the
+## query-cache benchmark.
+check: vet build test race pmatrix vmatrix concurrency writers cover crash chaos fuzz bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -95,7 +95,21 @@ cover:
 ## injection sweeps, the commit-failure rollback regressions, and the
 ## concurrent-commit recovery tests, under the race detector.
 crash:
-	$(GO) test -race -run 'TestCrash|TestCommitFault|TestConcurrentCommits|TestDurable|TestBatchFsyncFault|TestGroupConcurrentCommits|TestRotateFailure|TestCheckpointInsideGroup|TestNestedGroup' ./internal/sqldb ./internal/core
+	$(GO) test -race -run 'TestCrash|TestCommitFault|TestConcurrentCommits|TestDurable|TestBatchFsyncFault|TestGroupConcurrentCommits|TestRotateFailure|TestCheckpointInsideGroup|TestNestedGroup|TestDegraded|TestGroupFaultDegradedRecover' ./internal/sqldb ./internal/core
+
+## chaos: the resource-governor / fail-safe gate — concurrent writers
+## and governed queries (memory budgets, admission control, injected
+## worker panics, canceled contexts) against a mid-flight ENOSPC fault,
+## through degraded read-only mode and Recover, under -race across a
+## GOMAXPROCS matrix. Proves ack-implies-durable and that no abort or
+## panic path wedges a lock or leaks a reservation.
+chaos:
+	@for p in 1 2 4; do \
+		echo "chaos: GOMAXPROCS=$$p"; \
+		GOMAXPROCS=$$p $(GO) test -race -count=1 \
+			-run 'TestChaosGovernedConcurrency|TestMorselWorkerPanicFailsOnlyThatQuery|TestWriterPanicReleasesLocks|TestBudgetAbortLeavesConcurrentTrafficUnaffected|TestAdmissionControlEndToEnd' \
+			./internal/sqldb || exit 1; \
+	done
 
 ## fuzz: short fuzzing sessions for every fuzz target (parser, snapshot
 ## loader, WAL replay). Each -fuzz invocation accepts one target, so

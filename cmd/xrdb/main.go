@@ -39,37 +39,56 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input XML document")
-		openDB   = flag.String("opendb", "", "reopen a saved database snapshot instead of -in (interval/dewey)")
-		saveDB   = flag.String("savedb", "", "write a database snapshot after loading (atomic: temp file + rename)")
-		dataDir  = flag.String("data", "", "durable data directory (WAL + checkpoints, crash recovery; interval/dewey)")
-		ckpt     = flag.Bool("checkpoint", false, "with -data: force a checkpoint before exit")
-		gcWindow = flag.Duration("group-commit-window", 0, "with -data: linger this long before each WAL fsync so concurrent commits share it (0 = flush immediately)")
-		scheme   = flag.String("scheme", "interval", "mapping scheme: edge|binary|universal|interval|dewey|inline")
-		dtdFile  = flag.String("dtd", "", "DTD file (required for -scheme inline)")
-		valueIdx = flag.Bool("value-index", false, "create content-value indexes")
-		parallel = flag.Int("parallel", 0, "intra-query parallelism: 0=auto (GOMAXPROCS), 1=serial, n=worker cap")
-		vector   = flag.Bool("vectorized", false, "batch-at-a-time query execution (selection-vector batches of 1024 rows)")
-		query    = flag.String("query", "", "XPath query to run")
-		timeout  = flag.Duration("timeout", 0, "query deadline (e.g. 500ms); 0 = no limit")
-		showSQL  = flag.Bool("sql", false, "print the generated SQL")
-		explain  = flag.Bool("explain", false, "print the physical plan")
-		analyze  = flag.Bool("analyze", false, "execute under EXPLAIN ANALYZE and print actual rows/time per operator")
-		pub      = flag.Bool("publish", false, "reconstruct and print the document")
-		results  = flag.Bool("results", false, "publish query matches as XML")
-		stats    = flag.Bool("stats", false, "print storage statistics")
+		in        = flag.String("in", "", "input XML document")
+		openDB    = flag.String("opendb", "", "reopen a saved database snapshot instead of -in (interval/dewey)")
+		saveDB    = flag.String("savedb", "", "write a database snapshot after loading (atomic: temp file + rename)")
+		dataDir   = flag.String("data", "", "durable data directory (WAL + checkpoints, crash recovery; interval/dewey)")
+		ckpt      = flag.Bool("checkpoint", false, "with -data: force a checkpoint before exit")
+		gcWindow  = flag.Duration("group-commit-window", 0, "with -data: linger this long before each WAL fsync so concurrent commits share it (0 = flush immediately)")
+		scheme    = flag.String("scheme", "interval", "mapping scheme: edge|binary|universal|interval|dewey|inline")
+		dtdFile   = flag.String("dtd", "", "DTD file (required for -scheme inline)")
+		valueIdx  = flag.Bool("value-index", false, "create content-value indexes")
+		parallel  = flag.Int("parallel", 0, "intra-query parallelism: 0=auto (GOMAXPROCS), 1=serial, n=worker cap")
+		vector    = flag.Bool("vectorized", false, "batch-at-a-time query execution (selection-vector batches of 1024 rows)")
+		memBudget = flag.Int64("mem-budget", 0, "engine memory budget in bytes for tracked query memory (joins, sorts, aggregates); queries that exceed it abort (0 = unlimited)")
+		queryMem  = flag.Int64("query-mem-limit", 0, "per-query tracked-memory limit in bytes (0 = unlimited)")
+		maxConc   = flag.Int("max-concurrent", 0, "admission control: max queries executing at once (0 = unlimited)")
+		maxQueue  = flag.Int("max-queue", 0, "with -max-concurrent: max queries waiting for admission before rejection")
+		query     = flag.String("query", "", "XPath query to run")
+		timeout   = flag.Duration("timeout", 0, "per-operation deadline (e.g. 500ms) for loads and queries; 0 = no limit")
+		showSQL   = flag.Bool("sql", false, "print the generated SQL")
+		explain   = flag.Bool("explain", false, "print the physical plan")
+		analyze   = flag.Bool("analyze", false, "execute under EXPLAIN ANALYZE and print actual rows/time per operator")
+		pub       = flag.Bool("publish", false, "reconstruct and print the document")
+		results   = flag.Bool("results", false, "publish query matches as XML")
+		stats     = flag.Bool("stats", false, "print storage statistics")
 	)
 	flag.Parse()
 
+	// opCtx builds one operation's context: each load or query gets the
+	// full -timeout budget.
+	opCtx := func() (context.Context, context.CancelFunc) {
+		if *timeout > 0 {
+			return context.WithTimeout(context.Background(), *timeout)
+		}
+		return context.Background(), func() {}
+	}
+
 	var st *core.Store
+	var ds *core.DurableStore
 	switch {
 	case *dataDir != "":
 		// Durable mode: open or crash-recover the data directory; if a
 		// document is supplied and the store is still empty, load it
 		// (durably, as one crash-atomic group commit).
-		opts := core.Options{WithValueIndex: *valueIdx, Parallelism: *parallel, Vectorized: *vector}
+		opts := core.Options{
+			WithValueIndex: *valueIdx, Parallelism: *parallel, Vectorized: *vector,
+			MemoryBudget: *memBudget, QueryMemoryLimit: *queryMem,
+			MaxConcurrentQueries: *maxConc, MaxQueuedQueries: *maxQueue,
+		}
 		dopts := core.DurableOptions{GroupCommitWindow: *gcWindow}
-		ds, err := core.OpenDurableWith(core.SchemeKind(*scheme), *dataDir, opts, dopts)
+		var err error
+		ds, err = core.OpenDurableWith(core.SchemeKind(*scheme), *dataDir, opts, dopts)
 		if err != nil {
 			fail("opening data directory %s: %v", *dataDir, err)
 		}
@@ -79,7 +98,10 @@ func main() {
 			if err != nil {
 				fail("%v", err)
 			}
-			if err := ds.LoadXML(src); err != nil {
+			ctx, cancel := opCtx()
+			err = ds.LoadXMLContext(ctx, src)
+			cancel()
+			if err != nil {
 				fail("loading %s: %v", *in, err)
 			}
 			fmt.Fprintf(os.Stderr, "xrdb: %s loaded durably into %s (wal %d bytes)\n",
@@ -111,12 +133,25 @@ func main() {
 		if *vector {
 			st.DB().SetVectorized(true)
 		}
+		if *memBudget > 0 {
+			st.DB().SetMemoryBudget(*memBudget)
+		}
+		if *queryMem > 0 {
+			st.DB().SetQueryMemoryLimit(*queryMem)
+		}
+		if *maxConc > 0 {
+			st.DB().SetAdmissionControl(*maxConc, *maxQueue)
+		}
 	case *in != "":
 		src, err := os.ReadFile(*in)
 		if err != nil {
 			fail("%v", err)
 		}
-		opts := core.Options{WithValueIndex: *valueIdx, Parallelism: *parallel, Vectorized: *vector}
+		opts := core.Options{
+			WithValueIndex: *valueIdx, Parallelism: *parallel, Vectorized: *vector,
+			MemoryBudget: *memBudget, QueryMemoryLimit: *queryMem,
+			MaxConcurrentQueries: *maxConc, MaxQueuedQueries: *maxQueue,
+		}
 		if *dtdFile != "" {
 			dtdSrc, err := os.ReadFile(*dtdFile)
 			if err != nil {
@@ -128,7 +163,10 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		if err := st.LoadXML(src); err != nil {
+		ctx, cancel := opCtx()
+		err = st.LoadXMLContext(ctx, src)
+		cancel()
+		if err != nil {
 			fail("loading %s: %v", *in, err)
 		}
 	default:
@@ -177,12 +215,8 @@ func main() {
 			}
 			fmt.Println()
 		} else {
-			ctx := context.Background()
-			if *timeout > 0 {
-				var cancel context.CancelFunc
-				ctx, cancel = context.WithTimeout(ctx, *timeout)
-				defer cancel()
-			}
+			ctx, cancel := opCtx()
+			defer cancel()
 			res, err := st.QueryContext(ctx, *query)
 			if err != nil {
 				fail("querying: %v", err)
@@ -206,7 +240,7 @@ func main() {
 	}
 	if *stats {
 		did = true
-		printStats(st)
+		printStats(st, ds)
 	}
 	if !did {
 		fail("nothing to do: pass -query, -publish or -stats")
@@ -214,8 +248,9 @@ func main() {
 }
 
 // printStats renders storage, cache, query-metrics and phase-timing
-// statistics. It runs after any -query so the metrics reflect the run.
-func printStats(st *core.Store) {
+// statistics (plus durability health when the store is durable). It
+// runs after any -query so the metrics reflect the run.
+func printStats(st *core.Store, ds *core.DurableStore) {
 	fmt.Printf("scheme=%s\n", st.Kind())
 	dbStats := st.DB().Stats()
 	for _, ts := range dbStats.Tables {
@@ -236,6 +271,26 @@ func printStats(st *core.Store) {
 		sn.Acquired, sn.Pinned, sn.OldestAge.Round(time.Microsecond), sn.Publishes)
 	fmt.Printf("  writer waits: %d in %s  publish-order waits: %d  versions reclaimed: %d\n",
 		sn.PublishWaits, sn.PublishWaitTime.Round(time.Microsecond), sn.PublishOrderWaits, sn.VersionsReclaimed)
+
+	g := dbStats.Governor
+	if g.MemoryBudget > 0 || g.QueryMemLimit > 0 || g.MaxConcurrent > 0 {
+		fmt.Printf("governor:\n")
+		if g.MemoryBudget > 0 || g.QueryMemLimit > 0 {
+			fmt.Printf("  memory: %d/%d bytes in use (per-query limit %d)\n", g.MemoryUsed, g.MemoryBudget, g.QueryMemLimit)
+		}
+		if g.MaxConcurrent > 0 {
+			fmt.Printf("  admission: %d slots, queue %d  admitted: %d  queued: %d  rejected: %d\n",
+				g.MaxConcurrent, g.MaxQueue, g.Admitted, g.Queued, g.Rejected)
+		}
+	}
+	if ds != nil {
+		h := ds.Health()
+		fmt.Printf("durability health: %s", h.State)
+		if h.Cause != "" {
+			fmt.Printf(" (since %s: %s)", h.Since.Format(time.RFC3339), h.Cause)
+		}
+		fmt.Printf("  degradations: %d  recoveries: %d\n", h.Degradations, h.Recoveries)
+	}
 
 	m := dbStats.Metrics
 	fmt.Printf("query metrics:\n")

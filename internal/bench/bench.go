@@ -67,6 +67,7 @@ func All() []Experiment {
 		{ID: "V1", Title: "Vectorized vs row-at-a-time execution on the F1 mix and scan/join-heavy queries", Run: runV1},
 		{ID: "C1", Title: "Reader throughput/latency under concurrent ordered inserts (snapshot isolation)", Run: runC1},
 		{ID: "W1", Title: "Multi-writer insert throughput and fsyncs/commit under WAL group commit", Run: runW1},
+		{ID: "G1", Title: "Resource governor: accounting overhead, admission gating, degrade/Recover round trip", Run: runG1},
 	}
 }
 

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sqldb"
+	"repro/internal/xmlgen"
+)
+
+// G1 measures what the resource governor costs and what fail-safe
+// execution buys: heavy-query latency with memory accounting off vs
+// on, how fast an over-budget query is refused, a concurrent
+// point-query storm ungated vs through the admission gate, and the
+// degrade → Recover round trip after an ENOSPC fault.
+func runG1(w io.Writer, cfg Config) error {
+	f := 0.25
+	if cfg.Quick {
+		f = 0.05
+	}
+	doc := xmlgen.Auction(xmlgen.Config{Factor: f, Seed: cfg.Seed})
+
+	st, err := core.Open(core.Interval)
+	if err != nil {
+		return err
+	}
+	if err := st.LoadDocument(doc); err != nil {
+		return err
+	}
+	db := st.DB()
+	const heavy = `SELECT pre, name, value FROM accel ORDER BY value, pre`
+
+	// Accounting overhead: the same sort ungoverned vs charged against
+	// a budget it never hits.
+	base, err := timeIt(cfg, func() error {
+		_, err := db.Query(heavy)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	db.SetMemoryBudget(1 << 30)
+	db.SetQueryMemoryLimit(1 << 30)
+	metered, err := timeIt(cfg, func() error {
+		_, err := db.Query(heavy)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	// Fail-fast: how long an over-budget query takes to be refused.
+	db.SetQueryMemoryLimit(64 << 10)
+	abort, err := timeIt(cfg, func() error {
+		if _, err := db.Query(heavy); !errors.Is(err, sqldb.ErrMemoryBudgetExceeded) {
+			return fmt.Errorf("over-budget query returned %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	db.SetQueryMemoryLimit(0)
+	db.SetMemoryBudget(0)
+
+	// Admission gate: a storm of indexed point queries from 8
+	// goroutines, ungated vs squeezed through 2 slots + queue.
+	storm := func() error {
+		var wg sync.WaitGroup
+		errCh := make(chan error, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 64; i++ {
+					if _, err := db.Query(`SELECT value FROM accel WHERE pre = ?`,
+						sqldb.NewInt(int64(g*64+i))); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return err
+		default:
+			return nil
+		}
+	}
+	ungated, err := timeIt(cfg, storm)
+	if err != nil {
+		return err
+	}
+	db.SetAdmissionControl(2, 8)
+	gated, err := timeIt(cfg, storm)
+	if err != nil {
+		return err
+	}
+
+	// Degraded mode: fill the disk under a durable store, then measure
+	// the Recover round trip (rebuild acked state from disk, checkpoint
+	// it, restart the WAL).
+	fvfs := sqldb.NewFaultVFS(sqldb.NewMemVFS(), -1)
+	fvfs.SetFailError(syscall.ENOSPC)
+	ds, err := core.OpenDurableVFS(core.Interval, fvfs, core.Options{},
+		core.DurableOptions{AutoCheckpointBytes: -1})
+	if err != nil {
+		return err
+	}
+	if err := ds.LoadDocument(doc); err != nil {
+		return err
+	}
+	fvfs.SetFailAfter(fvfs.Written())
+	if _, err := ds.Exec(`CREATE TABLE g1_probe (x INTEGER)`); err == nil {
+		return fmt.Errorf("full disk did not fail the commit")
+	}
+	if !ds.Durable().Failed() {
+		return fmt.Errorf("full disk did not degrade the engine")
+	}
+	fvfs.Heal()
+	recoverStart := time.Now()
+	if err := ds.Recover(); err != nil {
+		return err
+	}
+	recoverMs := time.Since(recoverStart)
+	if err := ds.Close(); err != nil {
+		return err
+	}
+
+	t := newTable("scheme", "base ms", "metered ms", "abort ms", "ungated ms", "gated ms", "recover ms")
+	t.add("interval", ms(base), ms(metered), ms(abort), ms(ungated), ms(gated), ms(recoverMs))
+	t.write(w)
+	fmt.Fprintln(w, "base/metered = full sort without/with memory accounting; abort = refusing the same sort under a 64 KiB limit;")
+	fmt.Fprintln(w, "ungated/gated = 8x64 point queries, free vs 2 admission slots; recover = degrade->Recover after ENOSPC (rebuild + checkpoint).")
+	return nil
+}

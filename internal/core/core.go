@@ -70,6 +70,19 @@ type Options struct {
 	// Vectorized enables batch-at-a-time query execution (the engine's
 	// default follows XRDB_VECTORIZED; this forces it on).
 	Vectorized bool
+	// MemoryBudget caps the engine's total tracked query memory in
+	// bytes; queries that would push the shared pool past it abort with
+	// sqldb.ErrMemoryBudgetExceeded. 0 disables the budget.
+	MemoryBudget int64
+	// QueryMemoryLimit caps each individual query's tracked memory in
+	// bytes. 0 disables the per-query limit.
+	QueryMemoryLimit int64
+	// MaxConcurrentQueries bounds how many queries execute at once;
+	// excess queries wait in a queue of at most MaxQueuedQueries and
+	// are rejected with sqldb.ErrOverloaded when it is full. 0 disables
+	// admission control.
+	MaxConcurrentQueries int
+	MaxQueuedQueries     int
 }
 
 // defaultTransCacheCap bounds the per-Store XPath→SQL translation
@@ -185,6 +198,15 @@ func OpenWith(kind SchemeKind, opts Options) (*Store, error) {
 	if opts.Vectorized {
 		db.SetVectorized(true)
 	}
+	if opts.MemoryBudget > 0 {
+		db.SetMemoryBudget(opts.MemoryBudget)
+	}
+	if opts.QueryMemoryLimit > 0 {
+		db.SetQueryMemoryLimit(opts.QueryMemoryLimit)
+	}
+	if opts.MaxConcurrentQueries > 0 {
+		db.SetAdmissionControl(opts.MaxConcurrentQueries, opts.MaxQueuedQueries)
+	}
 	if err := s.Setup(db); err != nil {
 		return nil, err
 	}
@@ -201,20 +223,38 @@ func (st *Store) DB() *sqldb.Database { return st.db }
 // LoadXML parses and shreds an XML document. A Store holds exactly one
 // document.
 func (st *Store) LoadXML(src []byte) error {
+	return st.LoadXMLContext(context.Background(), src)
+}
+
+// LoadXMLContext is LoadXML honoring a context: cancellation or
+// deadline expiry aborts the shred at its next bulk-insert batch.
+func (st *Store) LoadXMLContext(ctx context.Context, src []byte) error {
 	doc, err := xmldom.Parse(src)
 	if err != nil {
 		return err
 	}
-	return st.LoadDocument(doc)
+	return st.LoadDocumentContext(ctx, doc)
 }
 
 // LoadDocument shreds an already-parsed document.
 func (st *Store) LoadDocument(doc *xmldom.Document) error {
+	return st.LoadDocumentContext(context.Background(), doc)
+}
+
+// LoadDocumentContext is LoadDocument honoring a context, checked at
+// shred-batch granularity.
+func (st *Store) LoadDocumentContext(ctx context.Context, doc *xmldom.Document) error {
 	if st.loaded {
 		return fmt.Errorf("core: store already holds a document")
 	}
 	start := time.Now()
-	if err := st.scheme.Load(st.db, doc); err != nil {
+	var err error
+	if cl, ok := st.scheme.(shred.ContextLoader); ok {
+		err = cl.LoadContext(ctx, st.db, doc)
+	} else {
+		err = st.scheme.Load(st.db, doc)
+	}
+	if err != nil {
 		return err
 	}
 	st.shredPhase.add(time.Since(start))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/lru"
@@ -69,6 +70,15 @@ func OpenDurableVFS(kind SchemeKind, fs sqldb.VFS, opts Options, dopts DurableOp
 	if opts.Parallelism > 0 {
 		db.SetParallelism(opts.Parallelism)
 	}
+	if opts.MemoryBudget > 0 {
+		db.SetMemoryBudget(opts.MemoryBudget)
+	}
+	if opts.QueryMemoryLimit > 0 {
+		db.SetQueryMemoryLimit(opts.QueryMemoryLimit)
+	}
+	if opts.MaxConcurrentQueries > 0 {
+		db.SetAdmissionControl(opts.MaxConcurrentQueries, opts.MaxQueuedQueries)
+	}
 	fresh := len(db.TableNames()) == 0
 	if fresh {
 		// Setup's DDL goes through the commit logger, so even a fresh
@@ -92,14 +102,29 @@ func OpenDurableVFS(kind SchemeKind, fs sqldb.VFS, opts Options, dopts DurableOp
 }
 
 // Durable exposes the underlying durability engine (WAL size,
-// checkpoint counters, fail-stop state).
+// checkpoint counters, degraded-mode state).
 func (ds *DurableStore) Durable() *sqldb.DurableDB { return ds.ddb }
+
+// Health reports the durability layer's state: "ok", or "degraded"
+// with the storage fault that caused it. Reads keep working while
+// degraded; Recover restores read-write service.
+func (ds *DurableStore) Health() sqldb.Health { return ds.ddb.Health() }
+
+// Recover attempts to leave degraded read-only mode by checkpointing
+// the published (acknowledged) state and starting a fresh WAL.
+func (ds *DurableStore) Recover() error { return ds.ddb.Recover() }
 
 // LoadDocument shreds a document as one crash-atomic group commit:
 // recovery sees the whole document or none of it.
 func (ds *DurableStore) LoadDocument(doc *xmldom.Document) error {
+	return ds.LoadDocumentContext(context.Background(), doc)
+}
+
+// LoadDocumentContext is LoadDocument honoring a context, checked at
+// shred-batch granularity inside the group commit.
+func (ds *DurableStore) LoadDocumentContext(ctx context.Context, doc *xmldom.Document) error {
 	if err := ds.ddb.Group(func() error {
-		return ds.Store.LoadDocument(doc)
+		return ds.Store.LoadDocumentContext(ctx, doc)
 	}); err != nil {
 		return err
 	}
@@ -109,11 +134,17 @@ func (ds *DurableStore) LoadDocument(doc *xmldom.Document) error {
 
 // LoadXML parses and shreds an XML document (crash-atomic).
 func (ds *DurableStore) LoadXML(src []byte) error {
+	return ds.LoadXMLContext(context.Background(), src)
+}
+
+// LoadXMLContext is LoadXML honoring a context: cancellation bounds
+// the shred at its next bulk-insert batch.
+func (ds *DurableStore) LoadXMLContext(ctx context.Context, src []byte) error {
 	doc, err := xmldom.Parse(src)
 	if err != nil {
 		return err
 	}
-	return ds.LoadDocument(doc)
+	return ds.LoadDocumentContext(ctx, doc)
 }
 
 // InsertXML inserts a fragment as one crash-atomic group commit.

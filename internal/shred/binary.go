@@ -1,6 +1,7 @@
 package shred
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -109,12 +110,18 @@ func (bn *Binary) partitionFor(db *sqldb.Database, m map[string]string, prefix, 
 
 // Load implements Scheme.
 func (bn *Binary) Load(db *sqldb.Database, doc *xmldom.Document) error {
+	return bn.LoadContext(context.Background(), db, doc)
+}
+
+// LoadContext implements ContextLoader: cancellation is honored at
+// bulk-insert batch granularity.
+func (bn *Binary) LoadContext(ctx context.Context, db *sqldb.Database, doc *xmldom.Document) error {
 	doc.Number()
 	batchers := map[string]*batcher{}
 	getBatcher := func(table string) *batcher {
 		b := batchers[table]
 		if b == nil {
-			b = newBatcher(db, table)
+			b = newBatcherCtx(ctx, db, table)
 			batchers[table] = b
 		}
 		return b

@@ -1,6 +1,7 @@
 package shred
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -72,8 +73,14 @@ func deweyComp(i int64) string {
 
 // Load implements Scheme.
 func (d *Dewey) Load(db *sqldb.Database, doc *xmldom.Document) error {
+	return d.LoadContext(context.Background(), db, doc)
+}
+
+// LoadContext implements ContextLoader: cancellation is honored at
+// bulk-insert batch granularity.
+func (d *Dewey) LoadContext(ctx context.Context, db *sqldb.Database, doc *xmldom.Document) error {
 	doc.Number()
-	b := newBatcher(db, "dewey")
+	b := newBatcherCtx(ctx, db, "dewey")
 	var walk func(n *xmldom.Node, prefix string, level int) error
 	walk = func(n *xmldom.Node, prefix string, level int) error {
 		ord := int64(1)

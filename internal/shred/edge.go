@@ -1,6 +1,7 @@
 package shred
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/sqldb"
@@ -71,11 +72,17 @@ func (e *Edge) Setup(db *sqldb.Database) error {
 
 // Load implements Scheme.
 func (e *Edge) Load(db *sqldb.Database, doc *xmldom.Document) error {
+	return e.LoadContext(context.Background(), db, doc)
+}
+
+// LoadContext implements ContextLoader: cancellation is honored at
+// bulk-insert batch granularity.
+func (e *Edge) LoadContext(ctx context.Context, db *sqldb.Database, doc *xmldom.Document) error {
 	doc.Number()
 	if d := doc.MaxDepth(); d > 0 {
 		e.maxDepth = d
 	}
-	b := newBatcher(db, "edge")
+	b := newBatcherCtx(ctx, db, "edge")
 	for _, n := range doc.Nodes() {
 		if n.Kind == xmldom.DocumentNode {
 			continue

@@ -1,6 +1,7 @@
 package shred
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -89,6 +90,12 @@ type openRow struct {
 
 // Load implements Scheme. The document must conform to the DTD.
 func (in *Inline) Load(db *sqldb.Database, doc *xmldom.Document) error {
+	return in.LoadContext(context.Background(), db, doc)
+}
+
+// LoadContext implements ContextLoader: cancellation is honored at
+// bulk-insert batch granularity.
+func (in *Inline) LoadContext(ctx context.Context, db *sqldb.Database, doc *xmldom.Document) error {
 	doc.Number()
 	root := doc.RootElement()
 	if root == nil {
@@ -102,7 +109,7 @@ func (in *Inline) Load(db *sqldb.Database, doc *xmldom.Document) error {
 	flushRow := func(r *openRow) error {
 		b := batchers[r.rel.Table]
 		if b == nil {
-			b = newBatcher(db, r.rel.Table)
+			b = newBatcherCtx(ctx, db, r.rel.Table)
 			batchers[r.rel.Table] = b
 		}
 		row := make([]sqldb.Value, 4+len(r.rel.Columns))

@@ -1,6 +1,7 @@
 package shred
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/sqldb"
@@ -69,8 +70,14 @@ func (iv *Interval) Setup(db *sqldb.Database) error {
 
 // Load implements Scheme.
 func (iv *Interval) Load(db *sqldb.Database, doc *xmldom.Document) error {
+	return iv.LoadContext(context.Background(), db, doc)
+}
+
+// LoadContext implements ContextLoader: cancellation is honored at
+// bulk-insert batch granularity.
+func (iv *Interval) LoadContext(ctx context.Context, db *sqldb.Database, doc *xmldom.Document) error {
 	doc.Number()
-	b := newBatcher(db, "accel")
+	b := newBatcherCtx(ctx, db, "accel")
 	for _, n := range doc.Nodes() {
 		parent := sqldb.Null
 		if n.Parent != nil {

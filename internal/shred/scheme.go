@@ -13,6 +13,7 @@
 package shred
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sqldb"
@@ -44,6 +45,15 @@ type Scheme interface {
 	InsertSubtree(db *sqldb.Database, parentID int64, position int, subtree *xmldom.Node) error
 }
 
+// ContextLoader is implemented by schemes whose Load honors
+// cancellation: the context is checked at bulk-insert batch
+// granularity, so a canceled or expired context bounds a long document
+// load at its next flush instead of running it to completion. All
+// schemes in this package implement it.
+type ContextLoader interface {
+	LoadContext(ctx context.Context, db *sqldb.Database, doc *xmldom.Document) error
+}
+
 // Query parses an XPath string, translates it under the scheme, and
 // executes it.
 func Query(db *sqldb.Database, s Scheme, query string) (*sqldb.Rows, error) {
@@ -71,8 +81,11 @@ func QueryIDs(db *sqldb.Database, s Scheme, query string) ([]int64, error) {
 	return out, nil
 }
 
-// batcher accumulates rows and bulk-inserts them in chunks.
+// batcher accumulates rows and bulk-inserts them in chunks. With a
+// context attached (newBatcherCtx) each flush first checks it, so
+// cancellation bounds a load at batch granularity.
 type batcher struct {
+	ctx   context.Context // nil: never canceled
 	db    *sqldb.Database
 	table string
 	rows  [][]sqldb.Value
@@ -81,6 +94,12 @@ type batcher struct {
 
 func newBatcher(db *sqldb.Database, table string) *batcher {
 	return &batcher{db: db, table: table, limit: 4096}
+}
+
+func newBatcherCtx(ctx context.Context, db *sqldb.Database, table string) *batcher {
+	b := newBatcher(db, table)
+	b.ctx = ctx
+	return b
 }
 
 func (b *batcher) add(row []sqldb.Value) error {
@@ -92,6 +111,11 @@ func (b *batcher) add(row []sqldb.Value) error {
 }
 
 func (b *batcher) flush() error {
+	if b.ctx != nil {
+		if err := b.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	if len(b.rows) == 0 {
 		return nil
 	}

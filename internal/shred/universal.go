@@ -1,6 +1,7 @@
 package shred
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -82,6 +83,12 @@ func (u *Universal) suffixFor(seg string) string {
 
 // Load implements Scheme.
 func (u *Universal) Load(db *sqldb.Database, doc *xmldom.Document) error {
+	return u.LoadContext(context.Background(), db, doc)
+}
+
+// LoadContext implements ContextLoader: cancellation is honored at
+// bulk-insert batch granularity.
+func (u *Universal) LoadContext(ctx context.Context, db *sqldb.Database, doc *xmldom.Document) error {
 	doc.Number()
 
 	// Pass 1: labels, catalog, recursion check.
@@ -142,7 +149,7 @@ func (u *Universal) Load(db *sqldb.Database, doc *xmldom.Document) error {
 	for i, seg := range u.order {
 		colPos[seg] = 2 + 2*i
 	}
-	b := newBatcher(db, "universal")
+	b := newBatcherCtx(ctx, db, "universal")
 	var emit func(n *xmldom.Node, chain []*xmldom.Node) error
 	emit = func(n *xmldom.Node, chain []*xmldom.Node) error {
 		chain = append(chain, n)

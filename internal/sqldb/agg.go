@@ -175,6 +175,9 @@ func (n *aggNode) open(ctx *evalCtx) (rowIter, error) {
 		k := distinctKey(keys)
 		grp := groups[k]
 		if grp == nil {
+			if err := ctx.mem.charge(valuesBytes(keys) + int64(len(k))*2 + int64(len(n.aggs))*64 + 48); err != nil {
+				return err
+			}
 			grp = &group{keys: keys, states: newStates()}
 			groups[k] = grp
 			order = append(order, k)

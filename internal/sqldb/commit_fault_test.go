@@ -3,6 +3,8 @@ package sqldb
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -284,6 +286,134 @@ func TestCommitFaultMemoryMatchesRecovery(t *testing.T) {
 			}
 			checkIndexes(t, d3.DB())
 			d3.Close()
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Degraded read-only mode: storage faults stop the WAL, not the engine.
+
+// TestDegradedENOSPCSweep injects ENOSPC at every WAL byte offset of
+// the workload. Wherever the disk fills, the engine must enter sticky
+// degraded read-only mode (not fail-stop): reads keep serving the
+// acked prefix, writes fail with ErrReadOnlyDegraded, and after the
+// fault clears Recover() restores read-write service on exactly the
+// acked state.
+func TestDegradedENOSPCSweep(t *testing.T) {
+	baselines := commitFaultBaselines(t)
+
+	run := func(fs VFS) (acked int, d *DurableDB, err error) {
+		d, err = OpenDurable(fs, DurableOptions{})
+		if err != nil {
+			return 0, nil, err
+		}
+		sawErr := false
+		for _, op := range commitFaultOps {
+			if opErr := op(d.DB()); opErr != nil {
+				sawErr = true
+			} else if !sawErr {
+				acked++
+			}
+		}
+		return acked, d, nil
+	}
+
+	probe := NewFaultVFS(NewMemVFS(), -1)
+	if _, _, err := run(probe); err != nil {
+		t.Fatalf("fault-free open: %v", err)
+	}
+	total := probe.Written()
+
+	step := int64(1)
+	if testing.Short() {
+		step = total/97 + 1
+	}
+	for budget := int64(0); budget <= total; budget += step {
+		budget := budget
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			fvfs := NewFaultVFS(NewMemVFS(), budget)
+			fvfs.SetFailError(syscall.ENOSPC)
+			acked, d, openErr := run(fvfs)
+			if openErr != nil {
+				// Faults during open/bootstrap are still fail-stop — there
+				// is no published state to degrade onto yet.
+				if !errors.Is(openErr, syscall.ENOSPC) {
+					t.Fatalf("open failed with a non-ENOSPC error: %v", openErr)
+				}
+				return
+			}
+			defer d.Close()
+
+			if acked == len(commitFaultOps) {
+				// Budget outlived the workload; nothing degraded.
+				if d.Failed() || d.Health().State != "ok" {
+					t.Fatalf("fault-free run reports %+v", d.Health())
+				}
+				return
+			}
+
+			// The disk filled mid-workload: degraded, not fail-stop.
+			if !d.Failed() {
+				t.Fatalf("fault at %d acked ops did not degrade the engine", acked)
+			}
+			h := d.Health()
+			if h.State != "degraded" || h.Degradations != 1 || h.Since.IsZero() {
+				t.Fatalf("health after fault: %+v", h)
+			}
+			if !strings.Contains(h.Cause, "no space") {
+				t.Fatalf("degrade cause does not surface ENOSPC: %q", h.Cause)
+			}
+
+			// Reads serve the acked prefix.
+			if diff := dbStateDiff(baselines[acked], d.DB()); diff != "" {
+				t.Fatalf("degraded reads diverge from the acked prefix (%d acked): %s", acked, diff)
+			}
+			checkIndexes(t, d.DB())
+
+			// Writes are refused with the typed sentinel (which still
+			// matches the historical WAL sentinel).
+			_, werr := d.DB().Exec(`CREATE TABLE denied (x INTEGER)`)
+			if !errors.Is(werr, ErrReadOnlyDegraded) || !errors.Is(werr, ErrWALFailed) {
+				t.Fatalf("degraded write: %v, want ErrReadOnlyDegraded", werr)
+			}
+
+			// Space returns: Recover must re-enter read-write mode on the
+			// acked state.
+			fvfs.Heal()
+			if err := d.Recover(); err != nil {
+				t.Fatalf("recover after heal: %v", err)
+			}
+			if d.Failed() {
+				t.Fatal("still degraded after successful Recover")
+			}
+			h = d.Health()
+			if h.State != "ok" || h.Degradations != 1 || h.Recoveries != 1 {
+				t.Fatalf("health after recover: %+v", h)
+			}
+			if diff := dbStateDiff(baselines[acked], d.DB()); diff != "" {
+				t.Fatalf("recover changed visible state: %s", diff)
+			}
+
+			// Read-write service is genuinely back, and the whole history
+			// (acked prefix + post-recovery writes) survives a reopen.
+			if _, err := d.DB().Exec(`CREATE TABLE recovered_probe (x INTEGER)`); err != nil {
+				t.Fatalf("write after recover: %v", err)
+			}
+			if _, err := d.DB().Exec(`INSERT INTO recovered_probe VALUES (42)`); err != nil {
+				t.Fatalf("insert after recover: %v", err)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			d2, err := OpenDurable(fvfs, DurableOptions{})
+			if err != nil {
+				t.Fatalf("reopen after recovery: %v", err)
+			}
+			defer d2.Close()
+			if diff := dbStateDiff(d.DB(), d2.DB()); diff != "" {
+				t.Fatalf("reopened state != live state: %s", diff)
+			}
+			checkIndexes(t, d2.DB())
 		})
 	}
 }

@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"sort"
 	"strings"
@@ -112,6 +113,14 @@ type Database struct {
 	// record needs no post-stage durability step (group-buffered
 	// records, stub loggers).
 	commitHook func(*walRecord) (wait func() error, err error)
+	// memBudget is the engine-wide memory pool queries reserve their
+	// working set from (total <= 0 = unlimited); queryMemLimit caps one
+	// query's reservation. See governor.go.
+	memBudget     memPool
+	queryMemLimit atomic.Int64
+	// gate, when non-nil, bounds concurrent query execution with a
+	// finite wait queue (admission control).
+	gate atomic.Pointer[admissionGate]
 }
 
 // setCommitLogger attaches (or detaches, with nil) a synchronous commit
@@ -184,6 +193,62 @@ func (db *Database) readState() *dbState {
 	return db.state.Load()
 }
 
+// SetMemoryBudget caps the total working-set bytes of all concurrently
+// executing queries (hash-join builds, sorts, aggregation tables,
+// materialized results). n <= 0 disables the budget. A query whose
+// charge overruns the pool aborts with ErrMemoryBudgetExceeded;
+// concurrent queries and writers are unaffected.
+func (db *Database) SetMemoryBudget(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	db.memBudget.total.Store(n)
+}
+
+// SetQueryMemoryLimit caps one query's working-set bytes independently
+// of the shared engine budget. n <= 0 disables the per-query limit.
+func (db *Database) SetQueryMemoryLimit(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	db.queryMemLimit.Store(n)
+}
+
+// SetAdmissionControl bounds concurrent query execution: up to
+// maxConcurrent queries run at once, up to maxQueue more wait for a
+// slot (honoring their context deadline), and beyond that new queries
+// are rejected immediately with ErrOverloaded. maxConcurrent <= 0
+// disables admission control.
+func (db *Database) SetAdmissionControl(maxConcurrent, maxQueue int) {
+	db.gate.Store(newAdmissionGate(maxConcurrent, maxQueue))
+}
+
+// newMemAccountant builds the accountant for one query, or nil when no
+// budget is configured (the common case: zero overhead).
+func (db *Database) newMemAccountant() *memAccountant {
+	limit := db.queryMemLimit.Load()
+	total := db.memBudget.total.Load()
+	if limit <= 0 && total <= 0 {
+		return nil
+	}
+	m := &memAccountant{limit: limit}
+	if total > 0 {
+		m.pool = &db.memBudget
+	}
+	return m
+}
+
+// runGuarded executes a compiled plan to completion behind the
+// executor panic barrier: a panic anywhere below (operator code,
+// expression evaluation, kernels) becomes a typed ErrInternal result
+// for this query alone. Gather workers install their own barriers
+// (parallel.go) so a worker panic drains the segment and surfaces
+// here as an ordinary error.
+func runGuarded(ctx *evalCtx, root planNode) (data [][]Value, err error) {
+	defer recoverToError(&err)
+	return materialize(ctx, root)
+}
+
 // setSeq forces the commit sequence (and the published state's seq) to
 // n. The durability layer calls it after recovery so the in-memory
 // sequence exactly matches the WAL high-water mark.
@@ -210,6 +275,36 @@ type writeTx struct {
 	base *dbState
 	st   *dbState
 	gen  uint64
+	// done flips when the transaction released writeMu (commit or
+	// abort); guard uses it to unwind a panicking writer safely.
+	done bool
+	// ticket/finished track the publish turn commit staged: if a panic
+	// fires after staging but before the turn is consumed, guard
+	// consumes it so successors don't block forever.
+	ticket   uint64
+	finished bool
+}
+
+// guard is the writer-side panic barrier: install as
+//
+//	defer tx.guard(&err)
+//
+// right after beginWrite. A panic anywhere in the statement body
+// becomes a typed ErrInternal, the pending state is discarded
+// unpublished, writeMu is released, and any staged publish ticket is
+// consumed — a panicking writer never wedges writeMu or the publish
+// pipeline.
+func (tx *writeTx) guard(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if !tx.done {
+		tx.abort()
+	} else if tx.ticket != 0 && !tx.finished {
+		tx.db.finishTicket(tx.ticket, nil, 0)
+	}
+	*errp = internalError(r)
 }
 
 // beginWrite acquires the writer slot and clones the newest staged
@@ -259,6 +354,7 @@ func (tx *writeTx) commit(rec *walRecord) error {
 		if db.commitHook != nil {
 			w, err := db.commitHook(rec)
 			if err != nil {
+				tx.done = true
 				db.writeMu.Unlock()
 				return err
 			}
@@ -278,6 +374,8 @@ func (tx *writeTx) commit(rec *walRecord) error {
 	db.head = tx.st
 	db.stageTicket++
 	ticket := db.stageTicket
+	tx.ticket = ticket
+	tx.done = true
 	db.writeMu.Unlock()
 
 	if wait != nil {
@@ -285,10 +383,12 @@ func (tx *writeTx) commit(rec *walRecord) error {
 			// Not durable: take the publish turn without publishing, so
 			// successors (which are failing too) don't block forever.
 			db.finishTicket(ticket, nil, 0)
+			tx.finished = true
 			return err
 		}
 	}
 	db.finishTicket(ticket, tx.st, reclaimed)
+	tx.finished = true
 	return nil
 }
 
@@ -314,7 +414,51 @@ func (db *Database) finishTicket(ticket uint64, st *dbState, reclaimed int) {
 
 // abort discards the pending state.
 func (tx *writeTx) abort() {
+	if tx.done {
+		return
+	}
+	tx.done = true
 	tx.db.writeMu.Unlock()
+}
+
+// resetStaged discards any staged-but-unpublished chain: it waits until
+// every issued publish ticket has been consumed (failed commits consume
+// theirs without publishing), then re-anchors head and the sequence
+// counter at the published state. The durability layer calls it during
+// Recover, after a storage fault doomed the tail of the staged chain.
+func (db *Database) resetStaged() {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.pubMu.Lock()
+	for db.pubTicket != db.stageTicket {
+		db.pubCond.Wait()
+	}
+	db.pubMu.Unlock()
+	st := db.state.Load()
+	db.head = st
+	db.seq.Store(st.seq)
+}
+
+// resetToRecovered replaces both the published and staged state with a
+// state the durability layer rebuilt from the acknowledged WAL prefix.
+// The live engine's execution knobs (parallelism, vectorized mode)
+// carry over, and the schema epoch advances past everything this
+// engine has handed out, so every cached plan and prepared statement
+// goes stale — the schema may have rolled back to a shape an old epoch
+// number described. Caller must have quiesced writers (resetStaged).
+func (db *Database) resetToRecovered(st *dbState) {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	cur := db.state.Load()
+	ns := st.shallowClone()
+	ns.parallelism = cur.parallelism
+	ns.vectorized = cur.vectorized
+	if ns.epoch <= cur.epoch {
+		ns.epoch = cur.epoch + 1
+	}
+	db.state.Store(ns)
+	db.head = ns
+	db.seq.Store(ns.seq)
 }
 
 // Rows is a fully materialized query result.
@@ -417,10 +561,18 @@ func (db *Database) queryAt(qctx context.Context, st *dbState, sql string, args 
 	if err != nil {
 		return nil, err
 	}
+	release, err := db.gate.Load().admit(qctx)
+	if err != nil {
+		db.metrics.recordQueryError()
+		return nil, err
+	}
+	defer release()
+	mem := db.newMemAccountant()
+	defer mem.close()
 	rs := newRunStats(e.p, false)
-	ctx := &evalCtx{snap: st, qctx: qctx, params: args, stats: rs, vec: st.vectorized}
+	ctx := &evalCtx{snap: st, qctx: qctx, params: args, stats: rs, vec: st.vectorized, mem: mem}
 	start := time.Now()
-	data, err := materialize(ctx, e.p.root)
+	data, err := runGuarded(ctx, e.p.root)
 	if err != nil {
 		db.metrics.recordQueryError()
 		return nil, err
@@ -496,12 +648,20 @@ func (p *Prepared) Query(args ...Value) (*Rows, error) {
 func (p *Prepared) QueryContext(qctx context.Context, args ...Value) (*Rows, error) {
 	st := p.db.readState()
 	if p.epoch != st.epoch {
-		return nil, errorf("prepared statement is stale: schema changed since Prepare (%s)", p.sql)
+		return nil, fmt.Errorf("sqldb: %w: schema changed since Prepare (%s)", ErrPreparedStale, p.sql)
 	}
+	release, err := p.db.gate.Load().admit(qctx)
+	if err != nil {
+		p.db.metrics.recordQueryError()
+		return nil, err
+	}
+	defer release()
+	mem := p.db.newMemAccountant()
+	defer mem.close()
 	rs := newRunStats(p.plan, false)
-	ctx := &evalCtx{snap: st, qctx: qctx, params: args, stats: rs, vec: st.vectorized}
+	ctx := &evalCtx{snap: st, qctx: qctx, params: args, stats: rs, vec: st.vectorized, mem: mem}
 	start := time.Now()
-	data, err := materialize(ctx, p.plan.root)
+	data, err := runGuarded(ctx, p.plan.root)
 	if err != nil {
 		p.db.metrics.recordQueryError()
 		return nil, err
@@ -517,8 +677,9 @@ func (db *Database) CreateTableDef(def TableDef) error {
 	return db.createTableDef(def)
 }
 
-func (db *Database) createTableDef(def TableDef) error {
+func (db *Database) createTableDef(def TableDef) (err error) {
 	tx := db.beginWrite()
+	defer tx.guard(&err)
 	key := lowerName(def.Name)
 	if _, ok := tx.st.tables[key]; ok {
 		tx.abort()
@@ -544,8 +705,9 @@ func (tx *writeTx) purgeStaleIndexDefs(tableName string) {
 	}
 }
 
-func (db *Database) createIndex(s *CreateIndexStmt) error {
+func (db *Database) createIndex(s *CreateIndexStmt) (err error) {
 	tx := db.beginWrite()
+	defer tx.guard(&err)
 	key := lowerName(s.Name)
 	if _, ok := tx.st.indexes[key]; ok {
 		tx.abort()
@@ -576,8 +738,9 @@ func (db *Database) createIndex(s *CreateIndexStmt) error {
 
 // createIndexDef registers an index from a definition (snapshot
 // restore and WAL replay; column ordinals are already resolved).
-func (db *Database) createIndexDef(def IndexDef) error {
+func (db *Database) createIndexDef(def IndexDef) (err error) {
 	tx := db.beginWrite()
+	defer tx.guard(&err)
 	key := lowerName(def.Name)
 	if _, ok := tx.st.indexes[key]; ok {
 		tx.abort()
@@ -605,8 +768,9 @@ func (db *Database) createIndexDef(def IndexDef) error {
 	return tx.commit(&walRecord{Op: opCreateIndex, Index: &d})
 }
 
-func (db *Database) dropTable(name string) error {
+func (db *Database) dropTable(name string) (err error) {
 	tx := db.beginWrite()
+	defer tx.guard(&err)
 	key := lowerName(name)
 	tbl, ok := tx.st.tables[key]
 	if !ok {
@@ -621,8 +785,9 @@ func (db *Database) dropTable(name string) error {
 	return tx.commit(&walRecord{Op: opDropTable, Table: tbl.def.Name})
 }
 
-func (db *Database) dropIndex(name string) error {
+func (db *Database) dropIndex(name string) (err error) {
 	tx := db.beginWrite()
+	defer tx.guard(&err)
 	key := lowerName(name)
 	def, ok := tx.st.indexes[key]
 	if !ok {
@@ -642,8 +807,9 @@ func (db *Database) dropIndex(name string) error {
 	return tx.commit(&walRecord{Op: opDropIndex, Name: def.Name})
 }
 
-func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
+func (db *Database) execInsert(s *InsertStmt, args []Value) (n int, err error) {
 	tx := db.beginWrite()
+	defer tx.guard(&err)
 	tbl := tx.wtable(s.Table)
 	if tbl == nil {
 		tx.abort()
@@ -759,8 +925,9 @@ func (db *Database) execInsert(s *InsertStmt, args []Value) (int, error) {
 // every row is validated before any is stored, and a constraint failure
 // mid-batch (duplicate key, unique index) discards the pending version,
 // leaving the published table and its indexes unchanged.
-func (db *Database) BulkInsert(tableName string, rows [][]Value) (int, error) {
+func (db *Database) BulkInsert(tableName string, rows [][]Value) (n int, err error) {
 	tx := db.beginWrite()
+	defer tx.guard(&err)
 	tbl := tx.wtable(tableName)
 	if tbl == nil {
 		tx.abort()
@@ -804,8 +971,9 @@ func (db *Database) BulkInsert(tableName string, rows [][]Value) (int, error) {
 	return len(coerced), nil
 }
 
-func (db *Database) execDelete(s *DeleteStmt, args []Value) (int, error) {
+func (db *Database) execDelete(s *DeleteStmt, args []Value) (n int, err error) {
 	tx := db.beginWrite()
+	defer tx.guard(&err)
 	tbl := tx.wtable(s.Table)
 	if tbl == nil {
 		tx.abort()
@@ -833,8 +1001,9 @@ func (db *Database) execDelete(s *DeleteStmt, args []Value) (int, error) {
 	return len(rids), nil
 }
 
-func (db *Database) execUpdate(s *UpdateStmt, args []Value) (int, error) {
+func (db *Database) execUpdate(s *UpdateStmt, args []Value) (n int, err error) {
 	tx := db.beginWrite()
+	defer tx.guard(&err)
 	tbl := tx.wtable(s.Table)
 	if tbl == nil {
 		tx.abort()
@@ -967,6 +1136,7 @@ type DatabaseStats struct {
 	PlanCache   CacheStats
 	Metrics     MetricsSnapshot
 	Snapshots   SnapshotStats
+	Governor    GovernorStats
 	SchemaEpoch uint64
 	CommitSeq   uint64
 }
@@ -985,11 +1155,22 @@ func (db *Database) Stats() DatabaseStats {
 		})
 	}
 	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
+	maxc, maxq, admitted, queued, rejected := db.gate.Load().stats()
 	return DatabaseStats{
-		Tables:      tables,
-		PlanCache:   db.plans.stats(),
-		Metrics:     db.metrics.snapshot(),
-		Snapshots:   db.snaps.stats(),
+		Tables:    tables,
+		PlanCache: db.plans.stats(),
+		Metrics:   db.metrics.snapshot(),
+		Snapshots: db.snaps.stats(),
+		Governor: GovernorStats{
+			MemoryBudget:  db.memBudget.total.Load(),
+			MemoryUsed:    db.memBudget.used.Load(),
+			QueryMemLimit: db.queryMemLimit.Load(),
+			MaxConcurrent: maxc,
+			MaxQueue:      maxq,
+			Admitted:      admitted,
+			Queued:        queued,
+			Rejected:      rejected,
+		},
 		SchemaEpoch: st.epoch,
 		CommitSeq:   st.seq,
 	}

@@ -27,10 +27,14 @@ import (
 //   - OpenDurable recovers by loading the last good snapshot and
 //     replaying the WAL's valid prefix, truncating the torn tail.
 //
-// Failure model is fail-stop: once a WAL append or sync fails, the
-// DurableDB refuses further commits (ErrWALFailed) — the in-memory
+// Failure model is degraded read-only: once a WAL append, sync or
+// checkpoint write fails, the DurableDB refuses further commits
+// (ErrReadOnlyDegraded, which wraps ErrWALFailed) — the in-memory
 // state may be ahead of the durable state, and continuing to
-// acknowledge writes would silently widen that gap.
+// acknowledge writes would silently widen that gap. Reads keep
+// serving the last published snapshot, Health reports the cause, and
+// Recover re-establishes durability by checkpointing the published
+// (acked) state and starting a fresh WAL.
 type DurableDB struct {
 	fs   VFS
 	db   *Database
@@ -44,9 +48,14 @@ type DurableDB struct {
 	// and log rotation. The flusher releases it for the duration of the
 	// Write+Sync (flushing=true marks the handle as borrowed) so new
 	// committers can stage into the next batch while this one syncs.
-	walMu     sync.Mutex
-	wal       File
-	walSize   int64
+	walMu   sync.Mutex
+	wal     File
+	walSize int64
+	// ackedSize is the length of the WAL prefix covered by a successful
+	// flush (append + fsync): every byte below it belongs to an
+	// acknowledged commit, every byte above it to a failed or torn one.
+	// Recover rebuilds the engine's state from exactly this prefix.
+	ackedSize int64
 	queue     []*commitWaiter
 	flushing  bool
 	flushCond *sync.Cond
@@ -64,11 +73,21 @@ type DurableDB struct {
 	// refused re-entrant Group/Checkpoint calls that would self-deadlock.
 	groupOwner atomic.Int64
 
-	// ckptMu serializes checkpoints.
+	// ckptMu serializes checkpoints (and Recover, which is one).
 	ckptMu      sync.Mutex
 	checkpoints atomic.Uint64
 	needCkpt    atomic.Bool
-	failed      atomic.Bool
+
+	// failed is the degraded-mode flag: set on any storage fault, it
+	// turns every write path away with ErrReadOnlyDegraded while reads
+	// keep serving the published snapshot. healthMu guards the cause
+	// bookkeeping behind it; lock order is walMu → healthMu.
+	failed       atomic.Bool
+	healthMu     sync.Mutex
+	degradeCause error
+	degradeSince time.Time
+	degradations uint64
+	recoveries   uint64
 }
 
 // commitWaiter is one staged commit waiting for the batch fsync that
@@ -106,9 +125,26 @@ const (
 	tmpSuffix    = ".tmp"
 )
 
-// ErrWALFailed is returned for every commit after a WAL write or sync
-// error: the engine is fail-stop.
+// ErrWALFailed is the root sentinel for every commit refused after a
+// WAL write or sync error. Callers receive ErrReadOnlyDegraded, which
+// wraps it: the engine is degraded read-only, not dead — reads still
+// serve the published snapshot and Recover can restore durability.
 var ErrWALFailed = errors.New("sqldb: write-ahead log failed; database is read-only")
+
+// degrade enters degraded read-only mode (idempotent; the first cause
+// sticks until Recover). Safe to call with walMu held: lock order is
+// walMu → healthMu.
+func (d *DurableDB) degrade(cause error) {
+	d.healthMu.Lock()
+	defer d.healthMu.Unlock()
+	if d.failed.Load() {
+		return
+	}
+	d.degradeCause = cause
+	d.degradeSince = time.Now()
+	d.degradations++
+	d.failed.Store(true)
+}
 
 // OpenDurable opens or recovers a durable database from the VFS's
 // directory: the last good snapshot is loaded (an empty database if
@@ -180,6 +216,7 @@ func OpenDurable(fs VFS, opts DurableOptions) (*DurableDB, error) {
 	}
 	d.wal = wal
 	d.walSize = goodLen
+	d.ackedSize = goodLen
 	d.seq.Store(maxSeq)
 	// Align the in-memory commit sequence (and the published state's
 	// seq) with the WAL high-water mark, so the next commit's WAL
@@ -215,11 +252,15 @@ func (d *DurableDB) DB() *Database { return d.db }
 // a group is open — ride the normal pipeline and are durable before
 // they are acknowledged.
 func (d *DurableDB) stageCommit(rec *walRecord) (func() error, error) {
-	if d.failed.Load() {
-		return nil, ErrWALFailed
-	}
 	rec.Seq = d.seq.Add(1)
 	d.walMu.Lock()
+	// The degraded check lives under walMu so it is ordered against
+	// Recover's queue drain: a commit either stages in time to receive
+	// its verdict from the drain, or observes the flag and is refused.
+	if d.failed.Load() {
+		d.walMu.Unlock()
+		return nil, ErrReadOnlyDegraded
+	}
 	if d.grouping && d.groupOwner.Load() == goid() {
 		// Inside a group: buffer; the whole group lands as one frame
 		// (one CRC unit) when it closes.
@@ -257,8 +298,9 @@ func (d *DurableDB) awaitFlush(w *commitWaiter) error {
 // made durable with one Sync. Caller holds walMu with flushing false;
 // the lock is released during the IO (flushing=true keeps the handle
 // exclusive) so committers arriving mid-fsync stage into the next
-// batch. Returns with walMu held. On error the engine goes fail-stop
-// and every commit in the batch fails — none were acknowledged.
+// batch. Returns with walMu held. On error the engine enters degraded
+// read-only mode and every commit in the batch fails — none were
+// acknowledged.
 func (d *DurableDB) flushLocked() {
 	d.flushing = true
 	if win := d.opts.GroupCommitWindow; win > 0 {
@@ -289,7 +331,7 @@ func (d *DurableDB) flushLocked() {
 	var n int
 	var err error
 	if wal == nil {
-		err = ErrWALFailed
+		err = ErrReadOnlyDegraded
 	} else {
 		n, err = wal.Write(frame)
 		if err != nil {
@@ -307,9 +349,12 @@ func (d *DurableDB) flushLocked() {
 		d.fsyncs++
 	}
 	if err != nil {
-		d.failed.Store(true)
-	} else if d.opts.AutoCheckpointBytes > 0 && d.walSize >= d.opts.AutoCheckpointBytes {
-		d.needCkpt.Store(true)
+		d.degrade(err)
+	} else {
+		d.ackedSize = d.walSize
+		if d.opts.AutoCheckpointBytes > 0 && d.walSize >= d.opts.AutoCheckpointBytes {
+			d.needCkpt.Store(true)
+		}
 	}
 	for _, w := range batch {
 		w.flushed = true
@@ -349,6 +394,38 @@ type DurableStats struct {
 	// commits covered by a single flush.
 	Batches  uint64
 	MaxBatch int
+	// Health reports the durability layer's current state.
+	Health Health
+}
+
+// Health describes whether the durability layer is serving writes or
+// has dropped to degraded read-only mode after a storage fault.
+type Health struct {
+	// State is "ok" or "degraded".
+	State string
+	// Cause is the first storage fault that degraded the engine (empty
+	// when ok); Since is when it happened.
+	Cause string
+	Since time.Time
+	// Degradations and Recoveries count mode transitions over the
+	// engine's lifetime.
+	Degradations uint64
+	Recoveries   uint64
+}
+
+// Health reports the current durability state.
+func (d *DurableDB) Health() Health {
+	d.healthMu.Lock()
+	defer d.healthMu.Unlock()
+	h := Health{State: "ok", Degradations: d.degradations, Recoveries: d.recoveries}
+	if d.failed.Load() {
+		h.State = "degraded"
+		h.Since = d.degradeSince
+		if d.degradeCause != nil {
+			h.Cause = d.degradeCause.Error()
+		}
+	}
+	return h
 }
 
 // Stats returns a snapshot of the pipeline counters.
@@ -360,6 +437,7 @@ func (d *DurableDB) Stats() DurableStats {
 		Fsyncs:   d.fsyncs,
 		Batches:  d.batches,
 		MaxBatch: d.maxBatch,
+		Health:   d.Health(),
 	}
 }
 
@@ -376,11 +454,11 @@ func (d *DurableDB) Stats() DurableStats {
 // an error rather than self-deadlock).
 func (d *DurableDB) Group(fn func() error) error {
 	if d.failed.Load() {
-		return ErrWALFailed
+		return ErrReadOnlyDegraded
 	}
 	gid := goid()
 	if d.groupOwner.Load() == gid {
-		return errorf("nested durability group")
+		return ErrNestedGroup
 	}
 	d.ckptMu.Lock() // keep snapshot/rotation out of the buffer-to-flush window
 	d.walMu.Lock()
@@ -432,12 +510,12 @@ func (d *DurableDB) Group(fn func() error) error {
 // snapshot's sequence number makes the old WAL frames no-ops.
 func (d *DurableDB) Checkpoint() error {
 	if d.failed.Load() {
-		return ErrWALFailed
+		return ErrReadOnlyDegraded
 	}
 	if d.groupOwner.Load() == goid() {
 		// Group holds ckptMu across the user callback; taking it again
 		// here would self-deadlock, so refuse loudly instead.
-		return errorf("checkpoint inside durability group")
+		return ErrCheckpointInsideGroup
 	}
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
@@ -453,7 +531,7 @@ func (d *DurableDB) Checkpoint() error {
 
 	// 2. Atomic snapshot replacement.
 	if err := WriteFileAtomic(d.fs, snapshotFile, buf.Bytes()); err != nil {
-		d.failed.Store(true)
+		d.degrade(err)
 		return fmt.Errorf("sqldb: checkpoint: %w", err)
 	}
 
@@ -469,10 +547,10 @@ func (d *DurableDB) Checkpoint() error {
 		d.flushCond.Wait()
 	}
 	if d.failed.Load() {
-		return ErrWALFailed
+		return ErrReadOnlyDegraded
 	}
 	if err := d.rotateLocked(snapSeq); err != nil {
-		d.failed.Store(true)
+		d.degrade(err)
 		return fmt.Errorf("sqldb: wal rotation: %w", err)
 	}
 	d.checkpoints.Add(1)
@@ -502,12 +580,18 @@ func (d *DurableDB) rotateLocked(snapSeq uint64) error {
 	if err := WriteFileAtomic(d.fs, walFile, keep); err != nil {
 		return err
 	}
+	// The file now holds exactly the kept (all acknowledged) frames,
+	// whatever happens to the handle below.
+	d.ackedSize = int64(len(keep))
 	// The old handle points at the replaced file; reopen the new one.
 	// Nil the field across the gap: if reopening fails we must not
 	// leave d.wal aimed at a closed file, or later Close/flush would
-	// operate on a dead handle instead of failing cleanly.
-	d.wal.Close()
-	d.wal = nil
+	// operate on a dead handle instead of failing cleanly. (The handle
+	// may already be nil when Recover retries after a failed rotation.)
+	if d.wal != nil {
+		d.wal.Close()
+		d.wal = nil
+	}
 	w, err := d.fs.OpenRW(walFile)
 	if err != nil {
 		return err
@@ -543,9 +627,190 @@ func (d *DurableDB) WALSize() int64 {
 // Checkpoints reports how many checkpoints have completed.
 func (d *DurableDB) Checkpoints() uint64 { return d.checkpoints.Load() }
 
-// Failed reports whether the engine has gone fail-stop after a WAL
-// error.
+// Failed reports whether the engine is in degraded read-only mode
+// after a storage fault. Reads keep serving the published snapshot;
+// Recover attempts to restore read-write service.
 func (d *DurableDB) Failed() bool { return d.failed.Load() }
+
+// recoverAttempts bounds Recover's retry loop; attempts after the
+// first back off starting at recoverBackoff, doubling each time.
+const (
+	recoverAttempts = 3
+	recoverBackoff  = 2 * time.Millisecond
+)
+
+// Recover attempts to leave degraded read-only mode by rebuilding the
+// engine on exactly the acknowledged history:
+//
+//  1. Quiesce the pipeline: wait out any in-flight flush and drain
+//     queued commits (their waiters get their verdicts), then discard
+//     the staged-but-unpublished chain so the write path restarts from
+//     the published state.
+//  2. Reconstruct the acked state from disk — the last good snapshot
+//     plus the WAL prefix covered by a successful fsync. The live
+//     published state is NOT a safe source: a failed group commit has
+//     already published its member statements in memory while their
+//     atomic frame never reached the WAL, and conversely a failed
+//     batch can leave whole frames appended on disk that no caller was
+//     ever acked for. The fsync-covered prefix is, by definition, the
+//     acked history and nothing else.
+//  3. Checkpoint that state atomically to snapshot.db, replace the WAL
+//     with a fresh empty log, and install the rebuilt state as the
+//     live one (published and staged), so reads and recovery agree
+//     again.
+//
+// Each attempt that fails against still-faulty storage backs off and
+// retries, up to recoverAttempts; the engine re-enters read-write mode
+// only after the checkpoint sequence fully succeeds. Calling Recover
+// when healthy is a no-op.
+func (d *DurableDB) Recover() error {
+	if !d.failed.Load() {
+		return nil
+	}
+	if d.groupOwner.Load() == goid() {
+		return errorf("recover inside durability group")
+	}
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if !d.failed.Load() {
+		return nil
+	}
+
+	// 1. Quiesce. Draining the queue delivers each waiter's error (the
+	// storage is still marked degraded, so none can be newly acked
+	// unless their write genuinely lands); resetStaged then waits for
+	// those commits to consume their publish tickets and rewinds the
+	// staged chain to the published state. New commits can't race in:
+	// stageCommit refuses while degraded.
+	d.walMu.Lock()
+	for d.flushing {
+		d.flushCond.Wait()
+	}
+	for len(d.queue) > 0 {
+		d.flushLocked()
+	}
+	d.walMu.Unlock()
+	d.db.resetStaged()
+
+	var lastErr error
+	backoff := recoverBackoff
+	for attempt := 0; attempt < recoverAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if lastErr = d.recoverOnce(); lastErr == nil {
+			d.healthMu.Lock()
+			d.degradeCause = nil
+			d.degradeSince = time.Time{}
+			d.recoveries++
+			d.failed.Store(false)
+			d.healthMu.Unlock()
+			d.checkpoints.Add(1)
+			d.needCkpt.Store(false)
+			return nil
+		}
+	}
+	return fmt.Errorf("sqldb: recover: %w", lastErr)
+}
+
+// recoverOnce runs one rebuild-checkpoint-restart attempt. Caller
+// holds ckptMu with the pipeline quiesced.
+func (d *DurableDB) recoverOnce() error {
+	d.walMu.Lock()
+	acked := d.ackedSize
+	d.walMu.Unlock()
+	rdb, maxSeq, err := d.loadAckedState(acked)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if _, err := rdb.SaveSnapshot(&buf); err != nil {
+		return err
+	}
+	if err := WriteFileAtomic(d.fs, snapshotFile, buf.Bytes()); err != nil {
+		return err
+	}
+	d.walMu.Lock()
+	if err := WriteFileAtomic(d.fs, walFile, nil); err != nil {
+		d.walMu.Unlock()
+		return err
+	}
+	if d.wal != nil {
+		d.wal.Close()
+		d.wal = nil
+	}
+	w, err := d.fs.OpenRW(walFile)
+	if err != nil {
+		d.walMu.Unlock()
+		return err
+	}
+	d.wal = w
+	d.walSize = 0
+	d.ackedSize = 0
+	d.walMu.Unlock()
+	// Install the rebuilt state as the live one — published and staged
+	// — dropping any published-but-unacked group mutations, and restart
+	// the commit numbering at the acked high-water mark. This must not
+	// run under walMu: a writer holding the database write lock blocks
+	// on walMu in stageCommit, and resetToRecovered needs that write
+	// lock — taking it with walMu held deadlocks against such a writer.
+	// Running outside walMu is safe: the degraded flag is still set, so
+	// every commit that wins walMu is refused before touching state.
+	d.db.resetToRecovered(rdb.state.Load())
+	d.seq.Store(maxSeq)
+	return nil
+}
+
+// loadAckedState loads the last good snapshot and replays the first
+// ackedLen bytes of the WAL — the prefix covered by a successful fsync
+// — into a fresh database: the acknowledged history, nothing more.
+func (d *DurableDB) loadAckedState(ackedLen int64) (*Database, uint64, error) {
+	var rdb *Database
+	var snapSeq uint64
+	if _, err := d.fs.Size(snapshotFile); err == nil {
+		f, err := d.fs.Open(snapshotFile)
+		if err != nil {
+			return nil, 0, fmt.Errorf("sqldb: opening snapshot: %w", err)
+		}
+		rdb, snapSeq, err = LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return nil, 0, fmt.Errorf("sqldb: recovering snapshot: %w", err)
+		}
+	} else if errors.Is(err, os.ErrNotExist) {
+		rdb = New()
+	} else {
+		return nil, 0, fmt.Errorf("sqldb: probing snapshot: %w", err)
+	}
+	f, err := d.fs.Open(walFile)
+	if err != nil {
+		return nil, 0, fmt.Errorf("sqldb: opening wal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return nil, 0, fmt.Errorf("sqldb: reading wal: %w", err)
+	}
+	if int64(len(data)) > ackedLen {
+		data = data[:ackedLen]
+	}
+	records, _ := scanWAL(data)
+	maxSeq := snapSeq
+	for _, rec := range records {
+		if rec.Seq <= snapSeq {
+			continue
+		}
+		if err := rdb.applyRecord(rec); err != nil {
+			return nil, 0, fmt.Errorf("sqldb: wal replay (seq %d): %w", rec.Seq, err)
+		}
+		if s := rec.maxSeq(); s > maxSeq {
+			maxSeq = s
+		}
+	}
+	rdb.setSeq(maxSeq)
+	return rdb, maxSeq, nil
+}
 
 // Close detaches the commit hook, drains any in-flight or queued
 // batches, and closes the WAL. It does not checkpoint; the WAL replays

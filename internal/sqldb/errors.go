@@ -1,0 +1,77 @@
+package sqldb
+
+// Error taxonomy: the load-bearing failure modes of the engine are
+// exported sentinel (or typed) errors so callers dispatch with
+// errors.Is / errors.As instead of string matching. Message text is
+// kept byte-identical to the historical fmt.Errorf strings.
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+var (
+	// ErrMemoryBudgetExceeded aborts a query whose tracked allocations
+	// exceed its memory budget (per-query limit or shared engine pool).
+	ErrMemoryBudgetExceeded = errors.New("sqldb: query memory budget exceeded")
+
+	// ErrOverloaded rejects a query when the admission gate's wait
+	// queue is full: backpressure instead of collapse.
+	ErrOverloaded = errors.New("sqldb: overloaded: admission queue full")
+
+	// ErrInternal marks a query that died to a recovered panic inside
+	// the executor. The query fails; the engine and every other query
+	// keep running. Use errors.As with *InternalError for the panic
+	// value and stack.
+	ErrInternal = errors.New("sqldb: internal error")
+
+	// ErrPreparedStale marks a prepared statement invalidated by DDL
+	// since Prepare.
+	ErrPreparedStale = errors.New("prepared statement is stale")
+
+	// ErrCheckpointInsideGroup refuses a checkpoint requested from
+	// inside an open durability group (it would self-deadlock).
+	ErrCheckpointInsideGroup = errors.New("sqldb: checkpoint inside durability group")
+
+	// ErrNestedGroup refuses opening a durability group from a
+	// goroutine that already owns one.
+	ErrNestedGroup = errors.New("sqldb: nested durability group")
+
+	// ErrReadOnlyDegraded is returned by writes while the durability
+	// layer is in degraded read-only mode after a storage fault.
+	// It wraps ErrWALFailed so existing errors.Is checks keep passing;
+	// reads continue to serve the last published snapshot and
+	// DurableDB.Recover retries the log.
+	ErrReadOnlyDegraded = fmt.Errorf("%w (degraded: reads still serve the published snapshot; Recover() retries the log)", ErrWALFailed)
+)
+
+// InternalError carries the recovered panic value and stack from an
+// executor panic barrier. It unwraps to ErrInternal.
+type InternalError struct {
+	PanicValue any
+	Stack      []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("sqldb: internal error: query panicked: %v", e.PanicValue)
+}
+
+func (e *InternalError) Unwrap() error { return ErrInternal }
+
+// internalError converts a recovered panic value into an *InternalError.
+func internalError(r any) error {
+	return &InternalError{PanicValue: r, Stack: debug.Stack()}
+}
+
+// recoverToError is the shared panic barrier: install as
+//
+//	defer recoverToError(&err)
+//
+// at an execution boundary and a panic below it becomes a typed
+// ErrInternal result instead of taking the process down.
+func recoverToError(errp *error) {
+	if r := recover(); r != nil {
+		*errp = internalError(r)
+	}
+}

@@ -46,10 +46,16 @@ func resolveIndex(t *table, idx *tableIndex) *tableIndex {
 	return idx
 }
 
-// canceled polls the execution context for cancellation or deadline
-// expiry. Chokepoints (statIter.next, materialize) call it on a coarse
-// stride so the hot path stays cheap.
+// canceled polls the execution context for cancellation, deadline
+// expiry, or a tripped memory budget. Chokepoints (statIter.next,
+// statVecIter.nextBatch, materialize) call it on a coarse stride so the
+// hot path stays cheap; a budget overrun anywhere in the query (any
+// worker) is observed here by every other worker, so the whole query
+// unwinds and releases its partially-built state.
 func (ctx *evalCtx) canceled() error {
+	if err := ctx.mem.err(); err != nil {
+		return err
+	}
 	if ctx.qctx == nil {
 		return nil
 	}
@@ -60,7 +66,6 @@ func (ctx *evalCtx) canceled() error {
 		return nil
 	}
 }
-
 
 // ---------------------------------------------------------------------------
 // Sequential scan
@@ -416,6 +421,15 @@ func (n *nlJoinNode) innerRows(ctx *evalCtx) ([][]Value, int64, error) {
 		e := sh.entry(n)
 		builtNow := false
 		e.once.Do(func() {
+			// A panic inside the shared build must still publish an
+			// error: sync.Once marks itself done even when f panics, so
+			// without this every other waiter would see a nil e.err and
+			// a nil build.
+			defer func() {
+				if r := recover(); r != nil {
+					e.err = internalError(r)
+				}
+			}()
 			e.rows, e.err = materialize(ctx, n.right)
 			e.n = int64(len(e.rows))
 			builtNow = true
@@ -556,6 +570,13 @@ func (n *hashJoinNode) build(ctx *evalCtx) (map[string][][]Value, int64, error) 
 		e := sh.entry(n)
 		builtNow := false
 		e.once.Do(func() {
+			// See innerRows: a panicking build must set e.err for the
+			// other waiters (once.Do completes even on panic).
+			defer func() {
+				if r := recover(); r != nil {
+					e.err = internalError(r)
+				}
+			}()
 			e.ht, e.n, e.err = n.buildHashTable(ctx)
 			builtNow = true
 		})
@@ -840,6 +861,7 @@ func (n *sortNode) open(ctx *evalCtx) (rowIter, error) {
 		keys []Value
 	}
 	ks := make([]keyed, len(rows))
+	var pending int64
 	for i, r := range rows {
 		kv := make([]Value, len(n.keys))
 		for j, ke := range n.keys {
@@ -849,6 +871,16 @@ func (n *sortNode) open(ctx *evalCtx) (rowIter, error) {
 			}
 		}
 		ks[i] = keyed{row: r, keys: kv}
+		pending += valuesBytes(kv)
+		if i&1023 == 1023 {
+			if err := ctx.mem.charge(pending); err != nil {
+				return nil, err
+			}
+			pending = 0
+		}
+	}
+	if err := ctx.mem.charge(pending); err != nil {
+		return nil, err
 	}
 	sort.SliceStable(ks, func(a, b int) bool {
 		for j := range n.keys {
@@ -946,12 +978,13 @@ func (n *distinctNode) open(ctx *evalCtx) (rowIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &distinctIter{in: in, seen: map[string]bool{}}, nil
+	return &distinctIter{in: in, seen: map[string]bool{}, mem: ctx.mem}, nil
 }
 
 type distinctIter struct {
 	in   rowIter
 	seen map[string]bool
+	mem  *memAccountant
 }
 
 func (it *distinctIter) next() ([]Value, error) {
@@ -963,6 +996,9 @@ func (it *distinctIter) next() ([]Value, error) {
 		k := distinctKey(row)
 		if it.seen[k] {
 			continue
+		}
+		if err := it.mem.charge(int64(len(k)) + 48); err != nil {
+			return nil, err
 		}
 		it.seen[k] = true
 		return row, nil
@@ -1089,20 +1125,29 @@ func materialize(ctx *evalCtx, n planNode) ([][]Value, error) {
 	}
 	defer it.close()
 	var out [][]Value
+	var pending int64
 	for {
 		if len(out)&1023 == 0 {
 			if err := ctx.canceled(); err != nil {
 				return nil, err
 			}
+			if err := ctx.mem.charge(pending); err != nil {
+				return nil, err
+			}
+			pending = 0
 		}
 		row, err := it.next()
 		if err != nil {
 			return nil, err
 		}
 		if row == nil {
+			if err := ctx.mem.charge(pending); err != nil {
+				return nil, err
+			}
 			return out, nil
 		}
 		out = append(out, row)
+		pending += rowSliceBytes(row)
 	}
 }
 
@@ -1128,13 +1173,13 @@ func padRight(row []Value, n int) []Value {
 // of rows, and often stop at the first one — batch setup costs would be
 // paid per outer row with nothing to amortize them over.
 func runSubquery(ctx *evalCtx, p *plan, outerRow []Value) ([][]Value, error) {
-	sub := &evalCtx{snap: ctx.snap, qctx: ctx.qctx, params: ctx.params, outer: outerRow}
+	sub := &evalCtx{snap: ctx.snap, qctx: ctx.qctx, params: ctx.params, outer: outerRow, mem: ctx.mem}
 	return materialize(sub, p.root)
 }
 
 // subqueryHasRow reports whether the subplan yields at least one row.
 func subqueryHasRow(ctx *evalCtx, p *plan, outerRow []Value) (bool, error) {
-	sub := &evalCtx{snap: ctx.snap, qctx: ctx.qctx, params: ctx.params, outer: outerRow}
+	sub := &evalCtx{snap: ctx.snap, qctx: ctx.qctx, params: ctx.params, outer: outerRow, mem: ctx.mem}
 	it, err := p.root.open(sub)
 	if err != nil {
 		return false, err

@@ -70,10 +70,18 @@ func (db *Database) ExplainAnalyzePlan(sql string, args ...Value) (*AnalyzedPlan
 	if err != nil {
 		return nil, err
 	}
+	release, err := db.gate.Load().admit(context.Background())
+	if err != nil {
+		db.metrics.recordQueryError()
+		return nil, err
+	}
+	defer release()
+	mem := db.newMemAccountant()
+	defer mem.close()
 	rs := newRunStats(e.p, true)
-	ctx := &evalCtx{snap: st, qctx: context.Background(), params: args, stats: rs, vec: st.vectorized}
+	ctx := &evalCtx{snap: st, qctx: context.Background(), params: args, stats: rs, vec: st.vectorized, mem: mem}
 	start := time.Now()
-	data, err := materialize(ctx, e.p.root)
+	data, err := runGuarded(ctx, e.p.root)
 	total := time.Since(start)
 	if err != nil {
 		db.metrics.recordQueryError()

@@ -75,6 +75,11 @@ type evalCtx struct {
 	// state's vectorized knob at query start and inherited by gather
 	// workers and subquery executions.
 	vec bool
+	// mem is the query's memory accountant; nil when no budget is
+	// configured. Inherited by gather workers and subquery executions
+	// so every allocation anywhere in the query charges one ledger
+	// (see governor.go).
+	mem *memAccountant
 }
 
 // compiledExpr evaluates an expression against a row.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -600,5 +601,105 @@ func TestConcurrentCommitFaultAckedSurvive(t *testing.T) {
 			checkIndexes(t, rd.DB())
 			rd.Close()
 		}
+	}
+}
+
+// TestGroupFaultDegradedRecover fills the disk mid-way through a stream
+// of group commits: the interrupted group must vanish atomically, the
+// engine must degrade to read-only (serving every acked group) instead
+// of fail-stopping, and once space returns Recover must restore
+// read-write service on exactly the acked prefix.
+func TestGroupFaultDegradedRecover(t *testing.T) {
+	const rowsPerGroup = 5
+	for _, budget := range []int64{40, 200, 800, 2000} {
+		fvfs := NewFaultVFS(NewMemVFS(), -1)
+		fvfs.SetFailError(syscall.ENOSPC)
+		d := mustOpenDurable(t, fvfs, DurableOptions{})
+		db := d.DB()
+		db.MustExec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, g INTEGER)`)
+
+		fvfs.mu.Lock()
+		fvfs.failAfter = fvfs.written + budget
+		fvfs.mu.Unlock()
+
+		ackedGroups := 0
+		for g := 0; g < 60; g++ {
+			err := d.Group(func() error {
+				for i := 0; i < rowsPerGroup; i++ {
+					k := int64(g*rowsPerGroup + i)
+					if _, err := db.Exec(`INSERT INTO kv VALUES (?, ?)`, NewInt(k), NewInt(int64(g))); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				// The commit that hits the fault carries the raw storage
+				// error; anything after it gets the degraded sentinel.
+				if !errors.Is(err, syscall.ENOSPC) && !errors.Is(err, ErrReadOnlyDegraded) {
+					t.Fatalf("budget %d group %d: %v, want ENOSPC or degraded", budget, g, err)
+				}
+				break
+			}
+			ackedGroups++
+		}
+
+		// Degraded, not fail-stop: health reports the ENOSPC cause...
+		if !d.Failed() {
+			t.Fatalf("budget %d: fault never fired (raise the group count?)", budget)
+		}
+		h := d.Health()
+		if h.State != "degraded" || !strings.Contains(h.Cause, "no space") {
+			t.Fatalf("budget %d: health %+v, want degraded on ENOSPC", budget, h)
+		}
+		// ...writes (grouped or plain) are refused with the sentinel...
+		if err := d.Group(func() error { return nil }); !errors.Is(err, ErrReadOnlyDegraded) {
+			t.Fatalf("budget %d: degraded Group: %v", budget, err)
+		}
+		if _, err := db.Exec(`INSERT INTO kv VALUES (99999, 0)`); !errors.Is(err, ErrReadOnlyDegraded) {
+			t.Fatalf("budget %d: degraded insert: %v", budget, err)
+		}
+		// ...and reads still work. The degraded snapshot may include the
+		// doomed group's statements: its members published in memory
+		// before the atomic frame hit the full disk.
+		assertGroups := func(when string, groups int) {
+			t.Helper()
+			n, err := db.QueryScalar(`SELECT COUNT(*) FROM kv`)
+			if err != nil || n.Int() != int64(groups*rowsPerGroup) {
+				t.Fatalf("budget %d %s: count (%v, %v), want %d rows",
+					budget, when, n, err, groups*rowsPerGroup)
+			}
+			g, err := db.QueryScalar(`SELECT COUNT(DISTINCT g) FROM kv`)
+			if err != nil || g.Int() != int64(groups) {
+				t.Fatalf("budget %d %s: groups (%v, %v), want %d", budget, when, g, err, groups)
+			}
+		}
+		assertGroups("degraded", ackedGroups+1)
+
+		// Space returns: Recover must land on the acked prefix — the
+		// doomed group's published-but-unacked rows are rolled back.
+		fvfs.Heal()
+		if err := d.Recover(); err != nil {
+			t.Fatalf("budget %d: recover: %v", budget, err)
+		}
+		assertGroups("post-recover", ackedGroups)
+		if err := d.Group(func() error {
+			_, err := db.Exec(`INSERT INTO kv VALUES (?, -1)`, NewInt(int64(100000)))
+			return err
+		}); err != nil {
+			t.Fatalf("budget %d: group after recover: %v", budget, err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatalf("budget %d: close: %v", budget, err)
+		}
+
+		// The reopened directory holds the acked prefix plus the
+		// post-recovery group.
+		rd := mustOpenDurable(t, fvfs, DurableOptions{})
+		if diff := dbStateDiff(db, rd.DB()); diff != "" {
+			t.Fatalf("budget %d: reopened state != live state: %s", budget, diff)
+		}
+		checkIndexes(t, rd.DB())
+		rd.Close()
 	}
 }

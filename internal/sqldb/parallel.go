@@ -153,6 +153,14 @@ func hashRows(ctx *evalCtx, rows [][]Value, keys []compiledExpr, par int) (map[s
 		wg.Add(1)
 		go func(p, lo, hi int) {
 			defer wg.Done()
+			// Panic barrier: a partition build panic becomes this
+			// partition's error so the merge below fails the query
+			// instead of killing the process.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[p] = internalError(r)
+				}
+			}()
 			maps[p], errs[p] = hashChunk(ctx, rows[lo:hi], keys)
 		}(p, lo, hi)
 	}
@@ -177,7 +185,8 @@ func hashRows(ctx *evalCtx, rows [][]Value, keys []compiledExpr, par int) (map[s
 func hashChunk(ctx *evalCtx, rows [][]Value, keys []compiledExpr) (map[string][][]Value, error) {
 	ht := make(map[string][][]Value, len(rows))
 	keyBuf := make([]Value, len(keys))
-	for _, r := range rows {
+	var pending int64
+	for n, r := range rows {
 		for i, ke := range keys {
 			v, err := ke(ctx, r)
 			if err != nil {
@@ -189,7 +198,19 @@ func hashChunk(ctx *evalCtx, rows [][]Value, keys []compiledExpr) (map[string][]
 		if !ok {
 			continue
 		}
+		// The rows were charged when the build input materialized; the
+		// table itself costs roughly key bytes + bucket bookkeeping.
+		pending += int64(len(k)) + 48
+		if n&1023 == 1023 {
+			if err := ctx.mem.charge(pending); err != nil {
+				return nil, err
+			}
+			pending = 0
+		}
 		ht[k] = append(ht[k], r)
+	}
+	if err := ctx.mem.charge(pending); err != nil {
+		return nil, err
 	}
 	return ht, nil
 }
@@ -272,7 +293,19 @@ func (g *gatherIter) start(total int) {
 		g.wg.Add(1)
 		go func(w int) {
 			defer g.wg.Done()
-			wctx := &evalCtx{snap: g.ctx.snap, qctx: g.ctx.qctx, params: g.ctx.params, outer: g.ctx.outer, shared: shared, vec: g.ctx.vec}
+			// Morsel-worker panic barrier: a panic in this worker
+			// cancels its siblings and surfaces as a typed ErrInternal
+			// through the ordinary error path, so only this query fails
+			// — the channel is buffered for the worst case, the send
+			// never blocks, and Gather's join still drains every worker.
+			claimed := -1
+			defer func() {
+				if r := recover(); r != nil {
+					g.cancel.Store(true)
+					g.results <- morselOut{idx: claimed, err: internalError(r)}
+				}
+			}()
+			wctx := &evalCtx{snap: g.ctx.snap, qctx: g.ctx.qctx, params: g.ctx.params, outer: g.ctx.outer, shared: shared, vec: g.ctx.vec, mem: g.ctx.mem}
 			if g.workerStats != nil {
 				wctx.stats = g.workerStats[w]
 			}
@@ -280,6 +313,10 @@ func (g *gatherIter) start(total int) {
 				idx := int(next.Add(1)) - 1
 				if idx >= g.nMorsels {
 					return
+				}
+				claimed = idx
+				if f := testWorkerPanic.Load(); f != nil {
+					(*f)(idx)
 				}
 				lo := idx * morselSize
 				hi := lo + morselSize
@@ -299,6 +336,11 @@ func (g *gatherIter) start(total int) {
 		}(w)
 	}
 }
+
+// testWorkerPanic, when non-nil, runs in every gather worker right
+// after it claims a morsel; the fault-injection tests use it to panic
+// inside a worker and assert the blast radius is one query.
+var testWorkerPanic atomic.Pointer[func(morselIdx int)]
 
 func (g *gatherIter) next() ([]Value, error) {
 	for {
@@ -430,6 +472,9 @@ func (n *parallelAggNode) foldRow(ctx *evalCtx, row []Value, pos aggPos, groups 
 	k := distinctKey(keys)
 	grp := groups[k]
 	if grp == nil {
+		if err := ctx.mem.charge(valuesBytes(keys) + int64(len(k)) + int64(len(n.aggs))*64 + 48); err != nil {
+			return err
+		}
 		grp = &partialGroup{keys: keys, states: n.newStates(), first: pos}
 		groups[k] = grp
 	}
@@ -575,7 +620,15 @@ func (n *parallelAggNode) parallelFold(ctx *evalCtx, total, nMorsels, workers in
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wctx := &evalCtx{snap: ctx.snap, qctx: ctx.qctx, params: ctx.params, outer: ctx.outer, shared: shared, vec: ctx.vec}
+			// Panic barrier (see gatherIter.start): the channel holds
+			// one slot per worker, so the send never blocks.
+			defer func() {
+				if r := recover(); r != nil {
+					cancel.Store(true)
+					results <- partialResult{err: internalError(r)}
+				}
+			}()
+			wctx := &evalCtx{snap: ctx.snap, qctx: ctx.qctx, params: ctx.params, outer: ctx.outer, shared: shared, vec: ctx.vec, mem: ctx.mem}
 			if workerStats != nil {
 				wctx.stats = workerStats[w]
 			}

@@ -119,6 +119,19 @@ func materializeVec(ctx *evalCtx, n planNode) ([][]Value, error) {
 		if b.n() == 0 {
 			continue
 		}
+		// Every collected batch is retained until the flatten pass, so
+		// this is the batch path's memory-charging chokepoint: the
+		// selected rows (project flats, join-arena chunks, heap row
+		// references) all survive through the result.
+		if ctx.mem != nil {
+			var nb int64
+			for k, cnt := 0, b.n(); k < cnt; k++ {
+				nb += rowSliceBytes(b.row(k))
+			}
+			if err := ctx.mem.charge(nb); err != nil {
+				return nil, err
+			}
+		}
 		batches = append(batches, b)
 		total += b.n()
 	}

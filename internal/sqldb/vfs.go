@@ -66,9 +66,9 @@ func NewOSVFS(dir string) (VFS, error) {
 
 func (v *osVFS) path(name string) string { return filepath.Join(v.dir, name) }
 
-func (v *osVFS) Create(name string) (File, error)  { return os.Create(v.path(name)) }
-func (v *osVFS) Open(name string) (File, error)    { return os.Open(v.path(name)) }
-func (v *osVFS) Remove(name string) error          { return os.Remove(v.path(name)) }
+func (v *osVFS) Create(name string) (File, error) { return os.Create(v.path(name)) }
+func (v *osVFS) Open(name string) (File, error)   { return os.Open(v.path(name)) }
+func (v *osVFS) Remove(name string) error         { return os.Remove(v.path(name)) }
 func (v *osVFS) Rename(oldName, newName string) error {
 	return os.Rename(v.path(oldName), v.path(newName))
 }
@@ -339,6 +339,9 @@ type FaultVFS struct {
 	// shortReads, when set, caps every Read at one byte, flushing out
 	// callers that assume full reads.
 	shortReads bool
+	// failErr, when set, replaces ErrInjected as the injected error —
+	// e.g. syscall.ENOSPC to model a full disk.
+	failErr error
 }
 
 // NewFaultVFS wraps inner, failing once the operation budget crosses
@@ -352,6 +355,47 @@ func (v *FaultVFS) SetShortReads(on bool) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.shortReads = on
+}
+
+// SetFailError chooses the error injected operations return instead of
+// ErrInjected — e.g. syscall.ENOSPC to model a full disk. nil restores
+// the default.
+func (v *FaultVFS) SetFailError(err error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.failErr = err
+}
+
+// injectErr returns the configured injection error.
+func (v *FaultVFS) injectErr() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.failErr != nil {
+		return v.failErr
+	}
+	return ErrInjected
+}
+
+// SetFailAfter re-arms the injector: the fault fires once the
+// cumulative Written counter crosses n, so SetFailAfter(v.Written())
+// trips the very next write. A negative n disarms injection. Any
+// previously tripped state is cleared.
+func (v *FaultVFS) SetFailAfter(n int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.failAfter = n
+	v.failed = false
+}
+
+// Heal models a transient fault clearing (space freed after ENOSPC,
+// storage back online): the tripped state resets and further injection
+// is disabled, so subsequent IO succeeds. The cumulative Written
+// counter is preserved.
+func (v *FaultVFS) Heal() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.failed = false
+	v.failAfter = -1
 }
 
 // Written reports the cumulative operation cost, the budget unit a
@@ -396,7 +440,7 @@ func (v *FaultVFS) charge(n int64) (allowed int64, ok bool) {
 
 func (v *FaultVFS) Create(name string) (File, error) {
 	if _, ok := v.charge(1); !ok {
-		return nil, ErrInjected
+		return nil, v.injectErr()
 	}
 	f, err := v.inner.Create(name)
 	if err != nil {
@@ -415,7 +459,7 @@ func (v *FaultVFS) Open(name string) (File, error) {
 
 func (v *FaultVFS) OpenRW(name string) (File, error) {
 	if _, ok := v.charge(1); !ok {
-		return nil, ErrInjected
+		return nil, v.injectErr()
 	}
 	f, err := v.inner.OpenRW(name)
 	if err != nil {
@@ -426,21 +470,21 @@ func (v *FaultVFS) OpenRW(name string) (File, error) {
 
 func (v *FaultVFS) Rename(oldName, newName string) error {
 	if _, ok := v.charge(1); !ok {
-		return ErrInjected
+		return v.injectErr()
 	}
 	return v.inner.Rename(oldName, newName)
 }
 
 func (v *FaultVFS) Remove(name string) error {
 	if _, ok := v.charge(1); !ok {
-		return ErrInjected
+		return v.injectErr()
 	}
 	return v.inner.Remove(name)
 }
 
 func (v *FaultVFS) SyncDir() error {
 	if _, ok := v.charge(1); !ok {
-		return ErrInjected
+		return v.injectErr()
 	}
 	return v.inner.SyncDir()
 }
@@ -472,7 +516,7 @@ func (f *faultFile) Write(p []byte) (int, error) {
 	if allowed > 0 {
 		n, _ = f.inner.Write(p[:allowed])
 	}
-	return n, ErrInjected
+	return n, f.fs.injectErr()
 }
 
 func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
@@ -481,14 +525,14 @@ func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
 
 func (f *faultFile) Sync() error {
 	if _, ok := f.fs.charge(1); !ok {
-		return ErrInjected
+		return f.fs.injectErr()
 	}
 	return f.inner.Sync()
 }
 
 func (f *faultFile) Truncate(size int64) error {
 	if _, ok := f.fs.charge(1); !ok {
-		return ErrInjected
+		return f.fs.injectErr()
 	}
 	return f.inner.Truncate(size)
 }

@@ -85,11 +85,11 @@ func (r *walRecord) maxSeq() uint64 {
 
 type walEncoder struct{ b []byte }
 
-func (e *walEncoder) uvarint(v uint64)  { e.b = binary.AppendUvarint(e.b, v) }
-func (e *walEncoder) varint(v int64)    { e.b = binary.AppendVarint(e.b, v) }
-func (e *walEncoder) byte(v byte)       { e.b = append(e.b, v) }
-func (e *walEncoder) bytes(p []byte)    { e.uvarint(uint64(len(p))); e.b = append(e.b, p...) }
-func (e *walEncoder) str(s string)      { e.uvarint(uint64(len(s))); e.b = append(e.b, s...) }
+func (e *walEncoder) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *walEncoder) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *walEncoder) byte(v byte)      { e.b = append(e.b, v) }
+func (e *walEncoder) bytes(p []byte)   { e.uvarint(uint64(len(p))); e.b = append(e.b, p...) }
+func (e *walEncoder) str(s string)     { e.uvarint(uint64(len(s))); e.b = append(e.b, s...) }
 
 func (e *walEncoder) value(v Value) {
 	e.byte(byte(v.T))
