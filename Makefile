@@ -11,14 +11,14 @@ COVER_FLOOR_SQLDB ?= 65
 ## seed corpora already run as plain tests under `make test`).
 FUZZ_TIME ?= 5s
 
-.PHONY: check vet build test race cover bench-smoke bench fuzz crash chaos pmatrix vmatrix concurrency writers wbench
+.PHONY: check vet build test race cover bench-smoke bench fuzz crash chaos pmatrix vmatrix concurrency writers wbench server
 
 ## check: the full CI gate — vet, build, tests (race-enabled where it
 ## matters), the engine suite across a GOMAXPROCS matrix, the snapshot
 ## isolation battery, per-package coverage floors, the fault-injection
 ## and chaos batteries, short fuzz sessions, and a one-shot run of the
 ## query-cache benchmark.
-check: vet build test race pmatrix vmatrix concurrency writers cover crash chaos fuzz bench-smoke
+check: vet build test race pmatrix vmatrix concurrency writers server cover crash chaos fuzz bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -78,6 +78,17 @@ writers:
 			./internal/sqldb ./internal/core || exit 1; \
 	done
 
+## server: the network front-door battery — 64 concurrent pinned
+## sessions over HTTP running the F1 mix, the line protocol with
+## drop-releases-pin, overload 429s, graceful-shutdown drain and the
+## post-Close typed-error taxonomy, under -race across a GOMAXPROCS
+## matrix. Proves zero leaked snapshot pins after shutdown.
+server:
+	@for p in 1 2 4; do \
+		echo "server: GOMAXPROCS=$$p"; \
+		GOMAXPROCS=$$p $(GO) test -race -count=1 ./internal/server || exit 1; \
+	done
+
 ## cover: per-package statement-coverage floors for the packages that
 ## hold the engine (sqldb), the mappings (shred) and the façade (core).
 cover:
@@ -95,7 +106,7 @@ cover:
 ## injection sweeps, the commit-failure rollback regressions, and the
 ## concurrent-commit recovery tests, under the race detector.
 crash:
-	$(GO) test -race -run 'TestCrash|TestCommitFault|TestConcurrentCommits|TestDurable|TestBatchFsyncFault|TestGroupConcurrentCommits|TestRotateFailure|TestCheckpointInsideGroup|TestNestedGroup|TestDegraded|TestGroupFaultDegradedRecover' ./internal/sqldb ./internal/core
+	$(GO) test -race -run 'TestCrash|TestCommitFault|TestConcurrentCommits|TestDurable|TestBatchFsyncFault|TestGroupConcurrentCommits|TestRotateFailure|TestCheckpointInsideGroup|TestNestedGroup|TestDegraded|TestGroupFaultDegradedRecover|TestClose|TestSnapshotReleaseIdempotent' ./internal/sqldb ./internal/core
 
 ## chaos: the resource-governor / fail-safe gate — concurrent writers
 ## and governed queries (memory budgets, admission control, injected

@@ -68,6 +68,7 @@ func All() []Experiment {
 		{ID: "C1", Title: "Reader throughput/latency under concurrent ordered inserts (snapshot isolation)", Run: runC1},
 		{ID: "W1", Title: "Multi-writer insert throughput and fsyncs/commit under WAL group commit", Run: runW1},
 		{ID: "G1", Title: "Resource governor: accounting overhead, admission gating, degrade/Recover round trip", Run: runG1},
+		{ID: "S1", Title: "Server throughput and latency vs connection count (F1 mix over HTTP)", Run: runS1},
 	}
 }
 

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/sqldb"
+	"repro/internal/xmlgen"
+)
+
+// S1: server throughput and latency vs connection count.
+//
+// The engine behind the network front door: an in-process xrdbd-style
+// server (HTTP/JSON over a real TCP listener) serving a durable
+// interval store, hammered by N concurrent connections each looping
+// the F1 query mix. The table reports sustained QPS and p50/p99
+// per-request latency per connection count. Two shapes matter: QPS
+// should scale with connections until the query cores saturate (on a
+// single-core runner it flattens immediately — the sweep then measures
+// queueing fairness, not speedup), and p99 should grow roughly
+// linearly with connections once saturated rather than collapsing,
+// since every request is admission-gated and snapshot-isolated rather
+// than lock-coupled.
+
+func runS1(w io.Writer, cfg Config) error {
+	f := cfg.Factor
+	window := 600 * time.Millisecond
+	conns := []int{1, 4, 16, 64}
+	if cfg.Quick {
+		f = 0.05
+		window = 150 * time.Millisecond
+		conns = []int{1, 8}
+	}
+
+	store, err := core.OpenDurableVFS(core.Interval, sqldb.NewMemVFS(), core.Options{}, core.DurableOptions{})
+	if err != nil {
+		return err
+	}
+	doc := xmlgen.Auction(xmlgen.Config{Factor: f, Seed: cfg.Seed})
+	if err := store.LoadDocument(doc); err != nil {
+		store.Close()
+		return err
+	}
+	srv := server.New(store, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	queries := make([][]byte, len(queryClasses))
+	for i, qc := range queryClasses {
+		body, err := json.Marshal(server.QueryRequest{XPath: qc.Query})
+		if err != nil {
+			return err
+		}
+		queries[i] = body
+	}
+
+	t := newTable("conns", "requests", "QPS", "p50 ms", "p99 ms")
+	for _, n := range conns {
+		client := &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        n,
+			MaxIdleConnsPerHost: n,
+		}}
+		var mu sync.Mutex
+		var lats []time.Duration
+		var firstErr error
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < n; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				var local []time.Duration
+				for i := c; time.Since(start) < window; i++ {
+					t0 := time.Now()
+					resp, err := client.Post(base+"/query", "application/json",
+						bytes.NewReader(queries[i%len(queries)]))
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != 200 {
+							err = fmt.Errorf("status %d", resp.StatusCode)
+						}
+					}
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					local = append(local, time.Since(t0))
+				}
+				mu.Lock()
+				lats = append(lats, local...)
+				mu.Unlock()
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		client.CloseIdleConnections()
+		if firstErr != nil {
+			return fmt.Errorf("S1 (%d conns): %w", n, firstErr)
+		}
+		if len(lats) == 0 {
+			return fmt.Errorf("S1 (%d conns): no requests completed in the window", n)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		t.add(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", len(lats)),
+			fmt.Sprintf("%.0f", float64(len(lats))/elapsed.Seconds()),
+			ms(lats[len(lats)/2]), ms(lats[len(lats)*99/100]))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "F1 query mix over HTTP/JSON against an in-process durable interval store; latency includes transport")
+	return nil
+}

@@ -32,6 +32,11 @@ func (st *Store) Snapshot() *StoreSnapshot {
 // Seq returns the commit sequence the snapshot observes.
 func (s *StoreSnapshot) Seq() uint64 { return s.snap.Seq() }
 
+// DB returns the raw relational snapshot backing this store snapshot,
+// so direct SQL reads can observe the same commit boundary as the
+// XPath surface (the server's session layer leans on this).
+func (s *StoreSnapshot) DB() *sqldb.Snapshot { return s.snap }
+
 // Release unpins the snapshot (reads through it keep working; only the
 // metrics tracking ends). Safe to call more than once.
 func (s *StoreSnapshot) Release() { s.snap.Release() }

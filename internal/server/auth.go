@@ -1,0 +1,66 @@
+package server
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Authenticator is the auth seam: it validates one request's bearer
+// token. The static token file below is the whole story today; the
+// interface exists so an mTLS or per-user ACL backend can slot in
+// without the transports noticing.
+type Authenticator interface {
+	Authenticate(token string) error
+}
+
+// StaticTokenAuth accepts any token from a fixed allow-list, compared
+// in constant time.
+type StaticTokenAuth struct {
+	tokens []string
+}
+
+// NewStaticTokenAuth builds an allow-list authenticator. An empty list
+// rejects everything (use a nil Config.Auth to serve everyone).
+func NewStaticTokenAuth(tokens []string) *StaticTokenAuth {
+	return &StaticTokenAuth{tokens: append([]string(nil), tokens...)}
+}
+
+// LoadTokenFile reads an allow-list from a file: one token per line,
+// blank lines and #-comments ignored.
+func LoadTokenFile(path string) (*StaticTokenAuth, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: auth token file: %w", err)
+	}
+	defer f.Close()
+	var tokens []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tokens = append(tokens, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("server: auth token file: %w", err)
+	}
+	return NewStaticTokenAuth(tokens), nil
+}
+
+// Authenticate checks the token against the allow-list.
+func (a *StaticTokenAuth) Authenticate(token string) error {
+	if token == "" {
+		return errors.New("missing token")
+	}
+	for _, t := range a.tokens {
+		if subtle.ConstantTimeCompare([]byte(t), []byte(token)) == 1 {
+			return nil
+		}
+	}
+	return errors.New("unknown token")
+}

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// The line protocol is the low-overhead transport: length-prefixed JSON
+// frames over one TCP connection, with an implicit session per
+// connection (created at connect, pins and prepared statements released
+// at disconnect — however the connection ends).
+//
+// Framing: 4-byte big-endian payload length, then that many bytes of
+// JSON. Requests carry {"op": ..., ...}; responses echo {"id": ...} when
+// the request named one and carry either the op's payload or
+// {"error","code"}. Ops:
+//
+//	auth    {"token":"..."}          — required first when auth is on
+//	query   QueryRequest fields      — read (xpath or sql)
+//	exec    ExecRequest fields       — durable write
+//	pin     {}                       — pin session → {"seq":N}
+//	unpin   {}                       — release the pin
+//	health  {}                       — HealthStatus
+//	stats   {}                       — StatsSnapshot
+//	quit    {}                       — close the connection
+const maxFrame = 8 << 20 // bytes; a frame larger than this is a protocol error
+
+// lineRequest is the decoded union of every op's fields.
+type lineRequest struct {
+	Op    string `json:"op"`
+	ID    int64  `json:"id,omitempty"`
+	Token string `json:"token,omitempty"`
+
+	XPath     string `json:"xpath,omitempty"`
+	SQL       string `json:"sql,omitempty"`
+	Args      []any  `json:"args,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// lineResponse wraps an op result on the wire.
+type lineResponse struct {
+	ID     int64  `json:"id,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Code   string `json:"code,omitempty"`
+	Result any    `json:"result,omitempty"`
+}
+
+// ServeLine accepts line-protocol connections on ln until Shutdown
+// closes it. The returned error is nil on graceful close.
+func (s *Server) ServeLine(ln net.Listener) error {
+	s.trackListener(ln)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.Draining() {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn runs one connection: implicit session, request loop, and
+// unconditional cleanup. A reader goroutine feeds frames through a
+// channel so a dropped connection cancels the in-flight request's
+// context instead of leaving it running to completion.
+func (s *Server) serveConn(conn net.Conn) {
+	s.lnMu.Lock()
+	if s.conns == nil {
+		s.conns = map[net.Conn]struct{}{}
+	}
+	s.conns[conn] = struct{}{}
+	s.lnMu.Unlock()
+
+	var sessID string
+	defer func() {
+		conn.Close()
+		if sessID != "" {
+			s.ReleaseSession(sessID)
+		}
+		s.lnMu.Lock()
+		delete(s.conns, conn)
+		s.lnMu.Unlock()
+	}()
+
+	if s.Draining() {
+		writeFrame(conn, lineResponse{Error: ErrShuttingDown.Error(), Code: CodeShutdown})
+		return
+	}
+	sess, err := s.CreateSession(false)
+	if err != nil {
+		code, _ := ErrorCode(err)
+		writeFrame(conn, lineResponse{Error: err.Error(), Code: code})
+		return
+	}
+	sessID = sess.ID()
+
+	// connCtx dies with the connection: the reader goroutine cancels it
+	// on any read error (EOF, reset, or Shutdown's conn.Close), which
+	// aborts the in-flight query through its derived request context.
+	connCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	frames := make(chan []byte)
+	go func() {
+		defer cancel()
+		for {
+			frame, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			select {
+			case frames <- frame:
+			case <-connCtx.Done():
+				return
+			}
+		}
+	}()
+
+	authed := s.cfg.Auth == nil
+	for {
+		var frame []byte
+		select {
+		case frame = <-frames:
+		case <-connCtx.Done():
+			return
+		}
+		var req lineRequest
+		dec := json.NewDecoder(bytes.NewReader(frame))
+		dec.UseNumber()
+		if err := dec.Decode(&req); err != nil {
+			s.reply(conn, req.ID, nil, fmt.Errorf("%w: malformed frame: %v", errBadRequest, err))
+			continue
+		}
+		if req.Op == "quit" {
+			return
+		}
+		if !authed && req.Op != "auth" && req.Op != "health" {
+			s.reply(conn, req.ID, nil, ErrUnauthorized)
+			continue
+		}
+		result, err := s.dispatch(connCtx, sess, &req, &authed)
+		if !s.reply(conn, req.ID, result, err) {
+			return
+		}
+	}
+}
+
+// dispatch executes one line-protocol op through the handler core.
+func (s *Server) dispatch(ctx context.Context, sess *Session, req *lineRequest, authed *bool) (any, error) {
+	switch req.Op {
+	case "auth":
+		if err := s.authenticate(req.Token); err != nil {
+			return nil, err
+		}
+		*authed = true
+		return map[string]bool{"ok": true}, nil
+	case "query":
+		return s.Query(ctx, &QueryRequest{
+			XPath: req.XPath, SQL: req.SQL, Args: req.Args,
+			Session: sess.ID(), TimeoutMS: req.TimeoutMS,
+		})
+	case "exec":
+		return s.Exec(ctx, &ExecRequest{
+			SQL: req.SQL, Args: req.Args,
+			Session: sess.ID(), TimeoutMS: req.TimeoutMS,
+		})
+	case "pin":
+		seq, err := sess.Pin()
+		if err != nil {
+			return nil, err
+		}
+		return map[string]uint64{"seq": seq}, nil
+	case "unpin":
+		sess.Unpin()
+		return map[string]bool{"ok": true}, nil
+	case "health":
+		return s.HealthCheck(), nil
+	case "stats":
+		return s.StatsCheck(), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown op %q", errBadRequest, req.Op)
+	}
+}
+
+// reply writes one response frame; false means the connection is gone.
+func (s *Server) reply(conn net.Conn, id int64, result any, err error) bool {
+	resp := lineResponse{ID: id, Result: result}
+	if err != nil {
+		resp.Error = err.Error()
+		resp.Code, _ = ErrorCode(err)
+		resp.Result = nil
+	}
+	return writeFrame(conn, resp) == nil
+}
+
+func readFrame(conn net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds %d-byte cap", n, maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(conn net.Conn, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxFrame {
+		return errors.New("server: response exceeds frame cap")
+	}
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	_, err = conn.Write(frame)
+	return err
+}

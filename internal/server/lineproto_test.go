@@ -1,0 +1,231 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// lineClient is a minimal test client for the framed protocol.
+type lineClient struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+func dialLine(t *testing.T, s *Server) *lineClient {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ServeLine(ln)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &lineClient{t: t, conn: conn}
+}
+
+func (c *lineClient) send(req lineRequest) lineResponse {
+	c.t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	if _, err := c.conn.Write(frame); err != nil {
+		c.t.Fatal(err)
+	}
+	return c.read()
+}
+
+func (c *lineClient) read() lineResponse {
+	c.t.Helper()
+	var hdr [4]byte
+	c.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(c.conn, hdr[:]); err != nil {
+		c.t.Fatal(err)
+	}
+	buf := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(c.conn, buf); err != nil {
+		c.t.Fatal(err)
+	}
+	var resp lineResponse
+	if err := json.Unmarshal(buf, &resp); err != nil {
+		c.t.Fatal(err)
+	}
+	return resp
+}
+
+// result re-decodes the op payload into out.
+func (r lineResponse) result(t *testing.T, out any) {
+	t.Helper()
+	buf, err := json.Marshal(r.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLineProtocolRoundTrip: query, exec, pin/unpin, health and stats
+// over the framed transport, all through one implicit session.
+func TestLineProtocolRoundTrip(t *testing.T) {
+	s, _ := newTestServer(t, core.Options{}, Config{})
+	c := dialLine(t, s)
+
+	resp := c.send(lineRequest{Op: "query", ID: 1, XPath: "//item/name"})
+	if resp.Error != "" || resp.ID != 1 {
+		t.Fatalf("query: %+v", resp)
+	}
+	var qr QueryResponse
+	resp.result(t, &qr)
+	if qr.Count == 0 {
+		t.Fatal("query returned no matches")
+	}
+
+	resp = c.send(lineRequest{Op: "pin", ID: 2})
+	if resp.Error != "" {
+		t.Fatalf("pin: %+v", resp)
+	}
+	var pin struct {
+		Seq uint64 `json:"seq"`
+	}
+	resp.result(t, &pin)
+	if pin.Seq == 0 {
+		t.Fatal("pin returned seq 0")
+	}
+	if n := pinnedCount(s); n != 1 {
+		t.Fatalf("pinned = %d after pin", n)
+	}
+
+	resp = c.send(lineRequest{Op: "exec", ID: 3,
+		SQL:  "INSERT INTO accel (pre, parent, size, level, ordinal, kind, name, value) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+		Args: []any{4000000, nil, 0, 99, 1, "marker", "m", "line"}})
+	if resp.Error != "" {
+		t.Fatalf("exec: %+v", resp)
+	}
+
+	// The pinned session must not see its own post-pin write.
+	resp = c.send(lineRequest{Op: "query", ID: 4, SQL: "SELECT pre FROM accel WHERE kind = 'marker'"})
+	resp.result(t, &qr)
+	if qr.Count != 0 {
+		t.Fatalf("pinned session saw post-pin write: %d rows", qr.Count)
+	}
+	c.send(lineRequest{Op: "unpin", ID: 5})
+	resp = c.send(lineRequest{Op: "query", ID: 6, SQL: "SELECT pre FROM accel WHERE kind = 'marker'"})
+	resp.result(t, &qr)
+	if qr.Count != 1 {
+		t.Fatalf("unpinned session: %d rows, want 1", qr.Count)
+	}
+
+	resp = c.send(lineRequest{Op: "health", ID: 7})
+	var h HealthStatus
+	resp.result(t, &h)
+	if h.State != "ok" {
+		t.Fatalf("health: %+v", h)
+	}
+	resp = c.send(lineRequest{Op: "bogus", ID: 8})
+	if resp.Code != CodeBadRequest {
+		t.Fatalf("unknown op: %+v", resp)
+	}
+}
+
+// TestLineDropReleasesPin: killing the connection releases the
+// implicit session and its snapshot pin — the client-died path.
+func TestLineDropReleasesPin(t *testing.T) {
+	s, _ := newTestServer(t, core.Options{}, Config{})
+	c := dialLine(t, s)
+	if resp := c.send(lineRequest{Op: "pin", ID: 1}); resp.Error != "" {
+		t.Fatalf("pin: %+v", resp)
+	}
+	if n := pinnedCount(s); n != 1 {
+		t.Fatalf("pinned = %d", n)
+	}
+	c.conn.Close() // client dies mid-session
+	deadline := time.After(5 * time.Second)
+	for pinnedCount(s) != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("pin leaked after connection drop: %d", pinnedCount(s))
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if st := s.ServerStats(); st.Sessions != 0 {
+		t.Fatalf("session leaked after drop: %+v", st)
+	}
+}
+
+// TestLineAuth: with auth on, only auth and health work before a valid
+// token is presented.
+func TestLineAuth(t *testing.T) {
+	s, _ := newTestServer(t, core.Options{}, Config{Auth: NewStaticTokenAuth([]string{"sesame"})})
+	c := dialLine(t, s)
+
+	if resp := c.send(lineRequest{Op: "query", ID: 1, XPath: "//item"}); resp.Code != CodeUnauthorized {
+		t.Fatalf("pre-auth query: %+v", resp)
+	}
+	if resp := c.send(lineRequest{Op: "health", ID: 2}); resp.Error != "" {
+		t.Fatalf("pre-auth health: %+v", resp)
+	}
+	if resp := c.send(lineRequest{Op: "auth", ID: 3, Token: "wrong"}); resp.Code != CodeUnauthorized {
+		t.Fatalf("bad token: %+v", resp)
+	}
+	if resp := c.send(lineRequest{Op: "auth", ID: 4, Token: "sesame"}); resp.Error != "" {
+		t.Fatalf("auth: %+v", resp)
+	}
+	if resp := c.send(lineRequest{Op: "query", ID: 5, XPath: "//item"}); resp.Error != "" {
+		t.Fatalf("post-auth query: %+v", resp)
+	}
+}
+
+// TestLineShutdownClosesConns: Shutdown unblocks idle connections and
+// new connects are refused while draining.
+func TestLineShutdownClosesConns(t *testing.T) {
+	s, _ := newTestServer(t, core.Options{}, Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.ServeLine(ln) }()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Make sure the server has registered the connection (a frame
+	// round-trip forces it).
+	c := &lineClient{t: t, conn: conn}
+	if resp := c.send(lineRequest{Op: "health", ID: 1}); resp.Error != "" {
+		t.Fatalf("health: %+v", resp)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("ServeLine: %v", err)
+	}
+	// The idle connection was force-closed after the drain.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var b [4]byte
+	if _, err := io.ReadFull(conn, b[:]); err == nil {
+		t.Fatal("connection still open after shutdown")
+	}
+	if n := pinnedCount(s); n != 0 {
+		t.Fatalf("pins after shutdown = %d", n)
+	}
+}

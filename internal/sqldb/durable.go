@@ -78,6 +78,13 @@ type DurableDB struct {
 	checkpoints atomic.Uint64
 	needCkpt    atomic.Bool
 
+	// closed is the sticky lifecycle flag: set once by Close (under
+	// ckptMu + walMu), it turns every later commit, checkpoint, group
+	// and recovery away with ErrClosed. Without it a post-Close commit
+	// would be acknowledged while memory-only — ack-implies-durable
+	// silently broken on a supposedly closed store.
+	closed atomic.Bool
+
 	// failed is the degraded-mode flag: set on any storage fault, it
 	// turns every write path away with ErrReadOnlyDegraded while reads
 	// keep serving the published snapshot. healthMu guards the cause
@@ -254,6 +261,14 @@ func (d *DurableDB) DB() *Database { return d.db }
 func (d *DurableDB) stageCommit(rec *walRecord) (func() error, error) {
 	rec.Seq = d.seq.Add(1)
 	d.walMu.Lock()
+	// The closed check lives under walMu so it is ordered against
+	// Close's queue drain: a commit either stages in time to ride the
+	// final flush, or observes the flag and is refused — never acked
+	// memory-only against a closed WAL.
+	if d.closed.Load() {
+		d.walMu.Unlock()
+		return nil, ErrClosed
+	}
 	// The degraded check lives under walMu so it is ordered against
 	// Recover's queue drain: a commit either stages in time to receive
 	// its verdict from the drain, or observes the flag and is refused.
@@ -398,10 +413,11 @@ type DurableStats struct {
 	Health Health
 }
 
-// Health describes whether the durability layer is serving writes or
-// has dropped to degraded read-only mode after a storage fault.
+// Health describes whether the durability layer is serving writes, has
+// dropped to degraded read-only mode after a storage fault, or has been
+// closed.
 type Health struct {
-	// State is "ok" or "degraded".
+	// State is "ok", "degraded" or "closed".
 	State string
 	// Cause is the first storage fault that degraded the engine (empty
 	// when ok); Since is when it happened.
@@ -424,6 +440,11 @@ func (d *DurableDB) Health() Health {
 		if d.degradeCause != nil {
 			h.Cause = d.degradeCause.Error()
 		}
+	}
+	if d.closed.Load() {
+		// Closed is the terminal lifecycle state; a degraded cause, if
+		// any, stays visible for post-mortem inspection.
+		h.State = "closed"
 	}
 	return h
 }
@@ -453,6 +474,9 @@ func (d *DurableDB) Stats() DurableStats {
 // Checkpoint/MaybeCheckpoint must not be called inside fn (they return
 // an error rather than self-deadlock).
 func (d *DurableDB) Group(fn func() error) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
 	if d.failed.Load() {
 		return ErrReadOnlyDegraded
 	}
@@ -461,6 +485,12 @@ func (d *DurableDB) Group(fn func() error) error {
 		return ErrNestedGroup
 	}
 	d.ckptMu.Lock() // keep snapshot/rotation out of the buffer-to-flush window
+	if d.closed.Load() {
+		// Close won ckptMu first: the WAL is gone, so the group's frame
+		// could never become durable. Refuse before buffering anything.
+		d.ckptMu.Unlock()
+		return ErrClosed
+	}
 	d.walMu.Lock()
 	d.grouping = true
 	d.groupOwner.Store(gid)
@@ -509,6 +539,9 @@ func (d *DurableDB) Group(fn func() error) error {
 // before the rename the old snapshot + full WAL win; after it, the new
 // snapshot's sequence number makes the old WAL frames no-ops.
 func (d *DurableDB) Checkpoint() error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
 	if d.failed.Load() {
 		return ErrReadOnlyDegraded
 	}
@@ -519,6 +552,13 @@ func (d *DurableDB) Checkpoint() error {
 	}
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
+	// Close serializes on ckptMu and sets the flag while holding it, so
+	// this check is definitive: past here the store cannot close under
+	// us, and a checkpoint can never rotate — and re-open — the WAL
+	// after Close has returned.
+	if d.closed.Load() {
+		return ErrClosed
+	}
 
 	// 1. Capture. SaveSnapshot pins the latest published state with one
 	// atomic read — writers are not quiesced; the state's own commit
@@ -664,6 +704,9 @@ const (
 // only after the checkpoint sequence fully succeeds. Calling Recover
 // when healthy is a no-op.
 func (d *DurableDB) Recover() error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
 	if !d.failed.Load() {
 		return nil
 	}
@@ -672,6 +715,9 @@ func (d *DurableDB) Recover() error {
 	}
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
+	if d.closed.Load() {
+		return ErrClosed
+	}
 	if !d.failed.Load() {
 		return nil
 	}
@@ -812,13 +858,38 @@ func (d *DurableDB) loadAckedState(ackedLen int64) (*Database, uint64, error) {
 	return rdb, maxSeq, nil
 }
 
-// Close detaches the commit hook, drains any in-flight or queued
-// batches, and closes the WAL. It does not checkpoint; the WAL replays
-// on the next open.
+// Closed reports whether Close has completed (or is in progress): the
+// store refuses commits, checkpoints, groups and recovery with
+// ErrClosed. Reads keep serving the last published snapshot.
+func (d *DurableDB) Closed() bool { return d.closed.Load() }
+
+// Close is the store's lifecycle edge: it drains any in-flight or
+// queued batches (commits staged before Close are still acknowledged
+// durably), closes the WAL, and permanently refuses every later write
+// path with ErrClosed. The commit hook stays attached so a post-Close
+// commit fails typed instead of being acknowledged while memory-only.
+// Close serializes with Checkpoint/MaybeCheckpoint/Recover on ckptMu,
+// so a racing checkpoint can never rotate — and re-open — the WAL
+// after Close returns. Double-Close is idempotent; Close from inside
+// an open durability Group is refused with ErrCloseInsideGroup (the
+// group holds ckptMu; a Close from another goroutine simply waits for
+// the group to finish). It does not checkpoint; the WAL replays on the
+// next open.
 func (d *DurableDB) Close() error {
-	d.db.setCommitHook(nil)
+	if d.groupOwner.Load() == goid() {
+		return ErrCloseInsideGroup
+	}
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
 	d.walMu.Lock()
 	defer d.walMu.Unlock()
+	if d.closed.Load() {
+		return nil
+	}
+	// Sticky from here: commits that already staged drain below and are
+	// acked after their fsync; anything arriving later sees the flag
+	// under walMu and is refused with ErrClosed.
+	d.closed.Store(true)
 	for d.flushing {
 		d.flushCond.Wait()
 	}
