@@ -11,14 +11,14 @@ COVER_FLOOR_SQLDB ?= 65
 ## seed corpora already run as plain tests under `make test`).
 FUZZ_TIME ?= 5s
 
-.PHONY: check vet build test race cover bench-smoke bench fuzz crash chaos pmatrix vmatrix concurrency writers wbench server
+.PHONY: check vet build test race cover bench-smoke bench fuzz crash chaos pmatrix vmatrix diskmatrix concurrency writers wbench server
 
 ## check: the full CI gate — vet, build, tests (race-enabled where it
 ## matters), the engine suite across a GOMAXPROCS matrix, the snapshot
-## isolation battery, per-package coverage floors, the fault-injection
-## and chaos batteries, short fuzz sessions, and a one-shot run of the
-## query-cache benchmark.
-check: vet build test race pmatrix vmatrix concurrency writers server cover crash chaos fuzz bench-smoke
+## isolation battery, the spill-to-disk buffer-pool matrix, per-package
+## coverage floors, the fault-injection and chaos batteries, short fuzz
+## sessions, and a one-shot run of the query-cache benchmark.
+check: vet build test race pmatrix vmatrix diskmatrix concurrency writers server cover crash chaos fuzz bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,21 @@ vmatrix:
 	@for p in 1 2 4; do \
 		echo "vmatrix: GOMAXPROCS=$$p XRDB_VECTORIZED=1"; \
 		XRDB_VECTORIZED=1 GOMAXPROCS=$$p $(GO) test -count=1 ./internal/sqldb ./internal/core || exit 1; \
+	done
+
+## diskmatrix: the bounded-memory storage gate — the engine
+## differential and crash batteries with a 64-page buffer pool
+## (XRDB_BUFFER_POOL caps resident heap pages; everything else spills
+## to disk and pages back in on demand) under -race at GOMAXPROCS
+## 1, 2 and 4. Every query must return the unbounded engine's
+## byte-identical answer with at most 64 pages resident, and crash
+## recovery must replay over v3 paged checkpoints.
+diskmatrix:
+	@for p in 1 2 4; do \
+		echo "diskmatrix: GOMAXPROCS=$$p XRDB_BUFFER_POOL=64"; \
+		XRDB_BUFFER_POOL=64 GOMAXPROCS=$$p $(GO) test -race -count=1 \
+			-run 'TestTinyPool|TestPageInFault|TestBufferPoolStats|TestVector|TestParallel|TestCrash|TestDurable|TestCommitFault|TestConcurrentCommits|TestGroupCommitBatches|TestCheckpoint|TestSnapshot' \
+			./internal/sqldb ./internal/core || exit 1; \
 	done
 
 ## concurrency: the snapshot-isolation gate — the reconstruction-
@@ -90,9 +105,10 @@ server:
 	done
 
 ## cover: per-package statement-coverage floors for the packages that
-## hold the engine (sqldb), the mappings (shred) and the façade (core).
+## hold the engine (sqldb), the mappings (shred), the façade (core) and
+## the XML data model with its streaming tokenizer (xmldom).
 cover:
-	@for entry in "./internal/sqldb $(COVER_FLOOR_SQLDB)" "./internal/shred $(COVER_FLOOR)" "./internal/core $(COVER_FLOOR)"; do \
+	@for entry in "./internal/sqldb $(COVER_FLOOR_SQLDB)" "./internal/shred $(COVER_FLOOR)" "./internal/core $(COVER_FLOOR)" "./internal/xmldom $(COVER_FLOOR)"; do \
 		pkg=$${entry% *}; floor=$${entry#* }; \
 		pct=$$($(GO) test -cover $$pkg | awk '{for (i=1;i<=NF;i++) if ($$i == "coverage:") {sub(/%/,"",$$(i+1)); print $$(i+1)}}'); \
 		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$pkg" >&2; exit 1; fi; \

@@ -54,6 +54,8 @@ func main() {
 		queryMem  = flag.Int64("query-mem-limit", 0, "per-query tracked-memory limit in bytes (0 = unlimited)")
 		maxConc   = flag.Int("max-concurrent", 0, "admission control: max queries executing at once (0 = unlimited)")
 		maxQueue  = flag.Int("max-queue", 0, "with -max-concurrent: max queries waiting for admission before rejection")
+		bufPool   = flag.Int("buffer-pool", 0, "cap resident 512-row heap pages; full pages beyond the cap spill to disk and page back in on demand (0 = unbounded, all in memory)")
+		stream    = flag.Bool("stream", false, "with -in: shred the document from a stream (bounded memory; edge/interval, durable loads lose document-level crash atomicity)")
 		query     = flag.String("query", "", "XPath query to run")
 		timeout   = flag.Duration("timeout", 0, "per-operation deadline (e.g. 500ms) for loads and queries; 0 = no limit")
 		showSQL   = flag.Bool("sql", false, "print the generated SQL")
@@ -85,6 +87,7 @@ func main() {
 			WithValueIndex: *valueIdx, Parallelism: *parallel, Vectorized: *vector,
 			MemoryBudget: *memBudget, QueryMemoryLimit: *queryMem,
 			MaxConcurrentQueries: *maxConc, MaxQueuedQueries: *maxQueue,
+			BufferPoolPages: *bufPool,
 		}
 		dopts := core.DurableOptions{GroupCommitWindow: *gcWindow}
 		var err error
@@ -94,12 +97,21 @@ func main() {
 		}
 		defer ds.Close()
 		if *in != "" && !ds.Loaded() {
-			src, err := os.ReadFile(*in)
-			if err != nil {
-				fail("%v", err)
-			}
 			ctx, cancel := opCtx()
-			err = ds.LoadXMLContext(ctx, src)
+			if *stream {
+				f, ferr := os.Open(*in)
+				if ferr != nil {
+					fail("%v", ferr)
+				}
+				err = ds.LoadXMLStream(ctx, f)
+				f.Close()
+			} else {
+				src, ferr := os.ReadFile(*in)
+				if ferr != nil {
+					fail("%v", ferr)
+				}
+				err = ds.LoadXMLContext(ctx, src)
+			}
 			cancel()
 			if err != nil {
 				fail("loading %s: %v", *in, err)
@@ -142,15 +154,15 @@ func main() {
 		if *maxConc > 0 {
 			st.DB().SetAdmissionControl(*maxConc, *maxQueue)
 		}
-	case *in != "":
-		src, err := os.ReadFile(*in)
-		if err != nil {
-			fail("%v", err)
+		if *bufPool > 0 {
+			st.DB().SetBufferPool(*bufPool)
 		}
+	case *in != "":
 		opts := core.Options{
 			WithValueIndex: *valueIdx, Parallelism: *parallel, Vectorized: *vector,
 			MemoryBudget: *memBudget, QueryMemoryLimit: *queryMem,
 			MaxConcurrentQueries: *maxConc, MaxQueuedQueries: *maxQueue,
+			BufferPoolPages: *bufPool,
 		}
 		if *dtdFile != "" {
 			dtdSrc, err := os.ReadFile(*dtdFile)
@@ -159,12 +171,26 @@ func main() {
 			}
 			opts.DTD = string(dtdSrc)
 		}
+		var err error
 		st, err = core.OpenWith(core.SchemeKind(*scheme), opts)
 		if err != nil {
 			fail("%v", err)
 		}
 		ctx, cancel := opCtx()
-		err = st.LoadXMLContext(ctx, src)
+		if *stream {
+			f, ferr := os.Open(*in)
+			if ferr != nil {
+				fail("%v", ferr)
+			}
+			err = st.LoadXMLStream(ctx, f)
+			f.Close()
+		} else {
+			src, ferr := os.ReadFile(*in)
+			if ferr != nil {
+				fail("%v", ferr)
+			}
+			err = st.LoadXMLContext(ctx, src)
+		}
 		cancel()
 		if err != nil {
 			fail("loading %s: %v", *in, err)
@@ -271,6 +297,18 @@ func printStats(st *core.Store, ds *core.DurableStore) {
 		sn.Acquired, sn.Pinned, sn.OldestAge.Round(time.Microsecond), sn.Publishes)
 	fmt.Printf("  writer waits: %d in %s  publish-order waits: %d  versions reclaimed: %d\n",
 		sn.PublishWaits, sn.PublishWaitTime.Round(time.Microsecond), sn.PublishOrderWaits, sn.VersionsReclaimed)
+
+	bp := dbStats.BufferPool
+	if bp.Cap > 0 || bp.Spilled > 0 {
+		fmt.Printf("buffer pool:\n")
+		fmt.Printf("  cap: %d pages  resident: %d  spilled: %d (%d bytes on disk)\n",
+			bp.Cap, bp.Resident, bp.Spilled, bp.SpillBytes)
+		fmt.Printf("  hits: %d  misses: %d  evictions: %d  writebacks: %d  pinned: %d (high water %d)\n",
+			bp.Hits, bp.Misses, bp.Evictions, bp.Writebacks, bp.Pinned, bp.PinnedHighWater)
+		if bp.ReadErrors > 0 || bp.SpillErrors > 0 {
+			fmt.Printf("  read errors: %d  spill errors: %d\n", bp.ReadErrors, bp.SpillErrors)
+		}
+	}
 
 	g := dbStats.Governor
 	if g.MemoryBudget > 0 || g.QueryMemLimit > 0 || g.MaxConcurrent > 0 {

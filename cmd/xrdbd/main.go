@@ -47,6 +47,8 @@ func main() {
 		maxConc    = flag.Int("max-concurrent", 0, "admission control: max queries executing at once (0 = unlimited)")
 		maxQueue   = flag.Int("max-queue", 0, "admission control: queries allowed to wait when saturated; beyond fail 429")
 		gcWindow   = flag.Duration("group-commit-window", 0, "linger before each WAL fsync so concurrent commits share it")
+		bufPool    = flag.Int("buffer-pool", 0, "cap resident 512-row heap pages; full pages beyond the cap spill to disk and page back in on demand (0 = unbounded)")
+		stream     = flag.Bool("stream", false, "with -in: shred the initial document from a stream (bounded memory; per-batch durability instead of one crash-atomic load)")
 	)
 	flag.Parse()
 	if err := run(serveConfig{
@@ -62,8 +64,10 @@ func main() {
 			QueryMemoryLimit:     *queryMem,
 			MaxConcurrentQueries: *maxConc,
 			MaxQueuedQueries:     *maxQueue,
+			BufferPoolPages:      *bufPool,
 		},
-		dopts: core.DurableOptions{GroupCommitWindow: *gcWindow},
+		stream: *stream,
+		dopts:  core.DurableOptions{GroupCommitWindow: *gcWindow},
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "xrdbd:", err)
 		os.Exit(1)
@@ -77,6 +81,7 @@ type serveConfig struct {
 	drain                time.Duration
 	authFile             string
 	maxSess, stmtCache   int
+	stream               bool
 	opts                 core.Options
 	dopts                core.DurableOptions
 }
@@ -101,15 +106,29 @@ func run(cfg serveConfig) error {
 		return err
 	}
 	if cfg.in != "" && !store.Loaded() {
-		src, err := os.ReadFile(cfg.in)
-		if err != nil {
-			store.Close()
-			return err
-		}
 		log.Printf("loading %s into fresh data directory %s", cfg.in, cfg.dataDir)
-		if err := store.LoadXML(src); err != nil {
-			store.Close()
-			return err
+		if cfg.stream {
+			f, err := os.Open(cfg.in)
+			if err != nil {
+				store.Close()
+				return err
+			}
+			err = store.LoadXMLStream(context.Background(), f)
+			f.Close()
+			if err != nil {
+				store.Close()
+				return err
+			}
+		} else {
+			src, err := os.ReadFile(cfg.in)
+			if err != nil {
+				store.Close()
+				return err
+			}
+			if err := store.LoadXML(src); err != nil {
+				store.Close()
+				return err
+			}
 		}
 	}
 

@@ -69,6 +69,7 @@ func All() []Experiment {
 		{ID: "W1", Title: "Multi-writer insert throughput and fsyncs/commit under WAL group commit", Run: runW1},
 		{ID: "G1", Title: "Resource governor: accounting overhead, admission gating, degrade/Recover round trip", Run: runG1},
 		{ID: "S1", Title: "Server throughput and latency vs connection count (F1 mix over HTTP)", Run: runS1},
+		{ID: "D1", Title: "Bounded-memory streaming load + F1 mix: 64-page buffer pool vs unbounded", Run: runD1},
 	}
 }
 

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/xmlgen"
+)
+
+// ---------------------------------------------------------------------------
+// D1: bounded-memory load + query mix, capped buffer pool vs unbounded
+
+// d1Factor is the XMark scale for D1. The experiment only means
+// something when the shredded document dwarfs the page cap, so it
+// ignores cfg.Factor and fixes a large scale (~1.5M nodes at 5.0);
+// Quick shrinks it for smoke runs.
+func d1Factor(cfg Config) float64 {
+	if cfg.Quick {
+		return 0.2
+	}
+	return 5.0
+}
+
+// heapMiB forces a GC and reports in-use heap in MiB — the process
+// peak (VmHWM) is useless here because the capped and unbounded
+// configurations run in the same process and the counter never drops.
+func heapMiB() float64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return float64(m.HeapInuse) / (1 << 20)
+}
+
+// runD1 streams one large XMark document into an interval store twice —
+// once with a 64-page buffer pool (resident rows capped at 64×512,
+// everything else spilled to a temp file and paged back on demand) and
+// once unbounded — then replays the F1 query mix against each. Reported
+// per configuration: load and mix wall time, in-use heap after load and
+// after the mix, and the pool counters (hit rate, spills, evictions,
+// writebacks). The capped configuration runs first so its heap numbers
+// are not inflated by the unbounded store's allocations.
+//
+// The load path is Store.LoadXMLStream: a streaming parse + SAX-style
+// shred that never materializes the DOM, so the capped configuration's
+// footprint is the pool plus shred batches — not the document.
+func runD1(w io.Writer, cfg Config) error {
+	f := d1Factor(cfg)
+	fmt.Fprintf(w, "XMark factor %g, streaming shred into interval scheme; heap = HeapInuse after GC (MiB).\n", f)
+
+	// One serialized document shared by both configurations. (The
+	// generator builds a DOM to serialize it, so generation itself
+	// spikes — the measured configurations below never do.)
+	xml := xmlgen.AuctionXML(xmlgen.Config{Factor: f, Seed: cfg.Seed})
+	fmt.Fprintf(w, "document: %.1f MiB of XML text\n\n", float64(len(xml))/(1<<20))
+
+	configs := []struct {
+		name  string
+		pages int
+	}{
+		{"64-page pool", 64},
+		{"unbounded", 0},
+	}
+	t := newTable("pool", "load ms", "mix ms", "heap@load", "heap@mix",
+		"hits", "misses", "hit%", "spilled", "evicted", "writebacks")
+	for _, c := range configs {
+		st, err := core.OpenWith(core.Interval, core.Options{BufferPoolPages: c.pages})
+		if err != nil {
+			return err
+		}
+		loadT, err := timeIt(Config{Repeat: 1}, func() error {
+			return st.LoadXMLStream(context.Background(), strings.NewReader(xml))
+		})
+		if err != nil {
+			return fmt.Errorf("%s: load: %w", c.name, err)
+		}
+		loadHeap := heapMiB()
+
+		mixT, err := timeIt(cfg, func() error {
+			for _, qc := range queryClasses {
+				if _, err := st.Query(qc.Query); err != nil {
+					return fmt.Errorf("%s: %w", qc.ID, err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("%s: mix: %w", c.name, err)
+		}
+		mixHeap := heapMiB()
+
+		bp := st.DB().Stats().BufferPool
+		hitPct := "n/a"
+		if bp.Hits+bp.Misses > 0 {
+			hitPct = fmt.Sprintf("%.1f", 100*float64(bp.Hits)/float64(bp.Hits+bp.Misses))
+		}
+		t.add(c.name, ms(loadT), ms(mixT),
+			fmt.Sprintf("%.1f", loadHeap), fmt.Sprintf("%.1f", mixHeap),
+			fmt.Sprint(bp.Hits), fmt.Sprint(bp.Misses), hitPct,
+			fmt.Sprint(bp.Spilled), fmt.Sprint(bp.Evictions), fmt.Sprint(bp.Writebacks))
+		if bp.ReadErrors != 0 || bp.SpillErrors != 0 {
+			return fmt.Errorf("%s: pool IO errors: %+v", c.name, bp)
+		}
+	}
+	t.write(w)
+	return nil
+}

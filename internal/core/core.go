@@ -83,6 +83,10 @@ type Options struct {
 	// admission control.
 	MaxConcurrentQueries int
 	MaxQueuedQueries     int
+	// BufferPoolPages caps how many 512-row heap pages the engine keeps
+	// resident; full pages beyond the cap spill to disk and page back in
+	// on demand. 0 keeps every page in memory (the default).
+	BufferPoolPages int
 }
 
 // defaultTransCacheCap bounds the per-Store XPath→SQL translation
@@ -207,6 +211,9 @@ func OpenWith(kind SchemeKind, opts Options) (*Store, error) {
 	if opts.MaxConcurrentQueries > 0 {
 		db.SetAdmissionControl(opts.MaxConcurrentQueries, opts.MaxQueuedQueries)
 	}
+	if opts.BufferPoolPages > 0 {
+		db.SetBufferPool(opts.BufferPoolPages)
+	}
 	if err := s.Setup(db); err != nil {
 		return nil, err
 	}
@@ -234,6 +241,34 @@ func (st *Store) LoadXMLContext(ctx context.Context, src []byte) error {
 		return err
 	}
 	return st.LoadDocumentContext(ctx, doc)
+}
+
+// LoadXMLStream shreds a document directly from a stream. When the
+// scheme supports streaming shredding (Edge and Interval), the
+// document is parsed and shredded in one pass with memory proportional
+// to its depth plus one insert batch — the full DOM is never built.
+// Other schemes fall back to reading the stream and parsing in memory.
+// On error the store may hold a partial shred; discard it.
+func (st *Store) LoadXMLStream(ctx context.Context, r io.Reader) error {
+	if st.loaded {
+		return fmt.Errorf("core: store already holds a document")
+	}
+	sl, ok := st.scheme.(shred.StreamLoader)
+	if !ok {
+		src, err := io.ReadAll(r)
+		if err != nil {
+			return err
+		}
+		return st.LoadXMLContext(ctx, src)
+	}
+	start := time.Now()
+	if err := sl.LoadStream(ctx, st.db, xmldom.NewTokenizer(r)); err != nil {
+		return err
+	}
+	st.shredPhase.add(time.Since(start))
+	st.loaded = true
+	st.invalidateTranslations()
+	return nil
 }
 
 // LoadDocument shreds an already-parsed document.

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/lru"
 	"repro/internal/shred"
@@ -79,6 +80,11 @@ func OpenDurableVFS(kind SchemeKind, fs sqldb.VFS, opts Options, dopts DurableOp
 	if opts.MaxConcurrentQueries > 0 {
 		db.SetAdmissionControl(opts.MaxConcurrentQueries, opts.MaxQueuedQueries)
 	}
+	// The explicit option wins over the XRDB_BUFFER_POOL env default and
+	// over dopts.BufferPoolPages (already applied by sqldb.OpenDurable).
+	if opts.BufferPoolPages > 0 {
+		db.SetBufferPool(opts.BufferPoolPages)
+	}
 	fresh := len(db.TableNames()) == 0
 	if fresh {
 		// Setup's DDL goes through the commit logger, so even a fresh
@@ -145,6 +151,21 @@ func (ds *DurableStore) LoadXMLContext(ctx context.Context, src []byte) error {
 		return err
 	}
 	return ds.LoadDocumentContext(ctx, doc)
+}
+
+// LoadXMLStream shreds a document from a stream with bounded memory.
+// Unlike LoadXML, the load is NOT one crash-atomic group: each insert
+// batch commits (and is WAL-acknowledged) on its own, so a crash
+// mid-load can leave a partial document — rerun the load into a fresh
+// directory in that case. The trade is deliberate: a group commit
+// buffers every staged row until its one fsync, which would defeat
+// the bounded-memory purpose of streaming.
+func (ds *DurableStore) LoadXMLStream(ctx context.Context, r io.Reader) error {
+	if err := ds.Store.LoadXMLStream(ctx, r); err != nil {
+		return err
+	}
+	_, err := ds.ddb.MaybeCheckpoint()
+	return err
 }
 
 // InsertXML inserts a fragment as one crash-atomic group commit.

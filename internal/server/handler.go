@@ -262,6 +262,11 @@ type HealthStatus struct {
 	Recoveries   uint64    `json:"recoveries"`
 	Draining     bool      `json:"draining"`
 	Loaded       bool      `json:"loaded"`
+	// PoolPressure reports buffer-pool strain when a page cap is set:
+	// resident pages : cap. A ratio above 1.0 means pinned pages forced
+	// the pool past its cap (queries touching more pages at once than
+	// the cap allows).
+	PoolPressure float64 `json:"pool_pressure,omitempty"`
 }
 
 // HealthCheck reports liveness without counting against admission (a
@@ -269,7 +274,7 @@ type HealthStatus struct {
 // refused by it).
 func (s *Server) HealthCheck() HealthStatus {
 	h := s.store.Health()
-	return HealthStatus{
+	hs := HealthStatus{
 		State:        h.State,
 		Cause:        h.Cause,
 		Since:        h.Since,
@@ -278,6 +283,10 @@ func (s *Server) HealthCheck() HealthStatus {
 		Draining:     s.Draining(),
 		Loaded:       s.store.Loaded(),
 	}
+	if bp := s.store.DB().Stats().BufferPool; bp.Cap > 0 {
+		hs.PoolPressure = float64(bp.Resident) / float64(bp.Cap)
+	}
+	return hs
 }
 
 // StatsSnapshot is the /stats payload: server counters plus the
@@ -291,9 +300,10 @@ type StatsSnapshot struct {
 	Bytes    int64              `json:"bytes"`
 	CommitSeq   uint64          `json:"commit_seq"`
 	SchemaEpoch uint64          `json:"schema_epoch"`
-	Snapshots sqldb.SnapshotStats `json:"snapshots"`
-	Governor  sqldb.GovernorStats `json:"governor"`
-	Durable   DurableJSON         `json:"durable"`
+	Snapshots  sqldb.SnapshotStats   `json:"snapshots"`
+	Governor   sqldb.GovernorStats   `json:"governor"`
+	BufferPool sqldb.BufferPoolStats `json:"buffer_pool"`
+	Durable    DurableJSON           `json:"durable"`
 }
 
 // DurableJSON is the WAL pipeline's counter block on the wire.
@@ -323,6 +333,7 @@ func (s *Server) StatsCheck() StatsSnapshot {
 		SchemaEpoch: dbStats.SchemaEpoch,
 		Snapshots:   dbStats.Snapshots,
 		Governor:    dbStats.Governor,
+		BufferPool:  dbStats.BufferPool,
 		Durable: DurableJSON{
 			Commits:     dur.Commits,
 			Fsyncs:      dur.Fsyncs,

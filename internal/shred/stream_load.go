@@ -1,0 +1,228 @@
+package shred
+
+// Streaming shredding: LoadStream drives a scheme's relational load
+// directly from an xmldom.Tokenizer, so a document is shredded in one
+// pass with memory proportional to its depth (plus one insert batch),
+// never materializing a DOM. Edge and Interval implement it; both
+// produce exactly the rows their DOM-based Load produces (pinned by
+// differential tests), though physical insertion order differs:
+// element rows are emitted when the element CLOSES, because subtree
+// size and denormalized simple content are only known then. Queries
+// order by stored ranks, so the two loads are indistinguishable.
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/sqldb"
+	"repro/internal/xmldom"
+)
+
+// StreamLoader is implemented by schemes that can shred a document
+// from a token stream without materializing it. Cancellation is
+// honored at bulk-insert batch granularity, like ContextLoader.
+type StreamLoader interface {
+	LoadStream(ctx context.Context, db *sqldb.Database, tz *xmldom.Tokenizer) error
+}
+
+// streamSink receives one shredded node at a time from streamWalk.
+// Rows arrive in emission order (attributes and leaves at their
+// pre-order position, elements at close), each carrying the exact
+// column inputs the DOM load would compute for the same node.
+type streamSink interface {
+	// node reports one non-document node: pre rank, parent's pre rank,
+	// global ordinal (attributes-then-children, 1-based), level, subtree
+	// size, kind string, name/value columns, and the catalog label path.
+	node(pre, parentPre, ordinal int64, level int, size int64, kind string, name, value sqldb.Value, path string) error
+	// finish reports the total node count (document node included) and
+	// the maximum level observed, then flushes.
+	finish(total int64, maxLevel int) error
+}
+
+// streamFrame is one open element during the walk.
+type streamFrame struct {
+	pre       int64
+	parentPre int64
+	ordinal   int64
+	level     int
+	nAttrs    int
+	children  int
+	name      string
+	path      string
+	text      strings.Builder
+	sawElem   bool
+}
+
+func joinPath(parent, seg string) string {
+	if parent == "" {
+		return seg
+	}
+	return parent + "/" + seg
+}
+
+// streamWalk replays Document.Number over the token stream: the
+// document node takes pre 0, every other node is ranked in pre-order
+// with attributes directly after their owner, Size counts descendants
+// (attributes included), Level is depth from the document node, and
+// the global ordinal numbers a node within its parent's
+// attributes-then-children sequence.
+func streamWalk(tz *xmldom.Tokenizer, sink streamSink) error {
+	frames := []*streamFrame{{pre: 0, level: 0}} // document frame
+	nextPre := int64(1)
+	maxLevel := 0
+	note := func(level int) {
+		if level > maxLevel {
+			maxLevel = level
+		}
+	}
+	for {
+		tok, err := tz.Next()
+		if err != nil {
+			return err
+		}
+		top := frames[len(frames)-1]
+		switch tok.Kind {
+		case xmldom.TokStart:
+			top.children++
+			top.sawElem = true
+			f := &streamFrame{
+				pre:       nextPre,
+				parentPre: top.pre,
+				ordinal:   int64(top.nAttrs + top.children),
+				level:     top.level + 1,
+				nAttrs:    len(tok.Attrs),
+				name:      tok.Name,
+				path:      joinPath(top.path, tok.Name),
+			}
+			nextPre++
+			note(f.level)
+			for i, a := range tok.Attrs {
+				apre := nextPre
+				nextPre++
+				note(f.level + 1)
+				if err := sink.node(apre, f.pre, int64(i+1), f.level+1, 0, "attr",
+					sqldb.NewText(a.Name), sqldb.NewText(a.Value), joinPath(f.path, "@"+a.Name)); err != nil {
+					return err
+				}
+			}
+			frames = append(frames, f)
+		case xmldom.TokEnd:
+			frames = frames[:len(frames)-1]
+			f := top
+			size := nextPre - f.pre - 1
+			// Denormalized simple content: concatenated text children when
+			// the element has no element children and real text (the same
+			// rule as simpleContent over the DOM).
+			val := sqldb.Null
+			if !f.sawElem && f.text.Len() > 0 {
+				val = sqldb.NewText(f.text.String())
+			}
+			if err := sink.node(f.pre, f.parentPre, f.ordinal, f.level, size, "elem",
+				sqldb.NewText(f.name), val, f.path); err != nil {
+				return err
+			}
+		case xmldom.TokText:
+			top.children++
+			pre := nextPre
+			nextPre++
+			note(top.level + 1)
+			top.text.WriteString(tok.Text)
+			if err := sink.node(pre, top.pre, int64(top.nAttrs+top.children), top.level+1, 0, "text",
+				sqldb.Null, sqldb.NewText(tok.Text), joinPath(top.path, "#text")); err != nil {
+				return err
+			}
+		case xmldom.TokComment:
+			top.children++
+			pre := nextPre
+			nextPre++
+			note(top.level + 1)
+			if err := sink.node(pre, top.pre, int64(top.nAttrs+top.children), top.level+1, 0, "comment",
+				sqldb.Null, sqldb.NewText(tok.Text), joinPath(top.path, "#comment")); err != nil {
+				return err
+			}
+		case xmldom.TokProcInst:
+			top.children++
+			pre := nextPre
+			nextPre++
+			note(top.level + 1)
+			if err := sink.node(pre, top.pre, int64(top.nAttrs+top.children), top.level+1, 0, "pi",
+				sqldb.NewText(tok.Name), sqldb.NewText(tok.Text), joinPath(top.path, "#pi")); err != nil {
+				return err
+			}
+		case xmldom.TokEOF:
+			return sink.finish(nextPre, maxLevel)
+		}
+	}
+}
+
+// edgeStreamSink shreds into the edge relation.
+type edgeStreamSink struct {
+	e *Edge
+	b *batcher
+}
+
+func (s *edgeStreamSink) node(pre, parentPre, ordinal int64, level int, size int64, kind string, name, value sqldb.Value, path string) error {
+	s.e.catalog.Add(path)
+	return s.b.add([]sqldb.Value{
+		sqldb.NewInt(parentPre),
+		sqldb.NewInt(ordinal),
+		name,
+		sqldb.NewText(kind),
+		sqldb.NewInt(pre),
+		value,
+	})
+}
+
+func (s *edgeStreamSink) finish(total int64, maxLevel int) error {
+	if maxLevel > 0 {
+		s.e.maxDepth = maxLevel
+	}
+	return s.b.flush()
+}
+
+// LoadStream implements StreamLoader for the edge mapping.
+func (e *Edge) LoadStream(ctx context.Context, db *sqldb.Database, tz *xmldom.Tokenizer) error {
+	return streamWalk(tz, &edgeStreamSink{e: e, b: newBatcherCtx(ctx, db, "edge")})
+}
+
+// intervalStreamSink shreds into the accel relation.
+type intervalStreamSink struct {
+	b *batcher
+}
+
+func (s *intervalStreamSink) node(pre, parentPre, ordinal int64, level int, size int64, kind string, name, value sqldb.Value, path string) error {
+	return s.b.add([]sqldb.Value{
+		sqldb.NewInt(pre),
+		sqldb.NewInt(parentPre),
+		sqldb.NewInt(size),
+		sqldb.NewInt(int64(level)),
+		sqldb.NewInt(ordinal),
+		sqldb.NewText(kind),
+		name,
+		value,
+	})
+}
+
+func (s *intervalStreamSink) finish(total int64, maxLevel int) error {
+	// The document node's own row: pre 0, no parent, the whole document
+	// as its subtree.
+	row := []sqldb.Value{
+		sqldb.NewInt(0),
+		sqldb.Null,
+		sqldb.NewInt(total - 1),
+		sqldb.NewInt(0),
+		sqldb.NewInt(1),
+		sqldb.NewText("doc"),
+		sqldb.Null,
+		sqldb.Null,
+	}
+	if err := s.b.add(row); err != nil {
+		return err
+	}
+	return s.b.flush()
+}
+
+// LoadStream implements StreamLoader for the interval mapping.
+func (iv *Interval) LoadStream(ctx context.Context, db *sqldb.Database, tz *xmldom.Tokenizer) error {
+	return streamWalk(tz, &intervalStreamSink{b: newBatcherCtx(ctx, db, "accel")})
+}

@@ -1,0 +1,450 @@
+package sqldb
+
+// The buffer pool bounds how many sealed heap pages stay resident in
+// memory. Pages enter the pool when a commit publishes them full (see
+// table.sealq); once pooled they are immutable — inserts only touch
+// the unsealed tail page and deletes/updates copy-on-write a fresh
+// page for the writer's generation — so eviction is simply dropping
+// the in-memory frame after an (at most once) writeback to the spill
+// file, and a later access faults the frame back in by rowid.
+//
+// Eviction ordering invariant: a page sealed by commit seq S may only
+// be written back and dropped once the WAL fsync covering S has
+// completed (spillBarrier). Commits publish after their fsync in the
+// normal pipeline, which makes the barrier structural — except for
+// group-buffered commits, whose members publish before the group
+// frame's fsync; the barrier keeps their pages resident until the
+// group closes durably. When every candidate is pinned or too new the
+// pool grows past its cap instead of blocking: memory pressure never
+// deadlocks the engine.
+//
+// Fault-in failures panic with pageIOPanic, which the executor and
+// writer panic barriers convert to ErrPageIO: the one operation fails,
+// the pool and the published snapshot stay intact, and a later access
+// retries the read.
+
+import (
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// tempSpillFile backs non-durable databases' spill: an unlinked temp
+// file the OS reclaims when the handle closes (process exit). Durable
+// databases override openFile with a VFS-backed pages file.
+func tempSpillFile() (File, error) {
+	f, err := os.CreateTemp("", "xrdb-spill-*")
+	if err != nil {
+		return nil, err
+	}
+	os.Remove(f.Name())
+	return f, nil
+}
+
+// pageStore is the buffer pool plus its spill file.
+type pageStore struct {
+	mu sync.Mutex
+	// cap is the resident-page target; 0 means unbounded (pages are
+	// never sealed into the pool and behavior matches the pre-pool
+	// engine byte for byte).
+	cap int
+	// file is the spill file, opened lazily on first writeback.
+	file     File
+	openFile func() (File, error)
+	fileErr  error
+	nextSlot int64 // next free 0-based slot index
+	// clock is the ring of resident pooled pages the eviction hand
+	// sweeps. Evicted pages leave the ring and re-enter on fault-in,
+	// so dead pages (dropped tables, superseded versions) cannot
+	// accumulate.
+	clock  []*heapPage
+	hand   int
+	closed bool
+	// spillBarrier gates writeback/eviction on WAL durability; nil
+	// allows everything (non-durable databases).
+	spillBarrier func(seq uint64) bool
+
+	spilled    int64 // pages with an on-disk copy
+	spillBytes int64
+	spillErrs  uint64
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	evictions  atomic.Uint64
+	writebacks atomic.Uint64
+	readErrs   atomic.Uint64
+	pinned     atomic.Int64
+	pinnedHW   atomic.Int64
+}
+
+// BufferPoolStats is the pool's health block in Database.Stats().
+type BufferPoolStats struct {
+	// Cap is the resident-page target (0 = unbounded, pool disabled).
+	Cap int
+	// Resident counts pooled pages currently in memory; Spilled counts
+	// pages with an on-disk copy; SpillBytes is the spill file size.
+	Resident   int
+	Spilled    int64
+	SpillBytes int64
+	// Hits/Misses count page lookups at scan page-crossing granularity
+	// (a hit pins a resident page, a miss faults one in from disk).
+	Hits   uint64
+	Misses uint64
+	// Evictions counts dropped frames; Writebacks counts page spills
+	// (each page is written back at most once — sealed pages are
+	// immutable).
+	Evictions  uint64
+	Writebacks uint64
+	// PinnedHighWater is the most pages simultaneously pinned.
+	Pinned          int64
+	PinnedHighWater int64
+	// ReadErrors counts failed fault-ins (each fails exactly one
+	// operation); SpillErrors counts failed writebacks (the page just
+	// stays resident).
+	ReadErrors  uint64
+	SpillErrors uint64
+}
+
+func newPageStore() *pageStore { return &pageStore{} }
+
+func (ps *pageStore) setCap(pages int) {
+	ps.mu.Lock()
+	ps.cap = pages
+	ps.evictLocked()
+	ps.mu.Unlock()
+}
+
+func (ps *pageStore) capNow() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.cap
+}
+
+func (ps *pageStore) setSpillBarrier(fn func(seq uint64) bool) {
+	ps.mu.Lock()
+	ps.spillBarrier = fn
+	ps.mu.Unlock()
+}
+
+// ensureFile opens the spill file eagerly (normally it opens lazily on
+// first writeback), positioning the allocator past any existing slots
+// so an adopted snapshot's pages are never overwritten.
+func (ps *pageStore) ensureFile() error {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.ensureFileLocked()
+}
+
+func (ps *pageStore) ensureFileLocked() error {
+	if ps.file != nil {
+		return nil
+	}
+	if ps.fileErr != nil {
+		return ps.fileErr
+	}
+	if ps.openFile == nil {
+		return errorf("sqldb: buffer pool has no spill file")
+	}
+	f, err := ps.openFile()
+	if err != nil {
+		ps.fileErr = err
+		return err
+	}
+	if size, err := f.Seek(0, io.SeekEnd); err == nil && size > 0 {
+		ps.nextSlot = (size + pageSlotSize - 1) / pageSlotSize
+	}
+	ps.file = f
+	return nil
+}
+
+func (ps *pageStore) stats() BufferPoolStats {
+	ps.mu.Lock()
+	s := BufferPoolStats{
+		Cap:         ps.cap,
+		Resident:    len(ps.clock),
+		Spilled:     ps.spilled,
+		SpillBytes:  ps.spillBytes,
+		SpillErrors: ps.spillErrs,
+	}
+	ps.mu.Unlock()
+	s.Hits = ps.hits.Load()
+	s.Misses = ps.misses.Load()
+	s.Evictions = ps.evictions.Load()
+	s.Writebacks = ps.writebacks.Load()
+	s.Pinned = ps.pinned.Load()
+	s.PinnedHighWater = ps.pinnedHW.Load()
+	s.ReadErrors = ps.readErrs.Load()
+	return s
+}
+
+// add seals a page into the pool at commit seq. Idempotent: the same
+// shared page object may be noted by several writers (the tx that
+// filled it, a checkpoint straggler walk, a copy-on-write of a full
+// page).
+func (ps *pageStore) add(p *heapPage, seq uint64) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.cap <= 0 || p.pooled {
+		return
+	}
+	p.pooled = true
+	p.seal = seq
+	p.store.Store(ps)
+	p.ref.Store(true)
+	ps.clock = append(ps.clock, p)
+	ps.evictLocked()
+}
+
+// adopt registers a page a paged snapshot says is already on disk at
+// slot pid. The page is not resident, so it joins the clock ring only
+// when first faulted in; until then it costs no memory — this is how
+// recovery pages lazily. Works at any cap, including 0: a snapshot's
+// pages must be loadable even with the pool "disabled" (they simply
+// stay resident once touched).
+func (ps *pageStore) adopt(p *heapPage, pid int64, slots int32, seq uint64) {
+	p.pooled = true
+	p.seal = seq
+	p.pid = pid
+	p.slots = slots
+	p.store.Store(ps)
+	ps.mu.Lock()
+	ps.spilled++
+	ps.spillBytes += int64(slots) * pageSlotSize
+	ps.mu.Unlock()
+}
+
+// ensureSpilled guarantees p has an on-disk copy and returns its slot
+// chain, sealing it into the pool first if some other path (late
+// SetBufferPool, a commit racing a checkpoint) hasn't yet. Used by the
+// paged checkpoint: every full page a v3 snapshot references must be
+// durable in the spill file before the snapshot rename.
+func (ps *pageStore) ensureSpilled(p *heapPage, seq uint64) (int64, int32, error) {
+	ps.add(p, seq)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if p.pid != 0 {
+		return p.pid, p.slots, nil
+	}
+	if !ps.spillLocked(p) {
+		if ps.fileErr != nil {
+			return 0, 0, ps.fileErr
+		}
+		return 0, 0, errorf("sqldb: page writeback failed")
+	}
+	return p.pid, p.slots, nil
+}
+
+// evictLocked sweeps the clock hand until the resident count is within
+// cap or no page is evictable (pinned, referenced this sweep, or not
+// yet covered by a WAL fsync). Two full sweeps bound the walk: the
+// first clears reference bits, the second takes victims.
+func (ps *pageStore) evictLocked() {
+	if ps.cap <= 0 || len(ps.clock) <= ps.cap {
+		return
+	}
+	budget := 2 * len(ps.clock)
+	for len(ps.clock) > ps.cap && budget > 0 {
+		if ps.hand >= len(ps.clock) {
+			ps.hand = 0
+		}
+		p := ps.clock[ps.hand]
+		budget--
+		if p.ref.CompareAndSwap(true, false) || p.pins.Load() > 0 ||
+			(ps.spillBarrier != nil && !ps.spillBarrier(p.seal)) {
+			ps.hand++
+			continue
+		}
+		if p.pid == 0 {
+			if !ps.spillLocked(p) {
+				ps.hand++
+				continue
+			}
+		}
+		// Drop the frame and remove the page from the ring. In-flight
+		// readers that already loaded the frame pointer keep it alive;
+		// eviction only severs the pool's reference.
+		p.res.Store(nil)
+		ps.evictions.Add(1)
+		last := len(ps.clock) - 1
+		ps.clock[ps.hand] = ps.clock[last]
+		ps.clock[last] = nil
+		ps.clock = ps.clock[:last]
+	}
+}
+
+// spillLocked writes p's frame back to the spill file, assigning its
+// slot chain. Sealed pages are immutable so this happens at most once
+// per page. Reports whether the page now has an on-disk copy.
+func (ps *pageStore) spillLocked(p *heapPage) bool {
+	if p.pid != 0 {
+		return true
+	}
+	if ps.closed {
+		return false
+	}
+	if ps.file == nil {
+		if err := ps.ensureFileLocked(); err != nil {
+			ps.spillErrs++
+			return false
+		}
+	}
+	f := p.res.Load()
+	if f == nil {
+		return false
+	}
+	payload := encodePageFrame(f, heapPageSize)
+	pid := ps.nextSlot + 1
+	img := framePageImage(pid, payload)
+	if _, err := ps.file.WriteAt(img, ps.nextSlot*pageSlotSize); err != nil {
+		ps.spillErrs++
+		return false
+	}
+	slots := int64(len(img) / pageSlotSize)
+	ps.nextSlot += slots
+	p.pid = pid
+	p.slots = int32(slots)
+	ps.spilled++
+	ps.spillBytes += int64(len(img))
+	ps.writebacks.Add(1)
+	return true
+}
+
+// writebackAll force-spills every resident page that has no on-disk
+// copy yet (checkpoint: flush dirty pages without evicting them) and
+// returns the first writeback error encountered, if any.
+func (ps *pageStore) writebackAll() error {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, p := range ps.clock {
+		if p.pid == 0 && !ps.spillLocked(p) {
+			if ps.fileErr != nil {
+				return ps.fileErr
+			}
+			return errorf("sqldb: page writeback failed")
+		}
+	}
+	return nil
+}
+
+// sync makes the spill file durable (a no-op before the first spill).
+func (ps *pageStore) sync() error {
+	ps.mu.Lock()
+	f := ps.file
+	ps.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f.Sync()
+}
+
+// close flushes and fsyncs the spill file but keeps the handle open:
+// reads must keep serving the published snapshot after Close, and an
+// evicted page can only be served from disk. Further spills are
+// refused (the pool grows instead).
+func (ps *pageStore) close() error {
+	ps.mu.Lock()
+	ps.closed = true
+	f := ps.file
+	ps.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f.Sync()
+}
+
+// faultIn loads an evicted page's frame from the spill file. p.mu
+// serializes concurrent faults of the same page; the read itself runs
+// without the pool lock.
+func (ps *pageStore) faultIn(p *heapPage) *pageFrame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f := p.res.Load(); f != nil {
+		return f
+	}
+	ps.misses.Add(1)
+	ps.mu.Lock()
+	pid, slots := p.pid, int64(p.slots)
+	file := ps.file
+	ps.mu.Unlock()
+	if pid == 0 || file == nil {
+		ps.readErrs.Add(1)
+		panic(pageIOPanic{errorf("%w: page has no on-disk copy", ErrPageIO)})
+	}
+	img := make([]byte, slots*pageSlotSize)
+	if _, err := file.ReadAt(img, (pid-1)*pageSlotSize); err != nil {
+		ps.readErrs.Add(1)
+		panic(pageIOPanic{errorf("%w: page %d: %v", ErrPageIO, pid, err)})
+	}
+	f, err := decodePageImage(pid, img)
+	if err != nil {
+		ps.readErrs.Add(1)
+		panic(pageIOPanic{errorf("%w: %v", ErrPageIO, err)})
+	}
+	p.ref.Store(true)
+	ps.mu.Lock()
+	ps.clock = append(ps.clock, p)
+	p.res.Store(f)
+	ps.evictLocked()
+	ps.mu.Unlock()
+	return f
+}
+
+// pin marks one more user of the page for clock/eviction purposes and
+// returns the resident frame, faulting it in if needed.
+func (p *heapPage) pin() *pageFrame {
+	p.pins.Add(1)
+	ps := p.store.Load()
+	if ps != nil {
+		n := ps.pinned.Add(1)
+		for {
+			hw := ps.pinnedHW.Load()
+			if n <= hw || ps.pinnedHW.CompareAndSwap(hw, n) {
+				break
+			}
+		}
+	}
+	p.ref.Store(true)
+	if f := p.res.Load(); f != nil {
+		if ps != nil {
+			ps.hits.Add(1)
+		}
+		return f
+	}
+	// Not resident: only pooled pages are ever evicted, so the store is
+	// set. Release the pin if the fault-in panics (ErrPageIO) so a
+	// failed read never leaves the page unevictable.
+	ok := false
+	defer func() {
+		if !ok {
+			p.unpin()
+		}
+	}()
+	if ps == nil {
+		panic(pageIOPanic{errorf("%w: evicted page has no store", ErrPageIO)})
+	}
+	f := ps.faultIn(p)
+	ok = true
+	return f
+}
+
+func (p *heapPage) unpin() {
+	p.pins.Add(-1)
+	if ps := p.store.Load(); ps != nil {
+		ps.pinned.Add(-1)
+	}
+}
+
+// pageRef holds one pinned page across a scan's row accesses; release
+// must be called when the scan closes or crosses to another page.
+type pageRef struct {
+	p *heapPage
+	f *pageFrame
+}
+
+func (r *pageRef) release() {
+	if r.p != nil {
+		r.p.unpin()
+		r.p, r.f = nil, nil
+	}
+}

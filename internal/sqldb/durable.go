@@ -56,6 +56,11 @@ type DurableDB struct {
 	// acknowledged commit, every byte above it to a failed or torn one.
 	// Recover rebuilds the engine's state from exactly this prefix.
 	ackedSize int64
+	// ackedSeq is the highest commit sequence covered by a successful
+	// fsync. The buffer pool's spill barrier reads it to keep a sealed
+	// page resident until the WAL covering its commits is durable
+	// (written under walMu, read lock-free).
+	ackedSeq atomic.Uint64
 	queue     []*commitWaiter
 	flushing  bool
 	flushCond *sync.Cond
@@ -101,6 +106,10 @@ type DurableDB struct {
 // covers it. All fields are guarded by walMu.
 type commitWaiter struct {
 	payload []byte
+	// seq is the record's highest commit sequence (a group frame covers
+	// its members' range); a successful flush advances ackedSeq to the
+	// batch maximum.
+	seq     uint64
 	flushed bool
 	err     error
 }
@@ -121,6 +130,11 @@ type DurableOptions struct {
 	// default — flushes as soon as the leader reaches the WAL, which
 	// already batches whatever queued during the previous fsync.
 	GroupCommitWindow time.Duration
+	// BufferPoolPages caps how many sealed heap pages stay resident;
+	// evicted pages spill to pages.db and fault back in on demand. 0
+	// keeps everything in memory (the XRDB_BUFFER_POOL environment
+	// variable, when set, still applies).
+	BufferPoolPages int
 }
 
 const defaultAutoCheckpointBytes = 4 << 20
@@ -129,7 +143,10 @@ const defaultAutoCheckpointBytes = 4 << 20
 const (
 	snapshotFile = "snapshot.db"
 	walFile      = "wal.log"
-	tmpSuffix    = ".tmp"
+	// pagesFile holds spilled heap pages (append-only slot chains, see
+	// pagefile.go); a v3 snapshot references pages inside it by slot.
+	pagesFile = "pages.db"
+	tmpSuffix = ".tmp"
 )
 
 // ErrWALFailed is the root sentinel for every commit refused after a
@@ -168,21 +185,41 @@ func OpenDurable(fs VFS, opts DurableOptions) (*DurableDB, error) {
 	_ = fs.Remove(snapshotFile + tmpSuffix)
 	_ = fs.Remove(walFile + tmpSuffix)
 
-	// Load the snapshot, if any.
+	// Load the snapshot, if any. A v3 (paged) snapshot keeps its full
+	// pages in pages.db and the tables fault them in lazily; any other
+	// outcome means nothing references pages.db, so its leftover slots
+	// are deleted rather than appended after forever.
+	openPages := func() (File, error) { return fs.OpenRW(pagesFile) }
 	var snapSeq uint64
 	if _, err := fs.Size(snapshotFile); err == nil {
 		f, err := fs.Open(snapshotFile)
 		if err != nil {
 			return nil, fmt.Errorf("sqldb: opening snapshot: %w", err)
 		}
-		db, seq, err := LoadSnapshot(f)
+		data, rerr := io.ReadAll(f)
 		f.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("sqldb: reading snapshot: %w", rerr)
+		}
+		var db *Database
+		var seq uint64
+		if bytes.HasPrefix(data, []byte(snapshotMagicV3)) {
+			db, seq, err = loadStateV3(data, nil, openPages)
+		} else {
+			_ = fs.Remove(pagesFile)
+			db, seq, err = LoadSnapshot(bytes.NewReader(data))
+			if db != nil {
+				db.pool.openFile = openPages
+			}
+		}
 		if err != nil {
 			return nil, fmt.Errorf("sqldb: recovering snapshot: %w", err)
 		}
 		d.db, snapSeq = db, seq
 	} else if errors.Is(err, os.ErrNotExist) {
+		_ = fs.Remove(pagesFile)
 		d.db = New()
+		d.db.pool.openFile = openPages
 	} else {
 		return nil, fmt.Errorf("sqldb: probing snapshot: %w", err)
 	}
@@ -237,6 +274,14 @@ func OpenDurable(fs VFS, opts DurableOptions) (*DurableDB, error) {
 		return nil, fmt.Errorf("sqldb: syncing data directory: %w", err)
 	}
 	d.flushCond = sync.NewCond(&d.walMu)
+	// Everything replayed so far is durable by definition; from here on
+	// the spill barrier keeps a sealed page resident until the WAL fsync
+	// covering its commits lands.
+	d.ackedSeq.Store(maxSeq)
+	d.db.pool.setSpillBarrier(func(seq uint64) bool { return seq <= d.ackedSeq.Load() })
+	if opts.BufferPoolPages > 0 {
+		d.db.SetBufferPool(opts.BufferPoolPages)
+	}
 	d.db.setCommitHook(d.stageCommit)
 	return d, nil
 }
@@ -283,7 +328,7 @@ func (d *DurableDB) stageCommit(rec *walRecord) (func() error, error) {
 		d.walMu.Unlock()
 		return nil, nil
 	}
-	w := &commitWaiter{payload: encodeRecordPayload(nil, rec)}
+	w := &commitWaiter{payload: encodeRecordPayload(nil, rec), seq: rec.Seq}
 	d.queue = append(d.queue, w)
 	d.commits++
 	d.walMu.Unlock()
@@ -367,6 +412,13 @@ func (d *DurableDB) flushLocked() {
 		d.degrade(err)
 	} else {
 		d.ackedSize = d.walSize
+		top := d.ackedSeq.Load()
+		for _, w := range batch {
+			if w.seq > top {
+				top = w.seq
+			}
+		}
+		d.ackedSeq.Store(top)
 		if d.opts.AutoCheckpointBytes > 0 && d.walSize >= d.opts.AutoCheckpointBytes {
 			d.needCkpt.Store(true)
 		}
@@ -508,7 +560,7 @@ func (d *DurableDB) Group(fn func() error) error {
 		// Stage the whole group as one frame in the pipeline; it shares
 		// its batch fsync with any concurrently queued commits.
 		group := &walRecord{Op: opGroup, Seq: buf[0].Seq, Group: buf}
-		w = &commitWaiter{payload: encodeRecordPayload(nil, group)}
+		w = &commitWaiter{payload: encodeRecordPayload(nil, group), seq: group.maxSeq()}
 		d.queue = append(d.queue, w)
 		d.commits++
 	}
@@ -560,11 +612,14 @@ func (d *DurableDB) Checkpoint() error {
 		return ErrClosed
 	}
 
-	// 1. Capture. SaveSnapshot pins the latest published state with one
-	// atomic read — writers are not quiesced; the state's own commit
-	// sequence names exactly which WAL records it contains.
+	// 1. Capture. The latest published state is pinned with one atomic
+	// read — writers are not quiesced; the state's own commit sequence
+	// names exactly which WAL records it contains. With a buffer pool
+	// active this writes a paged (v3) snapshot: full pages are flushed
+	// to pages.db (most already were, when evicted) and referenced by
+	// slot, not re-serialized.
 	var buf bytes.Buffer
-	snapSeq, err := d.db.SaveSnapshot(&buf)
+	snapSeq, err := d.saveCheckpoint(&buf, d.db)
 	if err != nil {
 		return err
 	}
@@ -596,6 +651,28 @@ func (d *DurableDB) Checkpoint() error {
 	d.checkpoints.Add(1)
 	d.needCkpt.Store(false)
 	return nil
+}
+
+// saveCheckpoint serializes db's published state for a checkpoint:
+// paged (v3) when a buffer pool is active — every referenced page is
+// made durable in pages.db (spill + fsync) *before* this returns, so
+// the snapshot rename that follows never publishes a reference to an
+// unwritten page — or a plain v2 snapshot when the pool is off. The
+// pages file is always d.db's pool: it is the file's single appender,
+// even when db is a recovery rebuild.
+func (d *DurableDB) saveCheckpoint(w io.Writer, db *Database) (uint64, error) {
+	ps := d.db.pool
+	state := db.state.Load()
+	if ps.capNow() > 0 {
+		if err := writeStateV3(w, state, ps); err != nil {
+			return 0, err
+		}
+		if err := ps.sync(); err != nil {
+			return 0, fmt.Errorf("sqldb: syncing pages file: %w", err)
+		}
+		return state.seq, nil
+	}
+	return state.seq, writeState(w, state)
 }
 
 // rotateLocked rewrites the WAL keeping only frames whose records are
@@ -771,7 +848,7 @@ func (d *DurableDB) recoverOnce() error {
 		return err
 	}
 	var buf bytes.Buffer
-	if _, err := rdb.SaveSnapshot(&buf); err != nil {
+	if _, err := d.saveCheckpoint(&buf, rdb); err != nil {
 		return err
 	}
 	if err := WriteFileAtomic(d.fs, snapshotFile, buf.Bytes()); err != nil {
@@ -805,6 +882,10 @@ func (d *DurableDB) recoverOnce() error {
 	// every commit that wins walMu is refused before touching state.
 	d.db.resetToRecovered(rdb.state.Load())
 	d.seq.Store(maxSeq)
+	// Commit numbering restarts at maxSeq: rewind the spill barrier's
+	// horizon with it, or pages sealed by post-recovery commits (seq
+	// maxSeq+1…) could evict before their WAL fsync lands.
+	d.ackedSeq.Store(maxSeq)
 	return nil
 }
 
@@ -819,8 +900,22 @@ func (d *DurableDB) loadAckedState(ackedLen int64) (*Database, uint64, error) {
 		if err != nil {
 			return nil, 0, fmt.Errorf("sqldb: opening snapshot: %w", err)
 		}
-		rdb, snapSeq, err = LoadSnapshot(f)
+		data, rerr := io.ReadAll(f)
 		f.Close()
+		if rerr != nil {
+			return nil, 0, fmt.Errorf("sqldb: reading snapshot: %w", rerr)
+		}
+		if bytes.HasPrefix(data, []byte(snapshotMagicV3)) {
+			// Adopt the snapshot's pages into the live engine's pool:
+			// it stays the pages file's single appender, and the rebuilt
+			// state keeps paging lazily after resetToRecovered installs
+			// it. A rebuild database built by LoadSnapshot (v2 path)
+			// deliberately gets no pages-file access — two independent
+			// slot allocators appending one file would collide.
+			rdb, snapSeq, err = loadStateV3(data, d.db.pool, nil)
+		} else {
+			rdb, snapSeq, err = LoadSnapshot(bytes.NewReader(data))
+		}
 		if err != nil {
 			return nil, 0, fmt.Errorf("sqldb: recovering snapshot: %w", err)
 		}
@@ -896,10 +991,17 @@ func (d *DurableDB) Close() error {
 	for len(d.queue) > 0 {
 		d.flushLocked()
 	}
+	// Flush and fsync the pages file, but keep its handle: reads still
+	// serve the published snapshot after Close, and an evicted page can
+	// only come back from disk. Further spills are refused (the pool
+	// grows past its cap instead).
+	err := d.db.pool.close()
 	if d.wal == nil {
-		return nil
+		return err
 	}
-	err := d.wal.Close()
+	if cerr := d.wal.Close(); err == nil {
+		err = cerr
+	}
 	d.wal = nil
 	return err
 }

@@ -55,6 +55,12 @@ var (
 	// reads continue to serve the last published snapshot and
 	// DurableDB.Recover retries the log.
 	ErrReadOnlyDegraded = fmt.Errorf("%w (degraded: reads still serve the published snapshot; Recover() retries the log)", ErrWALFailed)
+
+	// ErrPageIO marks a failed buffer-pool page read: the spill file
+	// could not deliver an evicted page an operation needed. Only that
+	// operation fails — the pool, the published snapshot and every
+	// other query keep working; a later access retries the read.
+	ErrPageIO = errors.New("sqldb: page read failed")
 )
 
 // InternalError carries the recovered panic value and stack from an
@@ -70,8 +76,17 @@ func (e *InternalError) Error() string {
 
 func (e *InternalError) Unwrap() error { return ErrInternal }
 
+// pageIOPanic carries a page-in failure through the executor panic
+// barriers: row access has no error return, so the buffer pool panics
+// with this value and internalError unwraps it to the typed ErrPageIO
+// chain instead of reporting an engine bug.
+type pageIOPanic struct{ err error }
+
 // internalError converts a recovered panic value into an *InternalError.
 func internalError(r any) error {
+	if p, ok := r.(pageIOPanic); ok {
+		return p.err
+	}
 	return &InternalError{PanicValue: r, Stack: debug.Stack()}
 }
 

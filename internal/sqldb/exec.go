@@ -115,11 +115,12 @@ type seqScanIter struct {
 	tbl  *table
 	pos  int64
 	end  int64
+	ref  pageRef
 }
 
 func (it *seqScanIter) next() ([]Value, error) {
 	for it.pos < it.end {
-		row := it.tbl.row(it.pos)
+		row := it.tbl.rowRef(it.pos, &it.ref)
 		it.pos++
 		if row == nil {
 			continue
@@ -138,7 +139,7 @@ func (it *seqScanIter) next() ([]Value, error) {
 	return nil, nil
 }
 
-func (it *seqScanIter) close() {}
+func (it *seqScanIter) close() { it.ref.release() }
 
 // ---------------------------------------------------------------------------
 // Index scan
@@ -255,6 +256,7 @@ type indexScanIter struct {
 	tbl  *table
 	cur  btreeCursor
 	stop func(key []Value) bool
+	ref  pageRef
 }
 
 func (it *indexScanIter) next() ([]Value, error) {
@@ -264,7 +266,7 @@ func (it *indexScanIter) next() ([]Value, error) {
 			return nil, nil
 		}
 		it.cur.advance()
-		row := it.tbl.row(e.rid)
+		row := it.tbl.rowRef(e.rid, &it.ref)
 		if row == nil {
 			continue
 		}
@@ -282,7 +284,7 @@ func (it *indexScanIter) next() ([]Value, error) {
 	return nil, nil
 }
 
-func (it *indexScanIter) close() {}
+func (it *indexScanIter) close() { it.ref.release() }
 
 // ---------------------------------------------------------------------------
 // Filter
@@ -716,6 +718,7 @@ type indexJoinIter struct {
 	stop    func(key []Value) bool
 	active  bool
 	matched bool
+	ref     pageRef
 }
 
 func (it *indexJoinIter) next() ([]Value, error) {
@@ -743,7 +746,7 @@ func (it *indexJoinIter) next() ([]Value, error) {
 				break
 			}
 			it.cur.advance()
-			row := it.tbl.row(e.rid)
+			row := it.tbl.rowRef(e.rid, &it.ref)
 			if row == nil {
 				continue
 			}
@@ -837,7 +840,10 @@ func (it *indexJoinIter) seek() error {
 	return nil
 }
 
-func (it *indexJoinIter) close() { it.left.close() }
+func (it *indexJoinIter) close() {
+	it.ref.release()
+	it.left.close()
+}
 
 // ---------------------------------------------------------------------------
 // Sort

@@ -1,0 +1,120 @@
+package sqldb
+
+// On-disk heap-page format. The spill file is an append-only array of
+// fixed-size slots; a page occupies one or more consecutive slots (a
+// chain) depending on its encoded size. Only the chain's first slot
+// carries a header:
+//
+//	u32  CRC32 (IEEE) of the payload
+//	u64  page id — the 1-based index of this first slot, cross-checked
+//	     on read so a stale pointer can never deliver the wrong page
+//	u32  payload length in bytes
+//
+// The payload is the page's 512 row slots in order, each encoded as a
+// uvarint column count biased by one (0 = nil tombstone, n+1 = n
+// columns) followed by the WAL value codec for every column. Sealed
+// pages are immutable, so each page is written exactly once and slots
+// are never reused; the file compacts only by checkpoint-rewrite
+// (future work) or by deleting the whole store.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+const (
+	// pageSlotSize is the fixed on-disk slot granule. 32 KiB holds a
+	// full 512-row page of typical shredded tuples in one slot; pages
+	// with long text values chain across consecutive slots.
+	pageSlotSize = 32 * 1024
+	// pageSlotHeader is the first-slot header: CRC, page id, length.
+	pageSlotHeader = 4 + 8 + 4
+)
+
+// pageSlotsFor returns how many consecutive slots a payload needs.
+func pageSlotsFor(payloadLen int) int {
+	return (payloadLen + pageSlotHeader + pageSlotSize - 1) / pageSlotSize
+}
+
+// encodePageFrame renders a frame's row slots as a page payload.
+// count bounds the encoded slots to the table's allocated rowids so a
+// straggler-sealed final page never persists junk beyond the heap.
+func encodePageFrame(f *pageFrame, n int) []byte {
+	e := &walEncoder{}
+	for i := 0; i < n; i++ {
+		row := f.rows[i]
+		if row == nil {
+			e.uvarint(0)
+			continue
+		}
+		e.uvarint(uint64(len(row)) + 1)
+		for _, v := range row {
+			e.value(v)
+		}
+	}
+	return e.b
+}
+
+// framePageImage wraps a payload in the slot chain image written at
+// slot pid (1-based): header + payload, zero-padded to whole slots.
+func framePageImage(pid int64, payload []byte) []byte {
+	img := make([]byte, pageSlotsFor(len(payload))*pageSlotSize)
+	binary.LittleEndian.PutUint32(img[0:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint64(img[4:], uint64(pid))
+	binary.LittleEndian.PutUint32(img[12:], uint32(len(payload)))
+	copy(img[pageSlotHeader:], payload)
+	return img
+}
+
+// decodePageImage validates a slot chain image read from slot pid and
+// decodes its payload into a fresh frame.
+func decodePageImage(pid int64, img []byte) (*pageFrame, error) {
+	if len(img) < pageSlotHeader {
+		return nil, errorf("pagefile: short page %d: %d bytes", pid, len(img))
+	}
+	crc := binary.LittleEndian.Uint32(img[0:])
+	gotPid := binary.LittleEndian.Uint64(img[4:])
+	plen := binary.LittleEndian.Uint32(img[12:])
+	if gotPid != uint64(pid) {
+		return nil, errorf("pagefile: page id mismatch: slot %d holds page %d", pid, gotPid)
+	}
+	if int(plen) > len(img)-pageSlotHeader {
+		return nil, errorf("pagefile: page %d length %d exceeds chain", pid, plen)
+	}
+	payload := img[pageSlotHeader : pageSlotHeader+int(plen)]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, errorf("pagefile: page %d checksum mismatch", pid)
+	}
+	return decodePagePayload(pid, payload)
+}
+
+func decodePagePayload(pid int64, payload []byte) (*pageFrame, error) {
+	d := &walDecoder{b: payload}
+	f := &pageFrame{}
+	for i := 0; i < heapPageSize && d.off < len(d.b); i++ {
+		nc, err := d.uvarint()
+		if err != nil {
+			return nil, errorf("pagefile: page %d slot %d: corrupt", pid, i)
+		}
+		if nc == 0 {
+			continue // tombstone
+		}
+		nc--
+		if nc > uint64(len(d.b)-d.off)+1 {
+			return nil, errorf("pagefile: page %d slot %d: corrupt arity", pid, i)
+		}
+		row := make([]Value, nc)
+		for j := range row {
+			v, err := d.value()
+			if err != nil {
+				return nil, errorf("pagefile: page %d slot %d: corrupt value", pid, i)
+			}
+			row[j] = v
+		}
+		f.rows[i] = row
+	}
+	if d.off != len(d.b) {
+		return nil, errorf("pagefile: page %d: %d trailing bytes", pid, len(d.b)-d.off)
+	}
+	return f, nil
+}

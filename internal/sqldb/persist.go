@@ -30,6 +30,13 @@ const (
 	snapshotMagic     = "xmlrdb-snapshot-v1"
 	snapshotMagicV2   = "xmlrdb-snapshot-v2\n"
 	snapshotVersionV2 = 2
+	// v3 is the paged checkpoint format used by DurableDB when a buffer
+	// pool is active: full heap pages stay in the pages file (pages.db)
+	// and the snapshot references them by slot chain, so a checkpoint
+	// flushes dirty pages instead of serializing every row, and recovery
+	// faults pages in lazily. v2 remains the portable dump format.
+	snapshotMagicV3   = "xmlrdb-snapshot-v3\n"
+	snapshotVersionV3 = 3
 )
 
 type savedColumn struct {
@@ -53,6 +60,40 @@ type snapshot struct {
 	// replay skips records at or below it. Zero for standalone dumps.
 	Seq    uint64
 	Tables []savedTable
+}
+
+// savedPageRef names one full heap page by its slot chain in the pages
+// file: Pid is the 1-based first slot, Slots the chain length.
+type savedPageRef struct {
+	Pid   int64
+	Slots int32
+}
+
+type savedTableV3 struct {
+	Name       string
+	Columns    []savedColumn
+	PrimaryKey []int
+	// Count is the allocated rowid count (tombstones included), Live
+	// the non-deleted rows, Bytes the tracked payload size.
+	Count int64
+	Live  int
+	Bytes int64
+	// Pages references the table's full pages, in rowid order, inside
+	// the pages file. Tail holds the trailing partial page's slots
+	// (rowids Count&^heapPageMask .. Count-1) in the page payload
+	// encoding (uvarint arity bias + WAL value codec).
+	Pages []savedPageRef
+	Tail  []byte
+	// Indexes lists secondary index definitions (the primary key index
+	// is re-derived); trees are rebuilt by scanning on load.
+	Indexes []IndexDef
+}
+
+type snapshotV3 struct {
+	Magic   string
+	Version int
+	Seq     uint64
+	Tables  []savedTableV3
 }
 
 // Save writes a snapshot of the current published state.
@@ -90,11 +131,13 @@ func writeState(w io.Writer, state *dbState) error {
 		for _, c := range t.def.Columns {
 			st.Columns = append(st.Columns, savedColumn{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
 		}
+		var ref pageRef
 		for rid := int64(0); rid < t.slotCount(); rid++ {
-			if row := t.row(rid); row != nil {
+			if row := t.rowRef(rid, &ref); row != nil {
 				st.Rows = append(st.Rows, row)
 			}
 		}
+		ref.release()
 		for _, idx := range t.indexes {
 			if idx == t.pkIndex {
 				continue // re-derived from the primary key
@@ -123,6 +166,204 @@ func writeState(w io.Writer, state *dbState) error {
 	binary.LittleEndian.PutUint32(trailer[:], crc)
 	_, err := w.Write(trailer[:])
 	return err
+}
+
+// writeSealed wraps payload in the sealed snapshot envelope:
+// magic | u32 length | payload | u32 CRC32.
+func writeSealed(w io.Writer, magic string, payload []byte) error {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(trailer[:])
+	return err
+}
+
+// openSealed validates a sealed envelope and returns its payload.
+func openSealed(data []byte, magic string) ([]byte, error) {
+	body := data[len(magic):]
+	if len(body) < 8 {
+		return nil, errorf("snapshot truncated (no payload header)")
+	}
+	n := int64(binary.LittleEndian.Uint32(body))
+	if n > int64(len(body))-8 {
+		return nil, errorf("snapshot truncated (payload %d bytes, have %d)", n, int64(len(body))-8)
+	}
+	if n < int64(len(body))-8 {
+		return nil, errorf("snapshot has %d trailing bytes", int64(len(body))-8-n)
+	}
+	payload := body[4 : 4+n]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(body[4+n:]) {
+		return nil, errorf("snapshot corrupt (CRC mismatch)")
+	}
+	return payload, nil
+}
+
+// writeStateV3 serializes a paged checkpoint of state: every full page
+// is guaranteed an on-disk copy in ps's pages file (spilling it now if
+// still dirty) and referenced by slot chain; only the partial tail
+// pages' rows are serialized inline. The caller must fsync the pages
+// file before atomically installing the snapshot that references it.
+func writeStateV3(w io.Writer, state *dbState, ps *pageStore) error {
+	snap := snapshotV3{Magic: snapshotMagic, Version: snapshotVersionV3, Seq: state.seq}
+	names := make([]string, 0, len(state.tables))
+	for n := range state.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := state.tables[n]
+		st := savedTableV3{
+			Name:       t.def.Name,
+			PrimaryKey: append([]int(nil), t.def.PrimaryKey...),
+			Count:      t.count,
+			Live:       t.live,
+			Bytes:      t.bytes,
+		}
+		for _, c := range t.def.Columns {
+			st.Columns = append(st.Columns, savedColumn{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
+		}
+		full := t.fullPages()
+		for pi := 0; pi < full; pi++ {
+			pid, slots, err := ps.ensureSpilled(t.pages[pi], state.seq)
+			if err != nil {
+				return fmt.Errorf("sqldb: checkpoint %s page %d: %w", t.def.Name, pi, err)
+			}
+			st.Pages = append(st.Pages, savedPageRef{Pid: pid, Slots: slots})
+		}
+		if tailLen := int(t.count - int64(full)<<heapPageShift); tailLen > 0 {
+			// The tail page is never sealed, hence always resident.
+			f := t.pages[full].frame()
+			e := &walEncoder{}
+			for i := 0; i < tailLen; i++ {
+				row := f.rows[i]
+				if row == nil {
+					e.uvarint(0)
+					continue
+				}
+				e.uvarint(uint64(len(row)) + 1)
+				for _, v := range row {
+					e.value(v)
+				}
+			}
+			st.Tail = e.b
+		}
+		for _, idx := range t.indexes {
+			if idx == t.pkIndex {
+				continue
+			}
+			st.Indexes = append(st.Indexes, idx.def)
+		}
+		snap.Tables = append(snap.Tables, st)
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
+		return err
+	}
+	return writeSealed(w, snapshotMagicV3, payload.Bytes())
+}
+
+// loadStateV3 rebuilds a database from a paged checkpoint. Full pages
+// are adopted into the buffer pool as non-resident references into the
+// pages file — they fault in on first touch, so recovery cost is
+// proportional to what is actually read, not to database size (index
+// trees are rebuilt by one bounded scan). When pool is non-nil the
+// pages are adopted into it (Recover reuses the live engine's pool —
+// the single appender of the pages file); otherwise the fresh
+// database's own pool is wired to openPages.
+func loadStateV3(data []byte, pool *pageStore, openPages func() (File, error)) (*Database, uint64, error) {
+	payload, err := openSealed(data, snapshotMagicV3)
+	if err != nil {
+		return nil, 0, err
+	}
+	var snap snapshotV3
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, 0, fmt.Errorf("sqldb: decoding snapshot: %w", err)
+	}
+	if snap.Magic != snapshotMagic || snap.Version != snapshotVersionV3 {
+		return nil, 0, errorf("unsupported snapshot version %d", snap.Version)
+	}
+	db := New()
+	if pool != nil {
+		db.pool = pool
+	} else if openPages != nil {
+		db.pool.openFile = openPages
+	}
+	if err := db.pool.ensureFile(); err != nil {
+		return nil, 0, fmt.Errorf("sqldb: opening pages file: %w", err)
+	}
+	st := db.state.Load()
+	gen := db.gen.Add(1)
+	for _, sv := range snap.Tables {
+		def := TableDef{Name: sv.Name, PrimaryKey: append([]int(nil), sv.PrimaryKey...)}
+		for _, c := range sv.Columns {
+			def.Columns = append(def.Columns, Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
+		}
+		t := newTable(&def, gen)
+		full := int(sv.Count >> heapPageShift)
+		if full != len(sv.Pages) {
+			return nil, 0, errorf("snapshot table %s: %d pages for %d rows", sv.Name, len(sv.Pages), sv.Count)
+		}
+		for pi, ref := range sv.Pages {
+			if ref.Pid <= 0 || ref.Slots <= 0 {
+				return nil, 0, errorf("snapshot table %s: bad page ref %d", sv.Name, pi)
+			}
+			p := &heapPage{gen: gen}
+			db.pool.adopt(p, ref.Pid, ref.Slots, snap.Seq)
+			t.pages = append(t.pages, p)
+		}
+		if tailLen := int(sv.Count - int64(full)<<heapPageShift); tailLen > 0 {
+			f, err := decodePagePayload(0, sv.Tail)
+			if err != nil {
+				return nil, 0, fmt.Errorf("sqldb: snapshot table %s tail: %w", sv.Name, err)
+			}
+			p := &heapPage{gen: gen}
+			p.res.Store(f)
+			t.pages = append(t.pages, p)
+		}
+		t.count = sv.Count
+		t.live = sv.Live
+		t.bytes = sv.Bytes
+		for _, idef := range sv.Indexes {
+			d := idef
+			d.Columns = append([]int{}, idef.Columns...)
+			t.indexes = append(t.indexes, &tableIndex{def: d, tree: newBtree(gen)})
+			st.indexes[lowerName(d.Name)] = &d
+		}
+		// Rebuild every index (primary key included) with one scan; the
+		// pool bounds how much of the heap is resident at once. The
+		// barrier turns a failed page read into a load error instead of
+		// a panic.
+		if err := func() (err error) {
+			defer recoverToError(&err)
+			var ref pageRef
+			defer ref.release()
+			for rid := int64(0); rid < t.count; rid++ {
+				row := t.rowRef(rid, &ref)
+				if row == nil {
+					continue
+				}
+				for _, idx := range t.indexes {
+					idx.tree.Insert(indexKey(idx, row), rid)
+				}
+			}
+			return nil
+		}(); err != nil {
+			return nil, 0, fmt.Errorf("sqldb: snapshot table %s: rebuilding indexes: %w", sv.Name, err)
+		}
+		st.tables[t.key] = t
+	}
+	db.setSeq(snap.Seq)
+	return db, snap.Seq, nil
 }
 
 // LoadFrom rebuilds a database from a snapshot written by Save.

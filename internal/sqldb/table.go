@@ -1,5 +1,10 @@
 package sqldb
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // table is one published version of a relation's heap storage: rows
 // addressed by rowid, with nil tombstones for deleted rows, held in
 // fixed-size pages. Secondary structures (B-tree indexes) reference
@@ -22,6 +27,10 @@ type table struct {
 	indexes []*tableIndex
 	pkIndex *tableIndex // non-nil when the table has a primary key
 	bytes   int64       // rough payload size, maintained incrementally
+	// sealq collects pages that became full (immutable) during the
+	// current writer transaction; commit hands them to the buffer pool
+	// once the version publishes. Never copied by beginWrite.
+	sealq []*heapPage
 }
 
 const (
@@ -30,12 +39,54 @@ const (
 	heapPageMask  = heapPageSize - 1
 )
 
-// heapPage holds a fixed run of row slots. The row array is a true
-// array (not a slice) so a page copy duplicates every slot header and
-// concurrent readers of the old page never observe the copy.
-type heapPage struct {
-	gen  uint64
+// pageFrame is the in-memory image of a page's row slots. The row
+// array is a true array (not a slice) so a frame copy duplicates every
+// slot header and concurrent readers of the old frame never observe
+// the copy.
+type pageFrame struct {
 	rows [heapPageSize][]Value
+}
+
+// heapPage holds a fixed run of row slots behind one level of
+// indirection: res points at the resident frame, or is nil when the
+// buffer pool evicted the page to the spill file. Identity matters —
+// copy-on-write versions share page objects, and the pool tracks
+// residency per object.
+type heapPage struct {
+	gen uint64
+	res atomic.Pointer[pageFrame]
+	// mu serializes fault-ins of this page (never held together with
+	// another page's mu).
+	mu   sync.Mutex
+	pins atomic.Int32
+	ref  atomic.Bool // clock reference bit
+	// Pool bookkeeping, owned by the pageStore (see bufferpool.go).
+	store  atomic.Pointer[pageStore]
+	pooled bool
+	seal   uint64 // commit seq whose WAL fsync must cover eviction
+	pid    int64  // 1-based first spill slot; 0 = no on-disk copy yet
+	slots  int32  // spill chain length in file slots
+}
+
+// newHeapPage allocates a resident page for generation gen.
+func newHeapPage(gen uint64) *heapPage {
+	p := &heapPage{gen: gen}
+	p.res.Store(&pageFrame{})
+	return p
+}
+
+// frame returns the page's resident frame, faulting it in from the
+// spill file when evicted (panics pageIOPanic on IO failure, which the
+// executor barriers convert to ErrPageIO).
+func (p *heapPage) frame() *pageFrame {
+	if f := p.res.Load(); f != nil {
+		return f
+	}
+	ps := p.store.Load()
+	if ps == nil {
+		panic(pageIOPanic{errorf("%w: evicted page has no store", ErrPageIO)})
+	}
+	return ps.faultIn(p)
 }
 
 type tableIndex struct {
@@ -86,27 +137,62 @@ func (t *table) beginWrite(gen uint64) *table {
 }
 
 // row returns the row at rid (nil when deleted). rid must be < count.
+// Unpinned: the frame pointer keeps the page's rows alive even if the
+// pool evicts the page immediately after.
 func (t *table) row(rid int64) []Value {
-	return t.pages[rid>>heapPageShift].rows[rid&heapPageMask]
+	return t.pages[rid>>heapPageShift].frame().rows[rid&heapPageMask]
+}
+
+// rowRef is row for scans: it keeps the containing page pinned in *ref
+// across consecutive calls, re-pinning only when the scan crosses into
+// another page. Callers release the ref when the scan closes.
+func (t *table) rowRef(rid int64, ref *pageRef) []Value {
+	p := t.pages[rid>>heapPageShift]
+	if ref.p != p {
+		ref.release()
+		f := p.pin()
+		ref.p, ref.f = p, f
+	}
+	return ref.f.rows[rid&heapPageMask]
 }
 
 // slotCount returns the number of allocated rowids; rowids in [0,
 // slotCount) are addressable and nil slots are tombstones.
 func (t *table) slotCount() int64 { return t.count }
 
-// writablePage returns the page holding rid, copying it first when it
-// belongs to an older generation. Only delete and update go through
-// here: they overwrite slots below a published count that lock-free
-// readers may be visiting.
-func (t *table) writablePage(rid int64) *heapPage {
+// fullPages returns how many of the table's pages are completely
+// allocated (every slot's rowid is below count) and therefore sealed
+// or seal-eligible.
+func (t *table) fullPages() int {
+	return int(t.count >> heapPageShift)
+}
+
+// noteSealable queues a full page for the buffer pool; commit
+// registers it once the version publishes.
+func (t *table) noteSealable(p *heapPage) {
+	t.sealq = append(t.sealq, p)
+}
+
+// writableFrame returns the frame of the page holding rid, copying the
+// page first when it belongs to an older generation. Only delete and
+// update go through here: they overwrite slots below a published count
+// that lock-free readers may be visiting. A copied full page is
+// immediately seal-eligible (it can never fill further).
+func (t *table) writableFrame(rid int64) *pageFrame {
 	pi := rid >> heapPageShift
 	p := t.pages[pi]
-	if p.gen != t.gen {
-		np := &heapPage{gen: t.gen, rows: p.rows}
-		t.pages[pi] = np
-		p = np
+	if p.gen == t.gen {
+		// Created by this writer: never sealed, so always resident.
+		return p.res.Load()
 	}
-	return p
+	src := p.frame()
+	np := &heapPage{gen: t.gen}
+	np.res.Store(&pageFrame{rows: src.rows})
+	t.pages[pi] = np
+	if int(pi) < t.fullPages() {
+		t.noteSealable(np)
+	}
+	return np.res.Load()
 }
 
 // valueBytes estimates the storage footprint of a value, used for the
@@ -163,11 +249,17 @@ func (t *table) insert(row []Value) (int64, error) {
 	rid := t.count
 	pi := int(rid >> heapPageShift)
 	if pi == len(t.pages) {
-		t.pages = append(t.pages, &heapPage{gen: t.gen})
+		t.pages = append(t.pages, newHeapPage(t.gen))
+		if pi > 0 {
+			// The previous tail page just became (or was already)
+			// full; queue it for the pool. Registration dedupes.
+			t.noteSealable(t.pages[pi-1])
+		}
 	}
 	// The slot is beyond every published count, so writing the shared
 	// tail page directly is invisible to readers (see type comment).
-	t.pages[pi].rows[rid&heapPageMask] = row
+	// The tail page is never full, hence never sealed, hence resident.
+	t.pages[pi].res.Load().rows[rid&heapPageMask] = row
 	t.count++
 	t.live++
 	t.bytes += t.rowBytes(row)
@@ -200,7 +292,7 @@ func (t *table) delete(rid int64) {
 		idx.tree.Delete(indexKey(idx, row), rid)
 	}
 	t.bytes -= t.rowBytes(row)
-	t.writablePage(rid).rows[rid&heapPageMask] = nil
+	t.writableFrame(rid).rows[rid&heapPageMask] = nil
 	t.live--
 }
 
@@ -226,7 +318,7 @@ func (t *table) update(rid int64, row []Value) error {
 		idx.tree.Delete(indexKey(idx, old), rid)
 	}
 	t.bytes += t.rowBytes(row) - t.rowBytes(old)
-	t.writablePage(rid).rows[rid&heapPageMask] = row
+	t.writableFrame(rid).rows[rid&heapPageMask] = row
 	for _, idx := range t.indexes {
 		idx.tree.Insert(indexKey(idx, row), rid)
 	}
@@ -236,8 +328,10 @@ func (t *table) update(rid int64, row []Value) error {
 // addIndex builds a new secondary index over existing rows.
 func (t *table) addIndex(def IndexDef) (*tableIndex, error) {
 	idx := &tableIndex{def: def, tree: newBtree(t.gen)}
+	var ref pageRef
+	defer ref.release()
 	for rid := int64(0); rid < t.count; rid++ {
-		row := t.row(rid)
+		row := t.rowRef(rid, &ref)
 		if row == nil {
 			continue
 		}

@@ -171,6 +171,7 @@ type seqScanVec struct {
 	tbl  *table
 	pos  int64
 	end  int64
+	ref  pageRef
 }
 
 func (it *seqScanVec) nextBatch() (*batch, error) {
@@ -179,7 +180,7 @@ func (it *seqScanVec) nextBatch() (*batch, error) {
 	}
 	b := &batch{rows: make([][]Value, 0, batchSize)}
 	for it.pos < it.end && len(b.rows) < batchSize {
-		row := it.tbl.row(it.pos)
+		row := it.tbl.rowRef(it.pos, &it.ref)
 		it.pos++
 		if row == nil { // tombstone
 			continue
@@ -199,7 +200,7 @@ func (it *seqScanVec) nextBatch() (*batch, error) {
 	return b, nil
 }
 
-func (it *seqScanVec) close() {}
+func (it *seqScanVec) close() { it.ref.release() }
 
 // ---------------------------------------------------------------------------
 // Index scan
@@ -223,6 +224,7 @@ type indexScanVec struct {
 	cur  btreeCursor
 	stop func(key []Value) bool
 	done bool
+	ref  pageRef
 }
 
 func (it *indexScanVec) nextBatch() (*batch, error) {
@@ -237,7 +239,7 @@ func (it *indexScanVec) nextBatch() (*batch, error) {
 			break
 		}
 		it.cur.advance()
-		row := it.tbl.row(e.rid)
+		row := it.tbl.rowRef(e.rid, &it.ref)
 		if row == nil {
 			continue
 		}
@@ -256,7 +258,7 @@ func (it *indexScanVec) nextBatch() (*batch, error) {
 	return b, nil
 }
 
-func (it *indexScanVec) close() {}
+func (it *indexScanVec) close() { it.ref.release() }
 
 // ---------------------------------------------------------------------------
 // Filter

@@ -15,11 +15,15 @@ import (
 // FaultVFS.
 
 // File is the handle abstraction the durability layer writes through.
+// ReaderAt/WriterAt serve the page store: random-access slot IO that
+// must not disturb the sequential position the WAL appender uses.
 type File interface {
 	io.Reader
 	io.Writer
 	io.Closer
 	io.Seeker
+	io.ReaderAt
+	io.WriterAt
 	// Sync makes everything written so far durable (survives a crash).
 	Sync() error
 	// Truncate cuts the file to size bytes. The write position is
@@ -280,6 +284,30 @@ func (f *memFile) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if off >= int64(len(f.node.content)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.node.content[off:])
+	if n < len(p) {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	end := off + int64(len(p))
+	if grow := end - int64(len(f.node.content)); grow > 0 {
+		f.node.content = append(f.node.content, make([]byte, grow)...)
+	}
+	copy(f.node.content[off:end], p)
+	return len(p), nil
+}
+
 func (f *memFile) Seek(offset int64, whence int) (int64, error) {
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
@@ -342,12 +370,74 @@ type FaultVFS struct {
 	// failErr, when set, replaces ErrInjected as the injected error —
 	// e.g. syscall.ENOSPC to model a full disk.
 	failErr error
+	// readBytes/readFailAfter/readFailed are the read-side injector:
+	// once cumulative ReadAt bytes cross the budget the in-flight read
+	// lands short (a prefix is filled) with the injected error, and
+	// every later ReadAt fails outright. Independent of the write-side
+	// budget so recovery reads still work after a simulated crash.
+	readBytes     int64
+	readFailAfter int64
+	readFailed    bool
 }
 
 // NewFaultVFS wraps inner, failing once the operation budget crosses
 // failAfter (<0: never).
 func NewFaultVFS(inner VFS, failAfter int64) *FaultVFS {
-	return &FaultVFS{inner: inner, failAfter: failAfter}
+	return &FaultVFS{inner: inner, failAfter: failAfter, readFailAfter: -1}
+}
+
+// SetReadFailAfter arms the read-side injector: once n more ReadAt
+// bytes have been served, the in-flight read returns a short prefix
+// with the injected error and every later ReadAt fails. Negative n
+// disarms. Any previously tripped read fault is cleared.
+func (v *FaultVFS) SetReadFailAfter(n int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if n >= 0 {
+		n += v.readBytes
+	}
+	v.readFailAfter = n
+	v.readFailed = false
+}
+
+// ReadBytes reports cumulative ReadAt bytes served, the unit a read
+// fault sweep iterates over.
+func (v *FaultVFS) ReadBytes() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.readBytes
+}
+
+// ReadFailed reports whether the injected read fault fired.
+func (v *FaultVFS) ReadFailed() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.readFailed
+}
+
+// chargeRead consumes n read-budget bytes, reporting how many may be
+// served and whether the fault fired.
+func (v *FaultVFS) chargeRead(n int64) (allowed int64, ok bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.readFailed {
+		return 0, false
+	}
+	if v.readFailAfter < 0 {
+		v.readBytes += n
+		return n, true
+	}
+	room := v.readFailAfter - v.readBytes
+	if n <= room {
+		v.readBytes += n
+		return n, true
+	}
+	v.readBytes = v.readFailAfter
+	v.readFailed = true
+	if room < 0 {
+		room = 0
+	}
+	return room, false
 }
 
 // SetShortReads makes every Read return at most one byte.
@@ -396,6 +486,8 @@ func (v *FaultVFS) Heal() {
 	defer v.mu.Unlock()
 	v.failed = false
 	v.failAfter = -1
+	v.readFailed = false
+	v.readFailAfter = -1
 }
 
 // Written reports the cumulative operation cost, the budget unit a
@@ -504,6 +596,32 @@ func (f *faultFile) Read(p []byte) (int, error) {
 		p = p[:1]
 	}
 	return f.inner.Read(p)
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	allowed, ok := f.fs.chargeRead(int64(len(p)))
+	if ok {
+		return f.inner.ReadAt(p, off)
+	}
+	// Short read: a prefix is served, then the fault.
+	n := 0
+	if allowed > 0 {
+		n, _ = f.inner.ReadAt(p[:allowed], off)
+	}
+	return n, f.fs.injectErr()
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	allowed, ok := f.fs.charge(int64(len(p)))
+	if ok {
+		return f.inner.WriteAt(p, off)
+	}
+	// Torn write: a prefix reaches storage, then the crash.
+	n := 0
+	if allowed > 0 {
+		n, _ = f.inner.WriteAt(p[:allowed], off)
+	}
+	return n, f.fs.injectErr()
 }
 
 func (f *faultFile) Write(p []byte) (int, error) {

@@ -586,8 +586,10 @@ func rowImageKey(row []Value) string {
 // quadratic.
 func imageIndex(tbl *table) map[string][]int64 {
 	m := map[string][]int64{}
+	var ref pageRef
+	defer ref.release()
 	for rid := int64(0); rid < tbl.slotCount(); rid++ {
-		row := tbl.row(rid)
+		row := tbl.rowRef(rid, &ref)
 		if row == nil {
 			continue
 		}

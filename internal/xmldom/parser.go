@@ -287,7 +287,7 @@ func (p *xmlParser) parseElement() (*Node, error) {
 			for p.pos < len(p.src) && p.src[p.pos] != '<' {
 				p.pos++
 			}
-			text, err := decodeEntities(string(p.src[start:p.pos]), p)
+			text, err := decodeEntities(string(p.src[start:p.pos]), p.errf)
 			if err != nil {
 				return nil, err
 			}
@@ -374,12 +374,14 @@ func (p *xmlParser) parseAttValue() (string, error) {
 	}
 	raw := string(p.src[start:p.pos])
 	p.pos++
-	return decodeEntities(raw, p)
+	return decodeEntities(raw, p.errf)
 }
 
 // decodeEntities resolves character references and the five predefined
 // entities. Unknown entities are an error (no external DTD resolution).
-func decodeEntities(s string, p *xmlParser) (string, error) {
+// errf supplies position context — the same decoder serves the in-memory
+// parser and the streaming tokenizer.
+func decodeEntities(s string, errf func(format string, args ...any) error) (string, error) {
 	if !strings.ContainsRune(s, '&') {
 		return s, nil
 	}
@@ -393,7 +395,7 @@ func decodeEntities(s string, p *xmlParser) (string, error) {
 		}
 		end := strings.IndexByte(s[i:], ';')
 		if end < 0 {
-			return "", p.errf("unterminated entity reference")
+			return "", errf("unterminated entity reference")
 		}
 		ent := s[i+1 : i+end]
 		switch {
@@ -410,17 +412,17 @@ func decodeEntities(s string, p *xmlParser) (string, error) {
 		case strings.HasPrefix(ent, "#x") || strings.HasPrefix(ent, "#X"):
 			n, err := strconv.ParseInt(ent[2:], 16, 32)
 			if err != nil {
-				return "", p.errf("bad character reference &%s;", ent)
+				return "", errf("bad character reference &%s;", ent)
 			}
 			b.WriteRune(rune(n))
 		case strings.HasPrefix(ent, "#"):
 			n, err := strconv.ParseInt(ent[1:], 10, 32)
 			if err != nil {
-				return "", p.errf("bad character reference &%s;", ent)
+				return "", errf("bad character reference &%s;", ent)
 			}
 			b.WriteRune(rune(n))
 		default:
-			return "", p.errf("unknown entity &%s;", ent)
+			return "", errf("unknown entity &%s;", ent)
 		}
 		i += end + 1
 	}

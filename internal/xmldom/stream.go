@@ -1,0 +1,573 @@
+package xmldom
+
+// Streaming parse API: a Tokenizer reads an XML document from an
+// io.Reader and emits a flat event stream — start/end element, text,
+// comment, processing instruction — without ever materializing the
+// document tree. It implements exactly the same dialect as Parse
+// (non-validating, five predefined entities, character references,
+// DOCTYPE internal subset captured verbatim) and the same text model:
+// consecutive character data and CDATA sections coalesce into one Text
+// event, and whitespace-only runs between elements are dropped unless
+// adjacent to real text. ParseReader builds a DOM from the stream and
+// is differentially tested against Parse; SAX-style consumers (the
+// streaming shredders in internal/shred) keep memory proportional to
+// document depth, not size.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// TokenKind identifies a streaming event.
+type TokenKind int
+
+const (
+	// TokStart opens an element (Name, Attrs valid).
+	TokStart TokenKind = iota
+	// TokEnd closes the innermost open element (Name valid).
+	TokEnd
+	// TokText is one coalesced run of character data (Text valid).
+	TokText
+	// TokComment is a comment (Text valid).
+	TokComment
+	// TokProcInst is a processing instruction (Name, Text valid).
+	TokProcInst
+	// TokEOF reports a well-formed end of document.
+	TokEOF
+)
+
+// Attr is one attribute on a TokStart token, in document order.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Token is one streaming event.
+type Token struct {
+	Kind  TokenKind
+	Name  string
+	Attrs []Attr
+	Text  string
+}
+
+// Tokenizer streams tokens from an XML document. Create with
+// NewTokenizer, then call Next until TokEOF or an error; errors are
+// sticky.
+type Tokenizer struct {
+	r   *bufio.Reader
+	off int // byte offset for errors
+
+	// DoctypeName and InternalSubset mirror Document's fields once the
+	// DOCTYPE declaration (if any) has been scanned.
+	DoctypeName    string
+	InternalSubset string
+
+	started bool // saw the optional XML declaration / first prolog scan
+	// stack holds open element names; empty + rootSeen means epilog.
+	stack    []string
+	rootSeen bool
+	textBuf  strings.Builder
+	queue    []Token
+	err      error
+}
+
+// NewTokenizer returns a Tokenizer reading from r.
+func NewTokenizer(r io.Reader) *Tokenizer {
+	return &Tokenizer{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+func (t *Tokenizer) errf(format string, args ...any) error {
+	return &ParseError{Offset: t.off, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Next returns the next token. After TokEOF or an error, further calls
+// repeat the outcome.
+func (t *Tokenizer) Next() (Token, error) {
+	for {
+		if len(t.queue) > 0 {
+			tok := t.queue[0]
+			t.queue = t.queue[1:]
+			return tok, nil
+		}
+		if t.err != nil {
+			return Token{}, t.err
+		}
+		if err := t.step(); err != nil {
+			t.err = err
+			return Token{}, err
+		}
+	}
+}
+
+// step parses one markup item, queueing zero or more tokens.
+func (t *Tokenizer) step() error {
+	if len(t.stack) == 0 {
+		return t.stepProlog()
+	}
+	return t.stepContent()
+}
+
+// stepProlog handles everything outside the root element: the XML
+// declaration, DOCTYPE, comments, PIs, the root start tag, and EOF.
+func (t *Tokenizer) stepProlog() error {
+	if !t.started {
+		t.started = true
+		t.skipSpace()
+		if t.hasPrefix("<?xml") {
+			if _, err := t.readUntil("?>"); err != nil {
+				return err
+			}
+		}
+	}
+	t.skipSpace()
+	if _, err := t.r.Peek(1); err != nil {
+		if err != io.EOF {
+			return err
+		}
+		if !t.rootSeen {
+			return &ParseError{Offset: t.off, Msg: "missing root element"}
+		}
+		t.queue = append(t.queue, Token{Kind: TokEOF})
+		return nil
+	}
+	if !t.hasByte('<') {
+		return t.errf("content outside of root element")
+	}
+	switch {
+	case t.hasPrefix("<!--"):
+		text, err := t.parseComment()
+		if err != nil {
+			return err
+		}
+		t.queue = append(t.queue, Token{Kind: TokComment, Text: text})
+	case t.hasPrefix("<?"):
+		name, data, err := t.parsePI()
+		if err != nil {
+			return err
+		}
+		t.queue = append(t.queue, Token{Kind: TokProcInst, Name: name, Text: data})
+	case t.hasPrefix("<!DOCTYPE"):
+		if err := t.parseDoctype(); err != nil {
+			return err
+		}
+	default:
+		if t.rootSeen {
+			return t.errf("multiple root elements")
+		}
+		t.rootSeen = true
+		return t.parseStartTag()
+	}
+	return nil
+}
+
+// stepContent handles one item inside an open element, mirroring the
+// in-memory parser's content loop (including its text coalescing).
+func (t *Tokenizer) stepContent() error {
+	name := t.stack[len(t.stack)-1]
+	if _, err := t.r.Peek(1); err != nil {
+		if err == io.EOF {
+			return t.errf("missing </%s>", name)
+		}
+		return err
+	}
+	if !t.hasByte('<') {
+		raw, err := t.readCharData()
+		if err != nil {
+			return err
+		}
+		text, err := decodeEntities(raw, t.errf)
+		if err != nil {
+			return err
+		}
+		// Whitespace-only runs between elements are dropped; whitespace
+		// adjacent to real text is preserved (same rule as Parse).
+		if strings.TrimSpace(text) != "" || t.textBuf.Len() > 0 {
+			t.textBuf.WriteString(text)
+		}
+		return nil
+	}
+	switch {
+	case t.hasPrefix("</"):
+		t.flushText()
+		t.discard(2)
+		end, err := t.parseName()
+		if err != nil {
+			return err
+		}
+		if end != name {
+			return t.errf("mismatched end tag </%s>, expected </%s>", end, name)
+		}
+		t.skipSpace()
+		if !t.hasByte('>') {
+			return t.errf("malformed end tag </%s", end)
+		}
+		t.discard(1)
+		t.stack = t.stack[:len(t.stack)-1]
+		t.queue = append(t.queue, Token{Kind: TokEnd, Name: end})
+	case t.hasPrefix("<!--"):
+		t.flushText()
+		text, err := t.parseComment()
+		if err != nil {
+			return err
+		}
+		t.queue = append(t.queue, Token{Kind: TokComment, Text: text})
+	case t.hasPrefix("<![CDATA["):
+		t.discard(len("<![CDATA["))
+		data, err := t.readUntil("]]>")
+		if err != nil {
+			return err
+		}
+		t.textBuf.WriteString(data)
+	case t.hasPrefix("<?"):
+		t.flushText()
+		name, data, err := t.parsePI()
+		if err != nil {
+			return err
+		}
+		t.queue = append(t.queue, Token{Kind: TokProcInst, Name: name, Text: data})
+	default:
+		t.flushText()
+		return t.parseStartTag()
+	}
+	return nil
+}
+
+// flushText queues the coalesced text run, if any.
+func (t *Tokenizer) flushText() {
+	if t.textBuf.Len() > 0 {
+		t.queue = append(t.queue, Token{Kind: TokText, Text: t.textBuf.String()})
+		t.textBuf.Reset()
+	}
+}
+
+// parseStartTag consumes "<name attr=... >" or "<name/>", queueing the
+// start token (and the matching end token for an empty element).
+func (t *Tokenizer) parseStartTag() error {
+	t.discard(1) // '<'
+	name, err := t.parseName()
+	if err != nil {
+		return err
+	}
+	var attrs []Attr
+	for {
+		t.skipSpace()
+		if _, err := t.r.Peek(1); err != nil {
+			return t.errf("unterminated start tag <%s", name)
+		}
+		if t.hasByte('>') {
+			t.discard(1)
+			t.stack = append(t.stack, name)
+			t.queue = append(t.queue, Token{Kind: TokStart, Name: name, Attrs: attrs})
+			return nil
+		}
+		if t.hasByte('/') {
+			if !t.hasPrefix("/>") {
+				return t.errf("malformed empty-element tag")
+			}
+			t.discard(2)
+			t.queue = append(t.queue,
+				Token{Kind: TokStart, Name: name, Attrs: attrs},
+				Token{Kind: TokEnd, Name: name})
+			return nil
+		}
+		aname, err := t.parseName()
+		if err != nil {
+			return err
+		}
+		t.skipSpace()
+		if !t.hasByte('=') {
+			return t.errf("expected '=' after attribute %s", aname)
+		}
+		t.discard(1)
+		t.skipSpace()
+		aval, err := t.parseAttValue()
+		if err != nil {
+			return err
+		}
+		for _, a := range attrs {
+			if a.Name == aname {
+				return t.errf("duplicate attribute %s on <%s>", aname, name)
+			}
+		}
+		attrs = append(attrs, Attr{Name: aname, Value: aval})
+	}
+}
+
+func (t *Tokenizer) parseAttValue() (string, error) {
+	b, err := t.r.Peek(1)
+	if err != nil {
+		return "", t.errf("expected attribute value")
+	}
+	q := b[0]
+	if q != '"' && q != '\'' {
+		return "", t.errf("attribute value must be quoted")
+	}
+	t.discard(1)
+	var sb strings.Builder
+	for {
+		c, err := t.r.ReadByte()
+		if err == io.EOF {
+			return "", t.errf("unterminated attribute value")
+		}
+		if err != nil {
+			return "", err
+		}
+		t.off++
+		if c == q {
+			break
+		}
+		if c == '<' {
+			return "", t.errf("'<' in attribute value")
+		}
+		sb.WriteByte(c)
+	}
+	return decodeEntities(sb.String(), t.errf)
+}
+
+func (t *Tokenizer) parseComment() (string, error) {
+	t.discard(len("<!--"))
+	return t.readUntil("-->")
+}
+
+func (t *Tokenizer) parsePI() (string, string, error) {
+	t.discard(len("<?"))
+	name, err := t.parseName()
+	if err != nil {
+		return "", "", err
+	}
+	data, err := t.readUntil("?>")
+	if err != nil {
+		return "", "", err
+	}
+	return name, strings.TrimSpace(data), nil
+}
+
+// parseDoctype scans the DOCTYPE declaration, capturing an optional
+// [internal subset] verbatim (same grammar as the in-memory parser).
+func (t *Tokenizer) parseDoctype() error {
+	t.discard(len("<!DOCTYPE"))
+	t.skipSpace()
+	name, err := t.parseName()
+	if err != nil {
+		return err
+	}
+	t.DoctypeName = name
+	depth := 0
+	var subset strings.Builder
+	capturing := false
+	for {
+		c, err := t.r.ReadByte()
+		if err == io.EOF {
+			return t.errf("unterminated DOCTYPE")
+		}
+		if err != nil {
+			return err
+		}
+		t.off++
+		switch c {
+		case '[':
+			depth++
+			if depth == 1 {
+				capturing = true
+				continue
+			}
+		case ']':
+			depth--
+			if depth == 0 && capturing {
+				t.InternalSubset = subset.String()
+				capturing = false
+				continue
+			}
+		case '>':
+			if depth == 0 {
+				return nil
+			}
+		case '"', '\'':
+			if capturing {
+				subset.WriteByte(c)
+			}
+			q := c
+			for {
+				c2, err := t.r.ReadByte()
+				if err == io.EOF {
+					return t.errf("unterminated literal in DOCTYPE")
+				}
+				if err != nil {
+					return err
+				}
+				t.off++
+				if capturing {
+					subset.WriteByte(c2)
+				}
+				if c2 == q {
+					break
+				}
+			}
+			continue
+		}
+		if capturing {
+			subset.WriteByte(c)
+		}
+	}
+}
+
+// readCharData consumes character data up to the next '<' (or EOF).
+func (t *Tokenizer) readCharData() (string, error) {
+	var sb strings.Builder
+	for {
+		c, err := t.r.ReadByte()
+		if err == io.EOF {
+			return sb.String(), nil
+		}
+		if err != nil {
+			return "", err
+		}
+		if c == '<' {
+			t.r.UnreadByte()
+			return sb.String(), nil
+		}
+		t.off++
+		sb.WriteByte(c)
+	}
+}
+
+// readUntil consumes up to and including delim, returning the text
+// before it.
+func (t *Tokenizer) readUntil(delim string) (string, error) {
+	var sb strings.Builder
+	last := delim[len(delim)-1]
+	for {
+		c, err := t.r.ReadByte()
+		if err == io.EOF {
+			return "", t.errf("missing %q", delim)
+		}
+		if err != nil {
+			return "", err
+		}
+		t.off++
+		sb.WriteByte(c)
+		if c == last && sb.Len() >= len(delim) &&
+			strings.HasSuffix(sb.String(), delim) {
+			s := sb.String()
+			return s[:len(s)-len(delim)], nil
+		}
+	}
+}
+
+func (t *Tokenizer) parseName() (string, error) {
+	r, size, ok := t.peekRune()
+	if !ok || !isNameStart(r) {
+		return "", t.errf("expected name")
+	}
+	var sb strings.Builder
+	sb.WriteRune(r)
+	t.discard(size)
+	for {
+		r, size, ok = t.peekRune()
+		if !ok || !isNameChar(r) {
+			break
+		}
+		sb.WriteRune(r)
+		t.discard(size)
+	}
+	return sb.String(), nil
+}
+
+func (t *Tokenizer) peekRune() (rune, int, bool) {
+	b, _ := t.r.Peek(utf8.UTFMax)
+	if len(b) == 0 {
+		return 0, 0, false
+	}
+	r, size := utf8.DecodeRune(b)
+	return r, size, true
+}
+
+func (t *Tokenizer) skipSpace() {
+	for {
+		b, err := t.r.Peek(1)
+		if err != nil {
+			return
+		}
+		switch b[0] {
+		case ' ', '\t', '\n', '\r':
+			t.discard(1)
+		default:
+			return
+		}
+	}
+}
+
+func (t *Tokenizer) hasPrefix(s string) bool {
+	b, _ := t.r.Peek(len(s))
+	return string(b) == s
+}
+
+func (t *Tokenizer) hasByte(c byte) bool {
+	b, _ := t.r.Peek(1)
+	return len(b) == 1 && b[0] == c
+}
+
+func (t *Tokenizer) discard(n int) {
+	d, _ := t.r.Discard(n)
+	t.off += d
+}
+
+// ParseReader parses an XML document from a stream, building the same
+// DOM as Parse. It exists for API completeness and as the differential
+// anchor for the Tokenizer; bounded-memory consumers should drive the
+// Tokenizer directly.
+func ParseReader(r io.Reader) (*Document, error) {
+	tz := NewTokenizer(r)
+	doc := &Document{Root: &Node{Kind: DocumentNode}}
+	var stack []*Node
+	for {
+		tok, err := tz.Next()
+		if err != nil {
+			return nil, err
+		}
+		var parent *Node
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		switch tok.Kind {
+		case TokEOF:
+			doc.DoctypeName = tz.DoctypeName
+			doc.InternalSubset = tz.InternalSubset
+			doc.Number()
+			return doc, nil
+		case TokStart:
+			el := &Node{Kind: ElementNode, Name: tok.Name}
+			for _, a := range tok.Attrs {
+				el.Attrs = append(el.Attrs, &Node{Kind: AttributeNode, Name: a.Name, Value: a.Value, Parent: el})
+			}
+			if parent == nil {
+				doc.Root.Children = append(doc.Root.Children, el)
+			} else {
+				el.Parent = parent
+				parent.Children = append(parent.Children, el)
+			}
+			stack = append(stack, el)
+		case TokEnd:
+			stack = stack[:len(stack)-1]
+		case TokText:
+			parent.Children = append(parent.Children, &Node{Kind: TextNode, Value: tok.Text, Parent: parent})
+		case TokComment:
+			n := &Node{Kind: CommentNode, Value: tok.Text, Parent: parent}
+			if parent == nil {
+				doc.Root.Children = append(doc.Root.Children, n)
+			} else {
+				parent.Children = append(parent.Children, n)
+			}
+		case TokProcInst:
+			n := &Node{Kind: ProcInstNode, Name: tok.Name, Value: tok.Text, Parent: parent}
+			if parent == nil {
+				doc.Root.Children = append(doc.Root.Children, n)
+			} else {
+				parent.Children = append(parent.Children, n)
+			}
+		}
+	}
+}

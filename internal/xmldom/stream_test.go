@@ -1,0 +1,188 @@
+package xmldom
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// dumpNode renders a node subtree in a canonical debug form so two DOMs
+// can be compared structurally (parents checked separately).
+func dumpNode(sb *strings.Builder, n *Node, depth int) {
+	pad := strings.Repeat("  ", depth)
+	switch n.Kind {
+	case DocumentNode:
+		fmt.Fprintf(sb, "%sdoc\n", pad)
+	case ElementNode:
+		fmt.Fprintf(sb, "%selem %s [", pad, n.Name)
+		for _, a := range n.Attrs {
+			fmt.Fprintf(sb, " %s=%q", a.Name, a.Value)
+		}
+		fmt.Fprintf(sb, " ]\n")
+	case TextNode:
+		fmt.Fprintf(sb, "%stext %q\n", pad, n.Value)
+	case CommentNode:
+		fmt.Fprintf(sb, "%scomment %q\n", pad, n.Value)
+	case ProcInstNode:
+		fmt.Fprintf(sb, "%spi %s %q\n", pad, n.Name, n.Value)
+	case AttributeNode:
+		fmt.Fprintf(sb, "%sattr %s=%q\n", pad, n.Name, n.Value)
+	}
+	for _, c := range n.Children {
+		dumpNode(sb, c, depth+1)
+	}
+}
+
+func dumpDoc(d *Document) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "doctype=%q subset=%q\n", d.DoctypeName, d.InternalSubset)
+	dumpNode(&sb, d.Root, 0)
+	return sb.String()
+}
+
+// checkParents verifies Parent pointers are wired consistently.
+func checkParents(t *testing.T, n *Node) {
+	t.Helper()
+	for _, a := range n.Attrs {
+		if a.Parent != n {
+			t.Fatalf("attr %s parent not set", a.Name)
+		}
+	}
+	for _, c := range n.Children {
+		if n.Kind != DocumentNode && c.Parent != n {
+			t.Fatalf("child of %s has wrong parent", n.Name)
+		}
+		checkParents(t, c)
+	}
+}
+
+var streamDiffDocs = []struct {
+	name string
+	src  string
+}{
+	{"minimal", `<a/>`},
+	{"decl", `<?xml version="1.0" encoding="UTF-8"?><root><x>1</x></root>`},
+	{"nested", `<a><b><c>deep</c></b><b2 k="v"/></a>`},
+	{"attrs", `<a x="1" y='two' z="a&amp;b"/>`},
+	{"entities", `<a>&lt;&gt;&amp;&apos;&quot;&#65;&#x42;</a>`},
+	{"ws-only-dropped", "<a>\n  <b>x</b>\n  <c>y</c>\n</a>"},
+	{"ws-adjacent-kept", `<a>hello <b>w</b> bye </a>`},
+	{"cdata", `<a><![CDATA[<raw> & ]]stuff]]></a>`},
+	{"cdata-ws-merge", "<a>  <![CDATA[x]]>  </a>"},
+	{"cdata-text-merge", `<a>pre<![CDATA[mid]]>post</a>`},
+	{"comment-inside", `<a>x<!-- note -->y</a>`},
+	{"pi-inside", `<a><?target  some data  ?></a>`},
+	{"prolog-epilog", `<!-- lead --><?pi one?><root/><!-- tail --><?pi two?>`},
+	{"doctype", `<!DOCTYPE root SYSTEM "r.dtd"><root/>`},
+	{"doctype-subset", `<!DOCTYPE root [ <!ELEMENT root (#PCDATA)> <!ENTITY e "v"> ]><root/>`},
+	{"doctype-bracket-literal", `<!DOCTYPE root [ <!ATTLIST a b CDATA "]"> ]><root/>`},
+	{"unicode", `<règle état="café">héllo ☃</règle>`},
+	{"deep-ws", "<a>\r\n\t<b>\r\n\t\t<c/>\r\n\t</b>\r\n</a>"},
+	{"mixed-heavy", `<a> t1 <b/> t2 <![CDATA[c1]]> <b/>  <!--c--> t3 </a>`},
+	{"empty-text-tags", `<a><b></b><c></c></a>`},
+}
+
+var streamDiffBad = []struct {
+	name string
+	src  string
+}{
+	{"empty", ``},
+	{"ws-only", "  \n "},
+	{"no-root-after-prolog", `<!-- c --><?pi d?>`},
+	{"two-roots", `<a/><b/>`},
+	{"content-outside", `<a/>trailing`},
+	{"content-before", `junk<a/>`},
+	{"mismatched-end", `<a></b>`},
+	{"unterminated", `<a><b>`},
+	{"dup-attr", `<a x="1" x="2"/>`},
+	{"unquoted-attr", `<a x=1/>`},
+	{"lt-in-attr", `<a x="<"/>`},
+	{"bad-entity", `<a>&nope;</a>`},
+	{"bad-charref", `<a>&#zz;</a>`},
+	{"unterminated-entity", `<a>&amp</a>`},
+	{"unterminated-comment", `<a><!-- oops</a>`},
+	{"unterminated-cdata", `<a><![CDATA[x</a>`},
+	{"unterminated-doctype", `<!DOCTYPE root [`},
+	{"bad-empty-tag", `<a/ >`},
+	{"missing-eq", `<a x "1"/>`},
+}
+
+// TestParseReaderDifferential pins ParseReader (tokenizer path) to
+// Parse (in-memory path): identical DOM on success, both fail on error.
+func TestParseReaderDifferential(t *testing.T) {
+	for _, tc := range streamDiffDocs {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := ParseString(tc.src)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			got, err := ParseReader(strings.NewReader(tc.src))
+			if err != nil {
+				t.Fatalf("ParseReader: %v", err)
+			}
+			if dumpDoc(got) != dumpDoc(want) {
+				t.Fatalf("DOM mismatch\n-- Parse --\n%s\n-- ParseReader --\n%s", dumpDoc(want), dumpDoc(got))
+			}
+			checkParents(t, got.Root)
+			// Preorder numbering must agree too.
+			wn, gn := collectNums(want.Root), collectNums(got.Root)
+			if len(wn) != len(gn) {
+				t.Fatalf("numbering length %d vs %d", len(wn), len(gn))
+			}
+			for i := range wn {
+				if wn[i] != gn[i] {
+					t.Fatalf("numbering diverges at %d: %v vs %v", i, wn[i], gn[i])
+				}
+			}
+		})
+	}
+	for _, tc := range streamDiffBad {
+		t.Run("bad-"+tc.name, func(t *testing.T) {
+			_, perr := ParseString(tc.src)
+			_, serr := ParseReader(strings.NewReader(tc.src))
+			if perr == nil {
+				t.Fatalf("Parse accepted %q", tc.src)
+			}
+			if serr == nil {
+				t.Fatalf("ParseReader accepted %q but Parse rejects: %v", tc.src, perr)
+			}
+		})
+	}
+}
+
+func collectNums(n *Node) [][2]int {
+	out := [][2]int{{n.Pre, n.Post}}
+	for _, a := range n.Attrs {
+		out = append(out, [2]int{a.Pre, a.Post})
+	}
+	for _, c := range n.Children {
+		out = append(out, collectNums(c)...)
+	}
+	return out
+}
+
+// TestTokenizerSmallReads feeds the tokenizer one byte at a time to
+// exercise buffer-boundary handling in Peek/Discard paths.
+func TestTokenizerSmallReads(t *testing.T) {
+	src := `<?xml version="1.0"?><!DOCTYPE r [ <!ENTITY x "y"> ]><r a="1"> t <b/><![CDATA[c]]> </r><!--end-->`
+	want, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got, err := ParseReader(oneByteReader{strings.NewReader(src)})
+	if err != nil {
+		t.Fatalf("ParseReader: %v", err)
+	}
+	if dumpDoc(got) != dumpDoc(want) {
+		t.Fatalf("DOM mismatch under 1-byte reads\n%s\nvs\n%s", dumpDoc(want), dumpDoc(got))
+	}
+}
+
+type oneByteReader struct{ r *strings.Reader }
+
+func (o oneByteReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
